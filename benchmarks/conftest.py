@@ -1,0 +1,31 @@
+"""Shared helpers for the benchmark harness.
+
+Every ``test_bench_*`` module regenerates one of the paper's tables or
+figures. The ``emit`` fixture prints the reproduced table and archives it
+under ``benchmarks/results/`` so a benchmark run leaves the full set of
+paper-format artifacts behind.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+@pytest.fixture
+def emit():
+    """Print + archive an ExperimentResult; returns it for assertions."""
+
+    def _emit(result):
+        rendered = result.render()
+        print("\n" + rendered)
+        os.makedirs(RESULTS_DIR, exist_ok=True)
+        path = os.path.join(RESULTS_DIR, f"{result.experiment_id}.txt")
+        with open(path, "w") as handle:
+            handle.write(rendered + "\n")
+        return result
+
+    return _emit

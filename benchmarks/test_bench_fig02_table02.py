@@ -1,0 +1,23 @@
+"""Fig 2 (taxonomy) and Table II (security matrix) benches."""
+
+from repro.experiments import fig02_taxonomy, table02_security
+
+
+def test_fig2_taxonomy(benchmark, emit):
+    result = benchmark.pedantic(fig02_taxonomy.run, rounds=1, iterations=1)
+    emit(result)
+    rows = {row[0]: dict(zip(result.headers, row)) for row in result.rows}
+    # Storage: fast & big; computation: slower & tiny (Fig 2's trade-off).
+    assert rows["table lookup"]["normalized_latency"] == 1.0
+    assert rows["DHE"]["normalized_latency"] > 10
+    assert rows["DHE"]["memory_mb"] < rows["table lookup"]["memory_mb"] / 10
+
+
+def test_table2_security_matrix(benchmark, emit):
+    result = benchmark.pedantic(table02_security.run, rounds=1, iterations=1)
+    emit(result)
+    verdicts = dict(zip(result.column("technique"),
+                        result.column("secret_dependent_data_access")))
+    assert "NOT protected" in verdicts["Table: non-secure"]
+    assert "protected" in verdicts["Table: Linear Scan"]
+    assert "protected" in verdicts["Table: ORAM"]

@@ -1,0 +1,14 @@
+"""Fig 3 bench: the PRIME+PROBE attack, end to end."""
+
+from repro.experiments import fig03_attack
+
+
+def test_fig3_attack(benchmark, emit):
+    result = benchmark.pedantic(fig03_attack.run, rounds=1, iterations=1)
+    emit(result)
+    assert "SUCCESS" in result.notes
+    vulnerable = result.column("latency_vulnerable_cycles")
+    protected = result.column("latency_linear_scan_cycles")
+    # The victim's set stands out by the miss/hit gap; the defence flattens.
+    assert max(vulnerable) - sorted(vulnerable)[-2] > 100
+    assert max(protected) - min(protected) < 10

@@ -1,0 +1,64 @@
+"""Fig 4 bench: DLRM embedding latency vs table size (modelled curves) and
+measured microbenchmarks of the executable implementations for the same
+shape claims."""
+
+import numpy as np
+import pytest
+
+from repro.embedding import (
+    CircuitOramEmbedding,
+    DHEEmbedding,
+    LinearScanEmbedding,
+)
+from repro.experiments import fig04_dlrm_latency
+
+
+def test_fig4_curves(benchmark, emit):
+    result = benchmark.pedantic(fig04_dlrm_latency.run, rounds=1,
+                                iterations=1)
+    emit(result)
+    scan = result.column("linear_scan_ms")
+    dhe_uniform = result.column("dhe_uniform_ms")
+    circuit = result.column("circuit_oram_ms")
+    path = result.column("path_oram_ms")
+    # Paper shape: scan wins small, loses big; Circuit < Path everywhere.
+    assert scan[0] < min(dhe_uniform[0], circuit[0], path[0])
+    assert scan[-1] > max(dhe_uniform[-1], circuit[-1], path[-1])
+    assert all(c < p for c, p in zip(circuit, path))
+
+
+# -- measured microbenchmarks on our executable generators -----------------
+BATCH = 8
+
+
+@pytest.mark.parametrize("rows", [256, 4096])
+def test_measured_linear_scan(benchmark, rows):
+    generator = LinearScanEmbedding(rows, 16, rng=0)
+    indices = np.random.default_rng(0).integers(0, rows, size=BATCH)
+    benchmark(generator.generate, indices)
+
+
+@pytest.mark.parametrize("rows", [256, 4096])
+def test_measured_circuit_oram(benchmark, rows):
+    generator = CircuitOramEmbedding(rows, 16, rng=0)
+    indices = np.random.default_rng(0).integers(0, rows, size=BATCH)
+    benchmark(generator.generate, indices)
+
+
+def test_measured_dhe(benchmark):
+    generator = DHEEmbedding(4096, 16, k=256, fc_sizes=(128, 64), rng=0)
+    indices = np.random.default_rng(0).integers(0, 4096, size=BATCH)
+    benchmark(generator.generate, indices)
+
+
+def test_measured_shape_scan_linear_in_rows(benchmark):
+    """Measured counterpart of the O(n) column in Table I."""
+    from repro.utils.timing import time_callable
+
+    indices = np.zeros(BATCH, dtype=np.int64)
+    small = LinearScanEmbedding(8192, 16, rng=0)
+    large = LinearScanEmbedding(8 * 8192, 16, rng=0)
+    benchmark(lambda: large.generate(indices))
+    t_small = time_callable(lambda: small.generate(indices), repeats=3)
+    t_large = time_callable(lambda: large.generate(indices), repeats=3)
+    assert t_large > 3 * t_small  # ~8x work, allow generous noise margin

@@ -1,0 +1,16 @@
+"""Fig 5 bench: LLM embedding latency vs embedding dimension."""
+
+from repro.experiments import fig05_llm_latency
+
+
+def test_fig5_llm_embedding_latency(benchmark, emit):
+    result = benchmark.pedantic(fig05_llm_latency.run, rounds=1, iterations=1)
+    emit(result)
+    rows = {(r[0], r[1]): dict(zip(result.headers, r)) for r in result.rows}
+    # Prefill-scale batches: DHE best secure option at GPT-2's dim.
+    big = rows[(1024, 3072)]
+    assert big["dhe_ms"] < big["circuit_oram_ms"] < big["path_oram_ms"]
+    # Decode-scale batch at large dims: Circuit ORAM competitive (paper's
+    # motivation for the LLM dual representation).
+    small = rows[(8192, 1)]
+    assert small["circuit_oram_ms"] < small["dhe_ms"]

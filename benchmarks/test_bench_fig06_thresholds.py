@@ -1,0 +1,18 @@
+"""Fig 6 bench: switching-threshold grid over batch sizes and threads."""
+
+from repro.experiments import fig06_thresholds
+
+
+def test_fig6_thresholds(benchmark, emit):
+    result = benchmark.pedantic(fig06_thresholds.run, rounds=1, iterations=1)
+    emit(result)
+    values = {(batch, threads): threshold
+              for batch, threads, threshold in result.rows}
+    # Paper anchor: ~3300 rows at batch 32 / 1 thread.
+    assert 2000 < values[(32, 1)] < 5000
+    # Monotone trends of Fig 6.
+    for threads in (1, 16):
+        assert values[(1, threads)] > values[(32, threads)] \
+            > values[(128, threads)]
+    for batch in (1, 32, 128):
+        assert values[(batch, 16)] > values[(batch, 1)]

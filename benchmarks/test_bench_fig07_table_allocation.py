@@ -1,0 +1,19 @@
+"""Fig 7 bench: dataset tables vs the hybrid-eligible threshold band."""
+
+from repro.experiments import fig07_table_allocation
+
+
+def test_fig7_allocation_bands(benchmark, emit):
+    result = benchmark.pedantic(fig07_table_allocation.run, rounds=1,
+                                iterations=1)
+    emit(result)
+    by_dataset = {row[0]: dict(zip(result.headers, row))
+                  for row in result.rows}
+    for name, stats in by_dataset.items():
+        assert stats["always_scan"] + stats["hybrid_eligible"] \
+            + stats["always_dhe"] == 26
+        # Paper: only a handful of tables are configuration-sensitive.
+        assert 1 <= stats["hybrid_eligible"] <= 8
+    # Kaggle's big tables always use DHE (paper: 7); Terabyte more (9-11).
+    assert by_dataset["criteo-kaggle"]["always_dhe"] >= 6
+    assert by_dataset["criteo-terabyte"]["always_dhe"] >= 8

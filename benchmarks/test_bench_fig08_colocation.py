@@ -1,0 +1,18 @@
+"""Fig 8 bench: latency inflation under technique co-location."""
+
+from repro.experiments import fig08_colocation
+
+
+def test_fig8_colocation(benchmark, emit):
+    result = benchmark.pedantic(fig08_colocation.run, rounds=1, iterations=1)
+    emit(result)
+    scan = result.column("scan_ms")
+    dhe = result.column("dhe_ms")
+    circuit = result.column("circuit_oram_ms")
+    # Everyone's latency is non-decreasing in co-location.
+    for series in (scan, dhe, circuit):
+        assert all(a <= b * 1.001 for a, b in zip(series, series[1:]))
+    # Paper shape: scan inflates relatively more than DHE at 24 copies.
+    scan_inflation = scan[-1] / scan[0]
+    dhe_inflation = dhe[-1] / dhe[0]
+    assert scan_inflation > dhe_inflation

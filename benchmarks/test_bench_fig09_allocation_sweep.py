@@ -1,0 +1,21 @@
+"""Fig 9 bench: mixed scan/DHE allocation across 24 co-located models."""
+
+from repro.experiments import fig09_allocation_sweep
+
+
+def test_fig9_allocation_sweep(benchmark, emit):
+    result = benchmark.pedantic(fig09_allocation_sweep.run, rounds=1,
+                                iterations=1)
+    emit(result)
+    rows = {row[0]: row[1:] for row in result.rows}
+    # Small tables: all-scan (first column) beats all-DHE (last).
+    assert rows[1000][0] < rows[1000][-1]
+    # Large tables: all-DHE wins.
+    assert rows[1_000_000][-1] < rows[1_000_000][0]
+
+
+def test_fig9_crossover_near_paper_value(benchmark):
+    """Paper: co-located crossover ~4500, close to the single-model 3300."""
+    crossover = benchmark.pedantic(fig09_allocation_sweep.colocated_crossover,
+                                   rounds=1, iterations=1)
+    assert 1500 < crossover < 20_000

@@ -1,0 +1,29 @@
+"""Fig 10 bench: ZeroTrace optimization levels + measured ORAM lookups."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import fig10_zerotrace
+from repro.oram import CircuitORAM, PathORAM
+
+
+def test_fig10_zerotrace_levels(benchmark, emit):
+    result = benchmark.pedantic(fig10_zerotrace.run, rounds=1, iterations=1)
+    emit(result)
+    for row in result.rows:
+        size, scheme, original, gramine, opt = row
+        assert original > gramine > opt
+    # Paper: the Gramine step helps Circuit (60%) more than Path (20%).
+    by_scheme = {row[1]: row for row in result.rows if row[0] == 1_000_000}
+    path_gain = by_scheme["path"][2] / by_scheme["path"][3]
+    circuit_gain = by_scheme["circuit"][2] / by_scheme["circuit"][3]
+    assert circuit_gain > path_gain
+
+
+# -- measured single-lookup latency of the executable controllers ----------
+@pytest.mark.parametrize("oram_class", [PathORAM, CircuitORAM],
+                         ids=["path", "circuit"])
+def test_measured_single_lookup(benchmark, oram_class):
+    oram = oram_class(1024, 64, rng=0)
+    rng = np.random.default_rng(0)
+    benchmark(lambda: oram.read(int(rng.integers(0, 1024))))

@@ -1,0 +1,19 @@
+"""Fig 11 bench: latency vs threshold split, profiled vs empirical best."""
+
+import numpy as np
+
+from repro.experiments import fig11_threshold_sweep
+
+
+def test_fig11_threshold_sweep(benchmark, emit):
+    result = benchmark.pedantic(fig11_threshold_sweep.run, rounds=1,
+                                iterations=1)
+    emit(result)
+    latencies = result.column("latency_ms")
+    flags = result.column("is_profiled_split")
+    best = int(np.argmin(latencies))
+    profiled = flags.index("<-- profiled")
+    # Paper: profiled split within +-1 of the empirical optimum.
+    assert abs(best - profiled) <= 1
+    # The sweep spans orders of magnitude (all-scan is catastrophic).
+    assert max(latencies) > 50 * min(latencies)

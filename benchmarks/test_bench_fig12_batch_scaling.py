@@ -1,0 +1,17 @@
+"""Fig 12 bench: end-to-end DLRM latency vs batch size."""
+
+from repro.experiments import fig12_batch_scaling
+
+
+def test_fig12_batch_scaling(benchmark, emit):
+    result = benchmark.pedantic(fig12_batch_scaling.run, rounds=1,
+                                iterations=1)
+    emit(result)
+    by_key = {(row[0], row[1]): dict(zip(result.headers, row))
+              for row in result.rows}
+    for dataset in ("criteo-kaggle", "criteo-terabyte"):
+        speedups = [by_key[(dataset, batch)]["hybrid_speedup_vs_circuit"]
+                    for batch in (1, 8, 32, 128)]
+        # Paper: the hybrid's advantage over Circuit ORAM grows with batch.
+        assert speedups[-1] > speedups[1] > speedups[0]
+        assert speedups[-1] > 2.0  # paper: 2.61x / 3.08x at batch 128

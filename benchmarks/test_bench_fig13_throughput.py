@@ -1,0 +1,30 @@
+"""Fig 13 bench: co-located latency-throughput, DHE vs Hybrid Varied."""
+
+from repro.data import KAGGLE_SPEC, TERABYTE_SPEC
+from repro.experiments import fig13_throughput
+from repro.hybrid import latency_bounded_throughput
+
+
+def test_fig13_terabyte(benchmark, emit):
+    result = benchmark.pedantic(fig13_throughput.run, rounds=1, iterations=1)
+    emit(result)
+    # The hybrid's SLA-bounded throughput beats all-DHE (paper: 1.4x).
+    assert "Hybrid" in result.notes
+    dhe_col = result.column("dhe_varied_ips")
+    hybrid_col = result.column("hybrid_varied_ips")
+    sla_rows_hybrid = [tp for latency, tp in
+                       zip(result.column("hybrid_varied_ms"), hybrid_col)
+                       if latency <= 20.0]
+    sla_rows_dhe = [tp for latency, tp in
+                    zip(result.column("dhe_varied_ms"), dhe_col)
+                    if latency <= 20.0]
+    assert max(sla_rows_hybrid) > max(sla_rows_dhe)
+
+
+def test_fig13_kaggle(benchmark, emit):
+    result = benchmark.pedantic(fig13_throughput.run,
+                                kwargs=dict(spec=KAGGLE_SPEC),
+                                rounds=1, iterations=1)
+    result.experiment_id = "fig13-kaggle"
+    emit(result)
+    assert "Hybrid" in result.notes

@@ -1,0 +1,15 @@
+"""Fig 14 bench: real finetuning of table- vs DHE-embedded GPT."""
+
+from repro.experiments import fig14_llm_finetune
+
+
+def test_fig14_llm_finetune(benchmark, emit):
+    result = benchmark.pedantic(fig14_llm_finetune.run, rounds=1,
+                                iterations=1)
+    emit(result)
+    table_curve = result.column("table_ppl")
+    dhe_curve = result.column("dhe_ppl")
+    # Both improve with finetuning; DHE converges near the table model
+    # (paper: within 2.7%; we allow 15% at this miniature scale).
+    assert dhe_curve[-1] < dhe_curve[0]
+    assert min(dhe_curve) < 1.15 * min(table_curve)

@@ -1,0 +1,36 @@
+"""Fig 15 bench: GPT-2 medium prefill/decode latencies per technique,
+plus a measured end-to-end generation comparison on the tiny GPT."""
+
+import numpy as np
+
+from repro.experiments import fig15_llm_e2e
+
+
+def test_fig15_llm_e2e(benchmark, emit):
+    result = benchmark.pedantic(fig15_llm_e2e.run, rounds=1, iterations=1)
+    emit(result)
+    rows = {(r[0], r[1]): dict(zip(result.headers, r)) for r in result.rows}
+    for batch in (1, 8, 12):
+        prefill = rows[(batch, "prefill")]
+        # Prefill: DHE best secure technique; Path worst (paper Fig 15).
+        assert prefill["dhe"] < prefill["circuit_oram"] \
+            < prefill["path_oram"]
+        assert prefill["dhe"] < prefill["linear_scan"]
+    # Decode: batched favours DHE; batch-1 is a near-tie with Circuit.
+    assert rows[(12, "decode")]["dhe"] < rows[(12, "decode")]["circuit_oram"]
+    tie = rows[(1, "decode")]
+    assert abs(tie["dhe"] - tie["circuit_oram"]) < 0.1 * tie["circuit_oram"]
+
+
+def test_measured_generation_with_secure_argmax(benchmark):
+    """Wall-clock generation through the executable tiny GPT with the
+    oblivious cmov argmax (the §V-C sampling path)."""
+    from repro.models.gpt import GPT, tiny_config
+
+    model = GPT(tiny_config(vocab_size=64, embed_dim=32, num_layers=2,
+                            num_heads=2), rng=0)
+    prompt = np.random.default_rng(0).integers(0, 64, size=(1, 8))
+    benchmark.pedantic(
+        lambda: model.generate(prompt, max_new_tokens=8,
+                               oblivious_sampling=True),
+        rounds=3, iterations=1)

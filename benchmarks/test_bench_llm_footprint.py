@@ -1,0 +1,20 @@
+"""§VI-D3 bench: GPT-2 medium footprint per token-embedding scheme."""
+
+import pytest
+
+from repro.experiments import llm_footprint
+
+
+def test_llm_footprint(benchmark, emit):
+    result = benchmark.pedantic(llm_footprint.run, rounds=1, iterations=1)
+    emit(result)
+    parts = dict(zip(result.column("scheme"),
+                     result.column("embedding_part_mb")))
+    overhead = dict(zip(result.column("scheme"),
+                        result.column("overhead_vs_table_pct")))
+    assert parts["table"] == pytest.approx(196.3, rel=0.03)
+    assert parts["oram (circuit)"] == pytest.approx(513.6, rel=0.1)
+    assert parts["dhe (+tied head table)"] == pytest.approx(56.0, rel=0.1)
+    # Paper: DHE +4% model overhead; ORAM tens of percent.
+    assert overhead["dhe (+tied head table)"] < 8
+    assert overhead["oram (circuit)"] > 15

@@ -1,0 +1,67 @@
+"""Cross-validation: the calibrated cost model vs wall-clock measurements.
+
+The figure benchmarks rely on `repro.costmodel` for SGX-scale absolutes.
+This bench checks the model's *shape* claims against real timings of the
+executable implementations at laptop scale:
+
+* linear scan grows linearly in table size,
+* Circuit ORAM grows far slower than linearly,
+* DHE latency is independent of table size,
+* the scan/DHE ordering flips between small and large tables —
+  i.e. a measured crossover exists, as the modelled Fig 4/6 predict.
+"""
+
+import numpy as np
+
+from repro.costmodel.latency import DheShape
+from repro.embedding import CircuitOramEmbedding, DHEEmbedding, LinearScanEmbedding
+from repro.utils.timing import time_callable
+
+BATCH = 8
+DIM = 16
+SHAPE = DheShape(k=512, fc_sizes=(512, 256), out_dim=DIM)
+
+
+def measure(generator, rows: int, repeats: int = 3) -> float:
+    indices = np.random.default_rng(0).integers(0, rows, size=BATCH)
+    return time_callable(lambda: generator.generate(indices),
+                         repeats=repeats)
+
+
+def test_measured_scan_linear_growth(benchmark):
+    small = measure(LinearScanEmbedding(4096, DIM, rng=0), 4096)
+    big_gen = LinearScanEmbedding(16 * 4096, DIM, rng=0)
+    benchmark(lambda: big_gen.generate(np.zeros(BATCH, dtype=np.int64)))
+    big = measure(big_gen, 16 * 4096)
+    assert big > 6 * small  # 16x work; generous noise margin
+
+
+def test_measured_oram_sublinear_growth(benchmark):
+    small_oram = CircuitOramEmbedding(512, DIM, rng=0)
+    big_oram = CircuitOramEmbedding(8192, DIM, rng=0)
+    benchmark.pedantic(lambda: big_oram.generate(
+        np.zeros(BATCH, dtype=np.int64)), rounds=3, iterations=1)
+    small = measure(small_oram, 512)
+    big = measure(big_oram, 8192)
+    assert big < 8 * small  # 16x table, far less than 16x time
+
+
+def test_measured_dhe_flat_in_table_size(benchmark):
+    small_gen = DHEEmbedding(1000, DIM, shape=SHAPE, rng=0)
+    big_gen = DHEEmbedding(1_000_000, DIM, shape=SHAPE, rng=0)
+    benchmark(lambda: big_gen.generate(np.zeros(BATCH, dtype=np.int64)))
+    small = measure(small_gen, 1000, repeats=5)
+    big = measure(big_gen, 1_000_000, repeats=5)
+    assert 0.4 < big / small < 2.5
+
+
+def test_measured_scan_dhe_crossover_exists(benchmark):
+    """Scan beats this DHE on a small table and loses on a big one — the
+    measured counterpart of the Fig 6 threshold."""
+    dhe = DHEEmbedding(1000, DIM, shape=SHAPE, rng=0)
+    benchmark(lambda: dhe.generate(np.zeros(BATCH, dtype=np.int64)))
+    dhe_time = measure(dhe, 1000, repeats=5)
+    scan_small = measure(LinearScanEmbedding(256, DIM, rng=0), 256,
+                         repeats=5)
+    scan_large = measure(LinearScanEmbedding(262_144, DIM, rng=0), 262_144)
+    assert scan_small < dhe_time < scan_large

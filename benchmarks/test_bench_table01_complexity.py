@@ -1,0 +1,34 @@
+"""Table I bench: complexity fits (analytic) + measured growth exponents."""
+
+import numpy as np
+
+from repro.experiments import table01_complexity
+from repro.utils.timing import time_callable
+
+
+def test_table1_complexity(benchmark, emit):
+    result = benchmark.pedantic(table01_complexity.run, rounds=1,
+                                iterations=1)
+    emit(result)
+    exponents = dict(zip(result.column("technique"),
+                         result.column("fitted_exponent")))
+    assert 0.8 < exponents["linear scan"] < 1.3
+    assert 1.7 < exponents["DHE"] < 2.3
+
+
+def test_measured_dhe_quadratic_in_k(benchmark):
+    """Wall-clock DHE latency grows ~k^2 (Table I's O(k^2))."""
+    from repro.embedding import DHEEmbedding
+
+    indices = np.zeros(8, dtype=np.int64)
+    timings = {}
+    for k in (128, 512):
+        generator = DHEEmbedding(1000, 16, k=k, fc_sizes=(k // 2, k // 4),
+                                 rng=0)
+        timings[k] = time_callable(lambda g=generator: g.generate(indices),
+                                   repeats=3)
+    benchmark(lambda: DHEEmbedding(1000, 16, k=512,
+                                   fc_sizes=(256, 128),
+                                   rng=0).generate(indices))
+    # 4x wider stack => ~16x FLOPs; allow wide tolerance for BLAS effects.
+    assert timings[512] > 3 * timings[128]

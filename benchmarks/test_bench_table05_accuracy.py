@@ -1,0 +1,19 @@
+"""Table V bench: accuracy parity via real DLRM training (3 variants)."""
+
+from repro.experiments import table05_accuracy
+
+
+def test_table5_accuracy_parity(benchmark, emit):
+    result = benchmark.pedantic(
+        table05_accuracy.run,
+        kwargs=dict(max_rows=500, steps=200, batch_size=128,
+                    eval_samples=4096, k=48, fc_sizes=(48,)),
+        rounds=1, iterations=1)
+    emit(result)
+    accuracies = result.column("accuracy")
+    aucs = result.column("auc")
+    # Every representation learns well above chance ...
+    assert min(accuracies) > 0.7
+    # ... and they match each other (paper: identical to 2 decimals).
+    assert max(accuracies) - min(accuracies) < 0.04
+    assert max(aucs) - min(aucs) < 0.04

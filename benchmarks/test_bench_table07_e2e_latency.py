@@ -1,0 +1,21 @@
+"""Table VII bench: end-to-end DLRM latency per protection technique."""
+
+from repro.experiments import table07_e2e_latency
+
+
+def test_table7_e2e_latency(benchmark, emit):
+    result = benchmark.pedantic(table07_e2e_latency.run, rounds=1,
+                                iterations=1)
+    emit(result)
+    for dataset in ("kaggle", "terabyte"):
+        latency = dict(zip(result.column("technique"),
+                           result.column(f"{dataset}_ms")))
+        # Paper ordering: lookup << hybrid < circuit < path << scan.
+        assert latency["index_lookup"] < latency["hybrid_varied"]
+        assert latency["hybrid_varied"] < latency["circuit_oram"]
+        assert latency["circuit_oram"] < latency["path_oram"]
+        assert latency["path_oram"] < latency["linear_scan"]
+        speedup = dict(zip(result.column("technique"),
+                           result.column(f"{dataset}_vs_circuit")))
+        # Paper: 2.01x (Kaggle) / 2.28x (Terabyte); accept the right band.
+        assert 1.5 < speedup["hybrid_varied"] < 4.5

@@ -1,0 +1,24 @@
+"""Table VIII bench: the Meta-scale DLRM (788 tables)."""
+
+from repro.experiments import table08_meta
+
+
+def test_table8_meta_scale(benchmark, emit):
+    result = benchmark.pedantic(table08_meta.run, rounds=1, iterations=1)
+    emit(result)
+    latency = dict(zip(result.column("technique"),
+                       result.column("latency_ms")))
+    memory = dict(zip(result.column("technique"),
+                      result.column("memory_mb")))
+    speedup = dict(zip(result.column("technique"),
+                       result.column("vs_circuit")))
+    # Paper: Hybrid Varied 2.40x over Circuit; Circuit ~1.3s.
+    assert 1.5 < speedup["hybrid_varied"] < 4.0
+    assert 500 < latency["circuit_oram"] < 3000
+    # Paper: tables ~910 GB, ORAM ~3 TB (impractical), hybrid ~1.2 GB.
+    assert memory["path_oram"] > 2.5 * memory["index_lookup"]
+    assert memory["index_lookup"] / memory["hybrid_varied"] > 250
+    # The hybrid fits in the 64 GB EPC; the ORAM model does not.
+    epc_mb = 64 * 1024
+    assert memory["hybrid_varied"] < epc_mb
+    assert memory["circuit_oram"] > epc_mb

@@ -1,0 +1,15 @@
+"""Reproduction of "Efficient Memory Side-Channel Protection for Embedding
+Generation in Machine Learning" (HPCA 2025).
+
+Top-level convenience imports expose the main public API:
+
+* :mod:`repro.embedding` -- the secure embedding generation methods (linear
+  scan, Path/Circuit ORAM, DHE, hybrid) behind one interface.
+* :mod:`repro.models` -- DLRM and a GPT-2-style LLM built on those methods.
+* :mod:`repro.hybrid` -- the profiling/threshold machinery of Algorithms 2-3.
+* :mod:`repro.oram`, :mod:`repro.oblivious`, :mod:`repro.sidechannel` -- the
+  substrates (ORAM controllers, oblivious primitives, the cache attack).
+* :mod:`repro.experiments` -- one runnable experiment per paper table/figure.
+"""
+
+__version__ = "1.0.0"

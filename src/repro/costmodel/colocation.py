@@ -1,0 +1,118 @@
+"""Co-location interference model (Figs 8, 9, 13; §IV-C2).
+
+Each co-located model runs on its own core; compute throughput is therefore
+unaffected until the core count is exceeded, but the shared resources —
+memory bandwidth for scan/ORAM traffic and LLC capacity for table reuse —
+are divided among tenants. This reproduces the paper's observations:
+
+* linear scan of large tables degrades quickly under co-location (bandwidth
+  saturation),
+* DHE degrades mildly (compute-bound; only its modest activation/weight
+  traffic contends),
+* the scan/DHE switching threshold under co-location stays close to the
+  single-model threshold (Fig 9's 4500 vs 3300).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, List, Sequence
+
+from repro.costmodel.latency import (
+    DheShape,
+    dhe_latency,
+    linear_scan_latency,
+    oram_latency,
+)
+from repro.costmodel.platform import DEFAULT_PLATFORM, PlatformModel
+from repro.utils.validation import check_non_negative, check_positive
+
+
+@dataclass(frozen=True)
+class TenantDemand:
+    """One co-located model's resource demand for its embedding work."""
+
+    technique: str          # "scan" | "dhe" | "path" | "circuit"
+    solo_latency: float     # seconds per batch when running alone
+    bandwidth_bytes: float  # bytes streamed from DRAM per batch
+    llc_bytes: float        # working set it would like resident in LLC
+
+
+def scan_demand(num_rows: int, dim: int, batch: int,
+                platform: PlatformModel = DEFAULT_PLATFORM) -> TenantDemand:
+    table = num_rows * dim * platform.element_bytes
+    solo = linear_scan_latency(num_rows, dim, batch, threads=1, platform=platform)
+    if table > platform.llc_bytes:
+        # Streams from DRAM already; no cache residency at stake.
+        return TenantDemand("scan", solo, batch * table, 0.0)
+    # LLC-resident: modest fill traffic, but residency is what co-located
+    # copies fight over.
+    return TenantDemand("scan", solo, 0.25 * batch * table, table)
+
+
+def dhe_demand(shape: DheShape, batch: int,
+               platform: PlatformModel = DEFAULT_PLATFORM) -> TenantDemand:
+    solo = dhe_latency(shape, batch, threads=1, platform=platform)
+    weights = shape.parameter_bytes(platform.element_bytes)
+    return TenantDemand("dhe", solo, 0.1 * weights * batch / max(batch, 8),
+                        min(weights, platform.llc_bytes // 4))
+
+
+def oram_demand(scheme: str, num_rows: int, dim: int, batch: int,
+                platform: PlatformModel = DEFAULT_PLATFORM) -> TenantDemand:
+    from repro.costmodel.latency import oram_access_bytes
+    solo = oram_latency(scheme, num_rows, dim, batch, platform=platform)
+    per_batch = batch * oram_access_bytes(scheme, num_rows, dim, platform)
+    return TenantDemand(scheme, solo, per_batch,
+                        min(num_rows * dim * platform.element_bytes,
+                            platform.llc_bytes))
+
+
+def colocated_latencies(tenants: Sequence[TenantDemand],
+                        platform: PlatformModel = DEFAULT_PLATFORM
+                        ) -> List[float]:
+    """Per-tenant batch latency when all tenants run concurrently.
+
+    Bandwidth: demands are summed and, past the DRAM ceiling, every tenant's
+    memory time dilates by the over-subscription ratio. LLC: when combined
+    working sets exceed capacity, scan tenants lose cache residency and
+    their effective rate drops toward the DRAM rate.
+    """
+    if not tenants:
+        return []
+    if len(tenants) > platform.cores:
+        core_dilation = len(tenants) / platform.cores
+    else:
+        core_dilation = 1.0
+
+    total_bw = sum(t.bandwidth_bytes / max(t.solo_latency, 1e-12) for t in tenants)
+    bw_dilation = max(1.0, total_bw / platform.dram_total_bw)
+
+    total_llc = sum(t.llc_bytes for t in tenants)
+    llc_pressure = max(1.0, total_llc / platform.llc_bytes)
+
+    latencies = []
+    for tenant in tenants:
+        dilation = core_dilation
+        if tenant.technique == "scan":
+            # Losing LLC residency pushes the scan toward DRAM bandwidth.
+            cache_penalty = min(llc_pressure,
+                                platform.scan_llc_bw / platform.scan_dram_bw)
+            dilation *= max(bw_dilation, cache_penalty if llc_pressure > 1 else 1.0)
+        elif tenant.technique in ("path", "circuit"):
+            dilation *= bw_dilation
+        else:  # dhe — compute bound, small bandwidth share
+            dilation *= 1.0 + 0.25 * (bw_dilation - 1.0) + 0.02 * (llc_pressure - 1.0)
+        latencies.append(tenant.solo_latency * dilation)
+    return latencies
+
+
+def throughput_inferences_per_second(tenants: Sequence[TenantDemand],
+                                     batch: int,
+                                     platform: PlatformModel = DEFAULT_PLATFORM
+                                     ) -> float:
+    """System throughput = sum over tenants of batch/latency."""
+    check_positive("batch", batch)
+    latencies = colocated_latencies(tenants, platform)
+    return sum(batch / lat for lat in latencies if lat > 0)

@@ -1,0 +1,47 @@
+"""Synthetic datasets matching the paper's workloads."""
+
+from repro.data.criteo import (
+    KAGGLE_SPEC,
+    KAGGLE_TABLE_SIZES,
+    NUM_DENSE_FEATURES,
+    TERABYTE_SPEC,
+    TERABYTE_TABLE_SIZES,
+    CtrBatch,
+    DlrmDatasetSpec,
+    SyntheticCtrDataset,
+    scaled_spec,
+)
+from repro.data.meta_dataset import (
+    META_EMBEDDING_DIM,
+    META_MAX_ROWS,
+    META_NUM_TABLES,
+    meta_table_sizes,
+    total_table_bytes,
+)
+from repro.data.text import (
+    MarkovCorpusGenerator,
+    TextCorpus,
+    WordTokenizer,
+    batchify,
+)
+
+__all__ = [
+    "KAGGLE_SPEC",
+    "KAGGLE_TABLE_SIZES",
+    "NUM_DENSE_FEATURES",
+    "TERABYTE_SPEC",
+    "TERABYTE_TABLE_SIZES",
+    "CtrBatch",
+    "DlrmDatasetSpec",
+    "SyntheticCtrDataset",
+    "scaled_spec",
+    "META_EMBEDDING_DIM",
+    "META_MAX_ROWS",
+    "META_NUM_TABLES",
+    "meta_table_sizes",
+    "total_table_bytes",
+    "MarkovCorpusGenerator",
+    "TextCorpus",
+    "WordTokenizer",
+    "batchify",
+]

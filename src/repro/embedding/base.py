@@ -1,0 +1,96 @@
+"""The common interface every embedding-generation method implements.
+
+The paper's taxonomy (Fig 2) distinguishes storage-based methods (table
+lookup, linear scan, ORAM-protected table) from the computation-based DHE.
+All of them are exposed here as :class:`EmbeddingGenerator` modules with:
+
+* ``forward(indices) -> Tensor`` — generate embeddings for integer indices;
+* ``is_oblivious`` — whether the access pattern is index-independent;
+* ``modelled_latency(batch, threads)`` — the calibrated analytic latency
+  used by the profiling/threshold machinery and the figure benchmarks;
+* ``footprint_bytes()`` — the representation's memory footprint.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.costmodel.platform import DEFAULT_PLATFORM, PlatformModel
+from repro.nn.module import Module
+from repro.nn.tensor import Tensor
+
+
+class EmbeddingGenerator(Module):
+    """Base class for all embedding generation methods."""
+
+    #: short technique identifier used by the profiler and reports
+    technique: str = "abstract"
+    #: whether the memory access pattern is independent of the index
+    is_oblivious: bool = False
+
+    def __init__(self, num_embeddings: int, embedding_dim: int) -> None:
+        super().__init__()
+        if num_embeddings <= 0:
+            raise ValueError(f"num_embeddings must be positive, got {num_embeddings}")
+        if embedding_dim <= 0:
+            raise ValueError(f"embedding_dim must be positive, got {embedding_dim}")
+        self.num_embeddings = num_embeddings
+        self.embedding_dim = embedding_dim
+
+    # ------------------------------------------------------------------
+    def forward(self, indices) -> Tensor:
+        raise NotImplementedError
+
+    def generate(self, indices) -> np.ndarray:
+        """Inference-only convenience: embeddings as a plain array."""
+        return self.forward(np.asarray(indices)).data
+
+    def forward_pooled(self, indices, mode: str = "sum") -> Tensor:
+        """Multi-hot lookup with pooling: (batch, bag) indices -> (batch, dim).
+
+        Real DLRM sparse features are bags of ids (e.g. recent purchases)
+        reduced by sum/mean pooling. The pooling itself is a dense reduction
+        with no data-dependent access, so a generator's obliviousness is
+        inherited; the *bag length* is visible, which the threat model does
+        not hide (§III: the number of accesses is public).
+        """
+        indices = np.asarray(indices, dtype=np.int64)
+        if indices.ndim != 2:
+            raise ValueError(
+                f"pooled lookup expects (batch, bag) indices, got "
+                f"{indices.shape}")
+        if mode not in ("sum", "mean"):
+            raise ValueError(f"mode must be 'sum' or 'mean', got {mode!r}")
+        vectors = self.forward(indices)          # (batch, bag, dim)
+        pooled = vectors.sum(axis=1)
+        if mode == "mean":
+            pooled = pooled * (1.0 / indices.shape[1])
+        return pooled
+
+    def generate_pooled(self, indices, mode: str = "sum") -> np.ndarray:
+        return self.forward_pooled(indices, mode=mode).data
+
+    # ------------------------------------------------------------------
+    def modelled_latency(self, batch: int, threads: int = 1,
+                         platform: PlatformModel = DEFAULT_PLATFORM) -> float:
+        """Calibrated analytic latency (seconds) for one batch."""
+        raise NotImplementedError
+
+    def footprint_bytes(self) -> int:
+        """Memory footprint of this representation."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    def _check_indices(self, indices: np.ndarray) -> np.ndarray:
+        indices = np.asarray(indices, dtype=np.int64)
+        if indices.size and (indices.min() < 0
+                             or indices.max() >= self.num_embeddings):
+            raise IndexError(
+                f"index out of range for table of {self.num_embeddings} rows")
+        return indices
+
+    def __repr__(self) -> str:
+        return (f"{self.__class__.__name__}(n={self.num_embeddings}, "
+                f"dim={self.embedding_dim})")

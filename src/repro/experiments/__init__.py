@@ -1,0 +1,5 @@
+"""One runnable experiment per paper table/figure; see ``registry``."""
+
+from repro.experiments.reporting import ExperimentResult, format_mb, format_ms
+
+__all__ = ["ExperimentResult", "format_mb", "format_ms"]

@@ -1,0 +1,40 @@
+"""Fig 2: the storage-vs-computation taxonomy with normalized performance.
+
+The figure annotates each method with its normalized DLRM latency at batch
+32 (lookup = 1.0) and qualitative memory footprint; we regenerate both
+columns from the calibrated model for a representative large table.
+"""
+
+from __future__ import annotations
+
+from repro.costmodel import (
+    DLRM_DHE_UNIFORM_64,
+    dhe_bytes,
+    dhe_latency,
+    lookup_latency,
+    table_bytes,
+)
+from repro.experiments.reporting import ExperimentResult
+
+
+def run(table_size: int = 1_000_000, dim: int = 64,
+        batch: int = 32) -> ExperimentResult:
+    lookup = lookup_latency(table_size, dim, batch)
+    dhe = dhe_latency(DLRM_DHE_UNIFORM_64, batch)
+    raw_bytes = table_bytes(table_size, dim)
+    dhe_mem = dhe_bytes(DLRM_DHE_UNIFORM_64)
+
+    result = ExperimentResult(
+        experiment_id="fig2",
+        title=f"Embedding generation taxonomy (table={table_size}, "
+              f"dim={dim}, batch={batch})",
+        headers=("method", "kind", "normalized_latency", "memory_mb",
+                 "secure"),
+        notes="paper Fig 2: storage methods are fast but big and leaky; "
+              "computation (DHE) is slower but small and oblivious",
+    )
+    result.add_row("table lookup", "storage", 1.0,
+                   round(raw_bytes / 2**20, 1), "no")
+    result.add_row("DHE", "computation", round(dhe / lookup, 1),
+                   round(dhe_mem / 2**20, 1), "yes")
+    return result

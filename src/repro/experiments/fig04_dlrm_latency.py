@@ -1,0 +1,49 @@
+"""Fig 4: secure embedding generation latency vs table size (DLRM).
+
+Batch 32, 1 thread, embedding dims 16 and 64; techniques: linear scan,
+Path ORAM, Circuit ORAM, DHE Uniform (k=1024), DHE Varied.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+from repro.costmodel import (
+    DLRM_DHE_UNIFORM_16,
+    DLRM_DHE_UNIFORM_64,
+    dhe_latency,
+    dhe_varied_shape,
+    linear_scan_latency,
+    oram_latency,
+)
+from repro.experiments.reporting import ExperimentResult, format_ms
+
+DEFAULT_SIZES: Tuple[int, ...] = (100, 1000, 10_000, 100_000, 1_000_000,
+                                  10_000_000)
+
+
+def run(dims: Sequence[int] = (16, 64),
+        sizes: Sequence[int] = DEFAULT_SIZES,
+        batch: int = 32, threads: int = 1) -> ExperimentResult:
+    result = ExperimentResult(
+        experiment_id="fig4",
+        title=f"Embedding generation latency (ms/batch), batch={batch}, "
+              f"threads={threads}",
+        headers=("dim", "table_size", "linear_scan_ms", "path_oram_ms",
+                 "circuit_oram_ms", "dhe_uniform_ms", "dhe_varied_ms"),
+        notes="paper shape: scan cheapest for small tables, DHE flat, "
+              "Circuit ORAM the best traditional scheme for large tables",
+    )
+    for dim in dims:
+        uniform = DLRM_DHE_UNIFORM_16 if dim == 16 else DLRM_DHE_UNIFORM_64
+        for size in sizes:
+            result.add_row(
+                dim, size,
+                format_ms(linear_scan_latency(size, dim, batch, threads)),
+                format_ms(oram_latency("path", size, dim, batch, threads)),
+                format_ms(oram_latency("circuit", size, dim, batch, threads)),
+                format_ms(dhe_latency(uniform, batch, threads)),
+                format_ms(dhe_latency(dhe_varied_shape(size, uniform),
+                                      batch, threads)),
+            )
+    return result

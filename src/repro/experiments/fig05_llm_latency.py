@@ -1,0 +1,52 @@
+"""Fig 5: LLM token-embedding latency vs embedding dimension.
+
+Fixed vocabulary 50257 (GPT-2), 16 threads, embedding-generation batch
+sizes spanning decode (1) to large prefill (3072); DHE sized at 2x the
+embedding dimension (k and internal FCs), 4 layers, per §VI-A3.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.costmodel import (
+    DheShape,
+    dhe_latency,
+    linear_scan_latency,
+    oram_latency,
+)
+from repro.experiments.reporting import ExperimentResult, format_ms
+
+GPT2_VOCAB = 50257
+
+
+def llm_dhe_shape(embed_dim: int) -> DheShape:
+    """DHE for an LLM: k = 2*dim, 3 hidden FCs of 2*dim, output dim."""
+    width = 2 * embed_dim
+    return DheShape(k=width, fc_sizes=(width, width, width), out_dim=embed_dim)
+
+
+def run(dims: Sequence[int] = (768, 1024, 2048, 4096, 8192),
+        batches: Sequence[int] = (1, 8, 256, 3072),
+        vocab_size: int = GPT2_VOCAB, threads: int = 16) -> ExperimentResult:
+    result = ExperimentResult(
+        experiment_id="fig5",
+        title=f"LLM embedding latency (ms/batch), vocab={vocab_size}, "
+              f"threads={threads}",
+        headers=("embed_dim", "batch", "linear_scan_ms", "path_oram_ms",
+                 "circuit_oram_ms", "dhe_ms"),
+        notes="paper shape: DHE wins at prefill-scale batches; Circuit ORAM "
+              "competitive only at decode-scale batches",
+    )
+    for dim in dims:
+        shape = llm_dhe_shape(dim)
+        for batch in batches:
+            result.add_row(
+                dim, batch,
+                format_ms(linear_scan_latency(vocab_size, dim, batch, threads)),
+                format_ms(oram_latency("path", vocab_size, dim, batch, threads)),
+                format_ms(oram_latency("circuit", vocab_size, dim, batch,
+                                       threads)),
+                format_ms(dhe_latency(shape, batch, threads)),
+            )
+    return result

@@ -1,0 +1,38 @@
+"""Fig 6: scan/DHE switching thresholds across execution configurations.
+
+Offline profiling (Algorithm 2 step 1) for embedding dim 64: thresholds
+fall as batch size grows (DHE's batch parallelism) and rise with thread
+count (scan's multi-thread cache reuse).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.costmodel import DLRM_DHE_UNIFORM_64
+from repro.experiments.reporting import ExperimentResult
+from repro.hybrid import OfflineProfiler, build_threshold_database
+
+
+def run(batches: Sequence[int] = (1, 8, 32, 128),
+        threads_list: Sequence[int] = (1, 2, 4, 8, 16),
+        dim: int = 64,
+        dhe_technique: str = "dhe-uniform") -> ExperimentResult:
+    profiler = OfflineProfiler(DLRM_DHE_UNIFORM_64)
+    profile = profiler.profile(techniques=("scan", dhe_technique),
+                               dims=(dim,), batches=batches,
+                               threads_list=threads_list)
+    thresholds = build_threshold_database(profile, dhe_technique=dhe_technique,
+                                          dims=(dim,), batches=batches,
+                                          threads_list=threads_list)
+    result = ExperimentResult(
+        experiment_id="fig6",
+        title=f"Scan/DHE switching thresholds (table rows), dim={dim}",
+        headers=("batch", "threads", "threshold_rows"),
+        notes="paper: ~3300 at batch 32 / 1 thread; decreasing in batch, "
+              "increasing in threads",
+    )
+    for key in thresholds.configurations():
+        result.add_row(key.batch, key.threads,
+                       round(thresholds.thresholds[key]))
+    return result

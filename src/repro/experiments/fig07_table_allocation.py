@@ -1,0 +1,48 @@
+"""Fig 7: which real DLRM tables fall inside the hybrid-eligible band.
+
+Tables below every profiled threshold always linear-scan; above every
+threshold always use DHE; the band in between flips with the execution
+configuration (the paper's red points: 3 tables for Kaggle, 6 for
+Terabyte).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.costmodel import DLRM_DHE_UNIFORM_16, DLRM_DHE_UNIFORM_64
+from repro.data import KAGGLE_SPEC, TERABYTE_SPEC, DlrmDatasetSpec
+from repro.experiments.reporting import ExperimentResult
+from repro.hybrid import (
+    OfflineProfiler,
+    build_threshold_database,
+    hybrid_eligible_range,
+)
+
+
+def run(batches: Sequence[int] = (1, 8, 32, 128),
+        threads_list: Sequence[int] = (1, 2, 4, 8, 16)) -> ExperimentResult:
+    result = ExperimentResult(
+        experiment_id="fig7",
+        title="Per-dataset table allocation vs the hybrid-eligible band",
+        headers=("dataset", "band_low", "band_high", "always_scan",
+                 "hybrid_eligible", "always_dhe"),
+        notes="paper: Kaggle 3 eligible tables (16 scan / 7 DHE fixed); "
+              "Terabyte 6 eligible (10 scan / 9 DHE fixed at the extremes)",
+    )
+    for spec, uniform in ((KAGGLE_SPEC, DLRM_DHE_UNIFORM_16),
+                          (TERABYTE_SPEC, DLRM_DHE_UNIFORM_64)):
+        dim = spec.embedding_dim
+        profiler = OfflineProfiler(uniform)
+        profile = profiler.profile(techniques=("scan", "dhe-uniform"),
+                                   dims=(dim,), batches=batches,
+                                   threads_list=threads_list)
+        thresholds = build_threshold_database(
+            profile, dims=(dim,), batches=batches, threads_list=threads_list)
+        low, high = hybrid_eligible_range(thresholds, dim)
+        always_scan = sum(1 for size in spec.table_sizes if size <= low)
+        eligible = sum(1 for size in spec.table_sizes if low < size <= high)
+        always_dhe = sum(1 for size in spec.table_sizes if size > high)
+        result.add_row(spec.name, round(low), round(high), always_scan,
+                       eligible, always_dhe)
+    return result

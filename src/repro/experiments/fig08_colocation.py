@@ -1,0 +1,42 @@
+"""Fig 8: latency inflation as copies of one technique are co-located.
+
+Synthetic single-table models (the paper's setup) of one technique each;
+co-location counts 1..24 on the 28-core platform.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.costmodel import (
+    DLRM_DHE_UNIFORM_64,
+    colocated_latencies,
+    dhe_demand,
+    oram_demand,
+    scan_demand,
+)
+from repro.experiments.reporting import ExperimentResult, format_ms
+
+
+def run(table_size: int = 1_000_000, dim: int = 64, batch: int = 32,
+        copies_list: Sequence[int] = (1, 4, 8, 16, 24)) -> ExperimentResult:
+    demands = {
+        "scan": scan_demand(table_size, dim, batch),
+        "dhe": dhe_demand(DLRM_DHE_UNIFORM_64, batch),
+        "circuit": oram_demand("circuit", table_size, dim, batch),
+    }
+    result = ExperimentResult(
+        experiment_id="fig8",
+        title=f"Per-model latency under co-location (table={table_size}, "
+              f"dim={dim}, batch={batch})",
+        headers=("copies", "scan_ms", "dhe_ms", "circuit_oram_ms"),
+        notes="paper shape: bandwidth-hungry scan degrades fastest; "
+              "compute-bound DHE degrades mildly",
+    )
+    for copies in copies_list:
+        row = [copies]
+        for technique in ("scan", "dhe", "circuit"):
+            latencies = colocated_latencies([demands[technique]] * copies)
+            row.append(format_ms(max(latencies)))
+        result.add_row(*row)
+    return result

@@ -1,0 +1,55 @@
+"""Fig 9: mixing DHE and linear scan across 24 co-located models.
+
+For a fixed fleet of 24 single-table models, sweep how many use DHE (the
+rest linear-scan) across table sizes; small tables favour all-scan, large
+ones all-DHE, with the crossover near (but above) the single-model
+threshold — the paper reports 4500 vs 3300.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.costmodel import DLRM_DHE_UNIFORM_64
+from repro.experiments.reporting import ExperimentResult, format_ms
+from repro.hybrid import mixed_allocation_latency
+
+
+def run(table_sizes: Sequence[int] = (1000, 2000, 4500, 8000, 32_000,
+                                      1_000_000),
+        total_models: int = 24, dim: int = 64,
+        batch: int = 32,
+        dhe_counts: Sequence[int] = (0, 6, 12, 18, 24)) -> ExperimentResult:
+    result = ExperimentResult(
+        experiment_id="fig9",
+        title=f"Mean latency vs #DHE models out of {total_models} co-located",
+        headers=("table_size", *[f"dhe={count}" for count in dhe_counts]),
+        notes="values in ms; paper shape: all-scan best below ~4500 rows, "
+              "all-DHE best above",
+    )
+    for size in table_sizes:
+        row = [size]
+        for count in dhe_counts:
+            latency = mixed_allocation_latency(
+                size, dim, total_models, count, DLRM_DHE_UNIFORM_64, batch)
+            row.append(format_ms(latency))
+        result.add_row(*row)
+    return result
+
+
+def colocated_crossover(total_models: int = 24, dim: int = 64,
+                        batch: int = 32) -> float:
+    """Table size where all-DHE starts beating all-scan under co-location."""
+    low, high = 100, 10_000_000
+    while high / low > 1.05:
+        mid = int((low * high) ** 0.5)
+        all_scan = mixed_allocation_latency(mid, dim, total_models, 0,
+                                            DLRM_DHE_UNIFORM_64, batch)
+        all_dhe = mixed_allocation_latency(mid, dim, total_models,
+                                           total_models,
+                                           DLRM_DHE_UNIFORM_64, batch)
+        if all_scan <= all_dhe:
+            low = mid
+        else:
+            high = mid
+    return float((low * high) ** 0.5)

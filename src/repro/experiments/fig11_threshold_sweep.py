@@ -1,0 +1,75 @@
+"""Fig 11: single-model latency as the scan/DHE split threshold sweeps.
+
+For the Hybrid Varied model, sweep the number of (size-sorted) features
+allocated to linear scan and report end-to-end latency; the minimum should
+sit at the profiled threshold's split (the paper found an exact match for
+this configuration).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.costmodel import (
+    DLRM_DHE_UNIFORM_16,
+    DLRM_DHE_UNIFORM_64,
+    DheShape,
+    dhe_latency,
+    dhe_varied_shape,
+    linear_scan_latency,
+)
+from repro.data import KAGGLE_SPEC, DlrmDatasetSpec
+from repro.experiments.reporting import ExperimentResult, format_ms
+from repro.hybrid import OfflineProfiler, build_threshold_database
+
+MLP_OVERHEAD_SECONDS = 1.5e-3  # bottom/top FC + interaction, from Table VII
+
+
+def embedding_latency_for_split(sizes_sorted: Sequence[int], num_scan: int,
+                                uniform: DheShape, batch: int,
+                                threads: int, varied: bool = True) -> float:
+    """Latency when the ``num_scan`` smallest tables scan and the rest DHE."""
+    total = 0.0
+    for position, size in enumerate(sizes_sorted):
+        if position < num_scan:
+            total += linear_scan_latency(size, uniform.out_dim, batch, threads)
+        else:
+            shape = dhe_varied_shape(size, uniform) if varied else uniform
+            total += dhe_latency(shape, batch, threads)
+    return total
+
+
+def run(spec: DlrmDatasetSpec = KAGGLE_SPEC, batch: int = 32,
+        threads: int = 1) -> ExperimentResult:
+    uniform = (DLRM_DHE_UNIFORM_16 if spec.embedding_dim == 16
+               else DLRM_DHE_UNIFORM_64)
+    sizes_sorted = sorted(spec.table_sizes)
+
+    # Profiled suggestion for this configuration.
+    profiler = OfflineProfiler(uniform)
+    profile = profiler.profile(techniques=("scan", "dhe-varied"),
+                               dims=(spec.embedding_dim,), batches=(batch,),
+                               threads_list=(threads,))
+    thresholds = build_threshold_database(
+        profile, dhe_technique="dhe-varied", dims=(spec.embedding_dim,),
+        batches=(batch,), threads_list=(threads,))
+    threshold = thresholds.threshold(spec.embedding_dim, batch, threads)
+    suggested_split = sum(1 for size in sizes_sorted if size <= threshold)
+
+    result = ExperimentResult(
+        experiment_id="fig11",
+        title=f"{spec.name}: end-to-end latency vs #features on linear scan "
+              f"(Hybrid Varied, batch={batch}, threads={threads})",
+        headers=("num_scan_features", "latency_ms", "is_profiled_split"),
+    )
+    best_split, best_latency = 0, float("inf")
+    for num_scan in range(len(sizes_sorted) + 1):
+        latency = MLP_OVERHEAD_SECONDS + embedding_latency_for_split(
+            sizes_sorted, num_scan, uniform, batch, threads)
+        if latency < best_latency:
+            best_split, best_latency = num_scan, latency
+        result.add_row(num_scan, format_ms(latency),
+                       "<-- profiled" if num_scan == suggested_split else "")
+    result.notes = (f"profiled split {suggested_split}, empirical best "
+                    f"{best_split} (paper: exact match for this config)")
+    return result

@@ -1,0 +1,37 @@
+"""Fig 12: end-to-end DLRM latency as the batch size grows.
+
+The hybrid scales better than Circuit ORAM because ORAM accesses are
+sequential per query while DHE amortises its weights over the batch —
+the paper reports the advantage widening to 2.61x/3.08x at batch 128.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.data import KAGGLE_SPEC, TERABYTE_SPEC, DlrmDatasetSpec
+from repro.experiments.reporting import ExperimentResult, format_ms
+from repro.experiments.table07_e2e_latency import dataset_latencies
+
+
+def run(batches: Sequence[int] = (1, 8, 32, 128),
+        threads: int = 1) -> ExperimentResult:
+    result = ExperimentResult(
+        experiment_id="fig12",
+        title="End-to-end DLRM latency vs batch size (ms)",
+        headers=("dataset", "batch", "circuit_oram_ms", "dhe_varied_ms",
+                 "hybrid_varied_ms", "hybrid_speedup_vs_circuit"),
+        notes="paper: hybrid advantage grows with batch "
+              "(2.61x Kaggle / 3.08x Terabyte at batch 128)",
+    )
+    for spec in (KAGGLE_SPEC, TERABYTE_SPEC):
+        for batch in batches:
+            latencies = dataset_latencies(spec, batch, threads)
+            result.add_row(
+                spec.name, batch,
+                format_ms(latencies["circuit_oram"]),
+                format_ms(latencies["dhe_varied"]),
+                format_ms(latencies["hybrid_varied"]),
+                round(latencies["circuit_oram"] / latencies["hybrid_varied"], 2),
+            )
+    return result

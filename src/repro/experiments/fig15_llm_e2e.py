@@ -1,0 +1,44 @@
+"""Fig 15 (the table): GPT-2 medium prefill/decode latency per technique.
+
+Prompt 256 tokens, 128 generated, 16 threads, inference batch sizes
+{1, 8, 12}; speed-ups relative to Circuit ORAM.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.costmodel.llm import GPT2_MEDIUM, LlmShape, stage_latency
+from repro.experiments.reporting import ExperimentResult, format_ms
+
+TECHNIQUES = ("lookup", "scan", "path", "circuit", "dhe")
+
+
+def run(batches: Sequence[int] = (1, 8, 12), prompt_tokens: int = 256,
+        threads: int = 16, shape: LlmShape = GPT2_MEDIUM) -> ExperimentResult:
+    result = ExperimentResult(
+        experiment_id="fig15",
+        title=f"GPT-2 medium latency (ms): prefill (TTFT) and decode (TBT), "
+              f"prompt={prompt_tokens}, threads={threads}",
+        headers=("batch", "stage", "index_lookup", "linear_scan", "path_oram",
+                 "circuit_oram", "dhe", "dhe_vs_circuit"),
+        notes="paper: DHE beats Circuit ORAM on prefill (up to 1.32x) and at "
+              "batched decode (up to 1.07x); Circuit edges decode at batch 1",
+    )
+    for batch in batches:
+        for stage in ("prefill", "decode"):
+            latencies = {
+                technique: stage_latency(technique, stage, shape, batch,
+                                         prompt_tokens, threads)
+                for technique in TECHNIQUES
+            }
+            result.add_row(
+                batch, stage,
+                format_ms(latencies["lookup"]),
+                format_ms(latencies["scan"]),
+                format_ms(latencies["path"]),
+                format_ms(latencies["circuit"]),
+                format_ms(latencies["dhe"]),
+                round(latencies["circuit"] / latencies["dhe"], 3),
+            )
+    return result

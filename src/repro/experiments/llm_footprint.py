@@ -1,0 +1,35 @@
+"""§VI-D3: GPT-2 medium memory footprint per embedding scheme.
+
+Paper: table 196.3 MB; ORAM representation 513.6 MB (+38% of the 1353.5 MB
+model); DHE adds 56.0 MB (+4%).
+"""
+
+from __future__ import annotations
+
+from repro.costmodel.latency import LLM_DHE_GPT2_MEDIUM
+from repro.experiments.reporting import ExperimentResult, format_mb
+from repro.metrics.footprint import gpt2_footprint
+
+
+def run(vocab_size: int = 50257, embed_dim: int = 1024, num_layers: int = 24,
+        context_length: int = 1024) -> ExperimentResult:
+    footprint = gpt2_footprint(vocab_size, embed_dim, num_layers,
+                               context_length, LLM_DHE_GPT2_MEDIUM)
+    result = ExperimentResult(
+        experiment_id="llm-footprint",
+        title="GPT-2 medium footprint per token-embedding scheme",
+        headers=("scheme", "embedding_part_mb", "model_total_mb",
+                 "overhead_vs_table_pct"),
+        notes="paper: table 196.3 MB, ORAM 513.6 MB (+38% model), "
+              "DHE +56.0 MB (+4%)",
+    )
+    table_total = footprint.total("table")
+    rows = (
+        ("table", footprint.table, footprint.total("table")),
+        ("oram (circuit)", footprint.oram_table, footprint.total("oram")),
+        ("dhe (+tied head table)", footprint.dhe, footprint.total("dhe")),
+    )
+    for name, part, total in rows:
+        result.add_row(name, format_mb(part), format_mb(total),
+                       round(100 * (total - table_total) / table_total, 1))
+    return result

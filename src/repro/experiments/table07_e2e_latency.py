@@ -1,0 +1,102 @@
+"""Table VII: end-to-end DLRM latency per protection technique.
+
+Batch 32, 1 thread, Kaggle + Terabyte; speed-ups reported relative to
+Circuit ORAM (the paper's most competitive traditional baseline).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+from repro.costmodel import (
+    DLRM_DHE_UNIFORM_16,
+    DLRM_DHE_UNIFORM_64,
+    DheShape,
+    dhe_latency,
+    dhe_varied_shape,
+    linear_scan_latency,
+    lookup_latency,
+    oram_latency,
+)
+from repro.data import KAGGLE_SPEC, TERABYTE_SPEC, DlrmDatasetSpec
+from repro.experiments.reporting import ExperimentResult, format_ms
+from repro.hybrid import OfflineProfiler, build_threshold_database
+
+MLP_OVERHEAD_SECONDS = 1.5e-3
+
+TECHNIQUE_ORDER = ("index_lookup", "linear_scan", "path_oram", "circuit_oram",
+                   "dhe_uniform", "dhe_varied", "hybrid_uniform",
+                   "hybrid_varied")
+
+
+def dataset_latencies(spec: DlrmDatasetSpec, batch: int = 32,
+                      threads: int = 1) -> Dict[str, float]:
+    """End-to-end latency (seconds) of each technique on one dataset."""
+    dim = spec.embedding_dim
+    uniform = DLRM_DHE_UNIFORM_16 if dim == 16 else DLRM_DHE_UNIFORM_64
+
+    profiler = OfflineProfiler(uniform)
+    profile = profiler.profile(techniques=("scan", "dhe-uniform",
+                                           "dhe-varied"),
+                               dims=(dim,), batches=(batch,),
+                               threads_list=(threads,))
+    thresholds = {
+        variant: build_threshold_database(
+            profile, dhe_technique=f"dhe-{variant}", dims=(dim,),
+            batches=(batch,),
+            threads_list=(threads,)).threshold(dim, batch, threads)
+        for variant in ("uniform", "varied")
+    }
+
+    def hybrid(varied: bool) -> float:
+        threshold = thresholds["varied" if varied else "uniform"]
+        total = 0.0
+        for size in spec.table_sizes:
+            if size <= threshold:
+                total += linear_scan_latency(size, dim, batch, threads)
+            else:
+                shape = dhe_varied_shape(size, uniform) if varied else uniform
+                total += dhe_latency(shape, batch, threads)
+        return total
+
+    embeddings = {
+        "index_lookup": sum(lookup_latency(size, dim, batch, threads)
+                            for size in spec.table_sizes),
+        "linear_scan": sum(linear_scan_latency(size, dim, batch, threads)
+                           for size in spec.table_sizes),
+        "path_oram": sum(oram_latency("path", size, dim, batch, threads)
+                         for size in spec.table_sizes),
+        "circuit_oram": sum(oram_latency("circuit", size, dim, batch, threads)
+                            for size in spec.table_sizes),
+        "dhe_uniform": len(spec.table_sizes) * dhe_latency(uniform, batch,
+                                                           threads),
+        "dhe_varied": sum(dhe_latency(dhe_varied_shape(size, uniform),
+                                      batch, threads)
+                          for size in spec.table_sizes),
+        "hybrid_uniform": hybrid(varied=False),
+        "hybrid_varied": hybrid(varied=True),
+    }
+    return {name: latency + MLP_OVERHEAD_SECONDS
+            for name, latency in embeddings.items()}
+
+
+def run(batch: int = 32, threads: int = 1) -> ExperimentResult:
+    result = ExperimentResult(
+        experiment_id="table7",
+        title=f"DLRM end-to-end latency (ms), batch={batch}, threads={threads}",
+        headers=("technique", "kaggle_ms", "kaggle_vs_circuit",
+                 "terabyte_ms", "terabyte_vs_circuit"),
+        notes="paper: Hybrid Varied 2.01x (Kaggle) / 2.28x (Terabyte) over "
+              "Circuit ORAM",
+    )
+    kaggle = dataset_latencies(KAGGLE_SPEC, batch, threads)
+    terabyte = dataset_latencies(TERABYTE_SPEC, batch, threads)
+    for technique in TECHNIQUE_ORDER:
+        result.add_row(
+            technique,
+            format_ms(kaggle[technique]),
+            round(kaggle["circuit_oram"] / kaggle[technique], 3),
+            format_ms(terabyte[technique]),
+            round(terabyte["circuit_oram"] / terabyte[technique], 3),
+        )
+    return result

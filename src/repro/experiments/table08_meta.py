@@ -1,0 +1,94 @@
+"""Table VIII: the Meta-2022-scale DLRM — embedding latency and footprint.
+
+788 synthetic tables up to 4e7 rows (dim 64, batch 32, 1 thread); latency
+per technique plus the footprint blow-up/reduction the paper highlights
+(ORAM impractical at ~3 TB; Hybrid Varied ~1.2 GB, >2500x smaller).
+"""
+
+from __future__ import annotations
+
+from repro.costmodel import (
+    DLRM_DHE_UNIFORM_64,
+    dhe_bytes,
+    dhe_latency,
+    dhe_varied_shape,
+    linear_scan_latency,
+    lookup_latency,
+    oram_latency,
+    table_bytes,
+    tree_oram_bytes,
+)
+from repro.data import META_EMBEDDING_DIM, meta_table_sizes
+from repro.experiments.reporting import ExperimentResult, format_mb, format_ms
+from repro.hybrid import OfflineProfiler, build_threshold_database
+
+
+def run(batch: int = 32, threads: int = 1, seed: int = 2022) -> ExperimentResult:
+    sizes = meta_table_sizes(seed=seed)
+    dim = META_EMBEDDING_DIM
+    uniform = DLRM_DHE_UNIFORM_64
+
+    profiler = OfflineProfiler(uniform)
+    profile = profiler.profile(techniques=("scan", "dhe-uniform"),
+                               dims=(dim,), batches=(batch,),
+                               threads_list=(threads,))
+    threshold = build_threshold_database(
+        profile, dims=(dim,), batches=(batch,),
+        threads_list=(threads,)).threshold(dim, batch, threads)
+
+    def totals(technique: str):
+        latency = 0.0
+        memory = 0
+        for size in sizes:
+            varied = dhe_varied_shape(size, uniform)
+            if technique == "index_lookup":
+                latency += lookup_latency(size, dim, batch, threads)
+                memory += table_bytes(size, dim)
+            elif technique == "linear_scan":
+                latency += linear_scan_latency(size, dim, batch, threads)
+                memory += table_bytes(size, dim)
+            elif technique == "path_oram":
+                latency += oram_latency("path", size, dim, batch, threads)
+                memory += tree_oram_bytes(size, dim, scheme="path")
+            elif technique == "circuit_oram":
+                latency += oram_latency("circuit", size, dim, batch, threads)
+                memory += tree_oram_bytes(size, dim, scheme="circuit")
+            elif technique == "dhe_uniform":
+                latency += dhe_latency(uniform, batch, threads)
+                memory += dhe_bytes(uniform)
+            elif technique == "dhe_varied":
+                latency += dhe_latency(varied, batch, threads)
+                memory += dhe_bytes(varied)
+            elif technique in ("hybrid_uniform", "hybrid_varied"):
+                if size <= threshold:
+                    latency += linear_scan_latency(size, dim, batch, threads)
+                    memory += table_bytes(size, dim)
+                else:
+                    shape = (varied if technique == "hybrid_varied"
+                             else uniform)
+                    latency += dhe_latency(shape, batch, threads)
+                    memory += dhe_bytes(shape)
+            else:
+                raise ValueError(technique)
+        return latency, memory
+
+    result = ExperimentResult(
+        experiment_id="table8",
+        title=f"Meta-scale DLRM ({len(sizes)} tables): embedding latency "
+              f"and footprint (batch={batch}, threads={threads})",
+        headers=("technique", "latency_ms", "vs_circuit", "memory_mb",
+                 "pct_of_table"),
+        notes="paper: Circuit 1347 ms; Hybrid Varied 560 ms (2.40x) and "
+              "~1.2 GB vs 910 GB tables",
+    )
+    circuit_latency, _ = totals("circuit_oram")
+    table_memory = totals("index_lookup")[1]
+    for technique in ("index_lookup", "linear_scan", "path_oram",
+                      "circuit_oram", "dhe_uniform", "dhe_varied",
+                      "hybrid_uniform", "hybrid_varied"):
+        latency, memory = totals(technique)
+        result.add_row(technique, format_ms(latency),
+                       round(circuit_latency / latency, 2),
+                       format_mb(memory),
+                       round(100 * memory / table_memory, 3))
+    return result

@@ -1,0 +1,69 @@
+"""Online technique allocation (Algorithm 3) and hybrid-DLRM assembly.
+
+At inference time each sparse feature picks linear scan or DHE purely from
+its table size and the current execution configuration — a decision
+independent of any user input, which is what keeps the hybrid scheme
+oblivious (§V-B).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.embedding.hybrid import TECHNIQUE_DHE, TECHNIQUE_SCAN, HybridEmbedding
+from repro.hybrid.thresholds import ThresholdDatabase
+from repro.utils.validation import check_positive
+
+
+@dataclass(frozen=True)
+class FeatureAllocation:
+    """Technique decision for one sparse feature."""
+
+    feature_index: int
+    table_size: int
+    technique: str
+
+
+def allocate_by_threshold(table_sizes: Sequence[int],
+                          threshold: float) -> List[FeatureAllocation]:
+    """Scan at or below the threshold, DHE above (Algorithm 3's rule)."""
+    if threshold < 0:
+        raise ValueError(f"threshold must be non-negative, got {threshold}")
+    allocations = []
+    for index, size in enumerate(table_sizes):
+        check_positive("table size", size)
+        technique = TECHNIQUE_SCAN if size <= threshold else TECHNIQUE_DHE
+        allocations.append(FeatureAllocation(index, size, technique))
+    return allocations
+
+
+def allocate_for_configuration(table_sizes: Sequence[int],
+                               thresholds: ThresholdDatabase,
+                               dim: int, batch: int, threads: int
+                               ) -> List[FeatureAllocation]:
+    """Allocation using the profiled threshold for the live configuration."""
+    threshold = thresholds.threshold(dim, batch, threads)
+    if math.isinf(threshold):
+        threshold = max(table_sizes)
+    return allocate_by_threshold(table_sizes, threshold)
+
+
+def apply_allocations(embeddings: Sequence[HybridEmbedding],
+                      allocations: Sequence[FeatureAllocation]) -> None:
+    """Flip each hybrid feature to its allocated representation."""
+    if len(embeddings) != len(allocations):
+        raise ValueError(
+            f"{len(embeddings)} embeddings but {len(allocations)} allocations")
+    for embedding, allocation in zip(embeddings, allocations):
+        if embedding.num_embeddings != allocation.table_size:
+            raise ValueError(
+                f"feature {allocation.feature_index}: embedding has "
+                f"{embedding.num_embeddings} rows but allocation expects "
+                f"{allocation.table_size}")
+        embedding.select(allocation.technique)
+
+
+def count_scan_features(allocations: Sequence[FeatureAllocation]) -> int:
+    return sum(1 for a in allocations if a.technique == TECHNIQUE_SCAN)

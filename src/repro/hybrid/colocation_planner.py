@@ -1,0 +1,113 @@
+"""Co-located deployment planning (§IV-C2, Figs 8, 9, 13).
+
+Builds tenant-demand descriptions for whole DLRM models (per-feature
+scan/DHE mixes included) and evaluates latency/throughput as model copies
+are added, using the contention model in :mod:`repro.costmodel.colocation`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.costmodel.colocation import (
+    TenantDemand,
+    colocated_latencies,
+    dhe_demand,
+    scan_demand,
+)
+from repro.costmodel.latency import DheShape, dhe_varied_shape
+from repro.costmodel.platform import DEFAULT_PLATFORM, PlatformModel
+from repro.embedding.hybrid import TECHNIQUE_SCAN
+from repro.hybrid.allocator import FeatureAllocation
+from repro.utils.validation import check_positive
+
+
+@dataclass(frozen=True)
+class ModelTenant:
+    """Aggregate embedding-layer demand of one co-located DLRM copy."""
+
+    demand: TenantDemand
+    num_scan_features: int
+    num_dhe_features: int
+
+
+def dlrm_tenant(table_sizes: Sequence[int], dim: int,
+                allocations: Sequence[FeatureAllocation],
+                uniform_shape: DheShape, batch: int,
+                varied: bool = True,
+                platform: PlatformModel = DEFAULT_PLATFORM) -> ModelTenant:
+    """Fold a model's per-feature demands into one tenant description.
+
+    Features execute sequentially inside a model (§IV-C1), so latencies and
+    bandwidth demands add; the LLC ask is the max single working set (the
+    features do not need simultaneous residency).
+    """
+    if len(allocations) != len(table_sizes):
+        raise ValueError("allocations must cover every table")
+    solo = bandwidth = 0.0
+    llc = 0.0
+    num_scan = 0
+    scan_latency = 0.0
+    for size, allocation in zip(table_sizes, allocations):
+        if allocation.technique == TECHNIQUE_SCAN:
+            part = scan_demand(size, dim, batch, platform)
+            num_scan += 1
+            scan_latency += part.solo_latency
+        else:
+            shape = (dhe_varied_shape(size, uniform_shape) if varied
+                     else uniform_shape)
+            part = dhe_demand(shape, batch, platform)
+        solo += part.solo_latency
+        bandwidth += part.bandwidth_bytes
+        llc = max(llc, part.llc_bytes)
+    # A mixed model dilates like whatever dominates its runtime: a hybrid
+    # model that scans only its smallest tables is still compute-bound.
+    technique = "scan" if scan_latency > 0.5 * solo else "dhe"
+    demand = TenantDemand(technique=technique, solo_latency=solo,
+                          bandwidth_bytes=bandwidth, llc_bytes=llc)
+    return ModelTenant(demand=demand, num_scan_features=num_scan,
+                       num_dhe_features=len(table_sizes) - num_scan)
+
+
+def colocation_sweep(tenant: ModelTenant, max_copies: int, batch: int,
+                     platform: PlatformModel = DEFAULT_PLATFORM
+                     ) -> List[Tuple[int, float, float]]:
+    """(copies, per-model latency, aggregate throughput) as copies grow."""
+    check_positive("max_copies", max_copies)
+    results = []
+    for copies in range(1, max_copies + 1):
+        tenants = [tenant.demand] * copies
+        latencies = colocated_latencies(tenants, platform)
+        latency = max(latencies)
+        throughput = sum(batch / lat for lat in latencies)
+        results.append((copies, latency, throughput))
+    return results
+
+
+def latency_bounded_throughput(sweep: Sequence[Tuple[int, float, float]],
+                               sla_seconds: float) -> float:
+    """Best throughput among co-location points meeting the SLA (Fig 13)."""
+    check_positive("sla_seconds", sla_seconds)
+    feasible = [throughput for _, latency, throughput in sweep
+                if latency <= sla_seconds]
+    return max(feasible) if feasible else 0.0
+
+
+def mixed_allocation_latency(table_size: int, dim: int, total_models: int,
+                             num_dhe: int, uniform_shape: DheShape,
+                             batch: int, varied: bool = False,
+                             platform: PlatformModel = DEFAULT_PLATFORM
+                             ) -> float:
+    """Mean per-model latency when ``num_dhe`` of ``total_models`` copies of
+    a single-table model use DHE and the rest linear scan (Fig 9)."""
+    check_positive("total_models", total_models)
+    if not 0 <= num_dhe <= total_models:
+        raise ValueError("num_dhe out of range")
+    shape = (dhe_varied_shape(table_size, uniform_shape) if varied
+             else uniform_shape)
+    tenants = ([dhe_demand(shape, batch, platform)] * num_dhe
+               + [scan_demand(table_size, dim, batch, platform)]
+               * (total_models - num_dhe))
+    latencies = colocated_latencies(tenants, platform)
+    return sum(latencies) / len(latencies)

@@ -1,0 +1,97 @@
+"""DHE size search (§IV-C3): the smallest stack matching baseline quality.
+
+Deployment step 1 of the paper's pipeline: "train DHE Uniform models to
+search DHE parameters that can match or exceed the baseline table accuracy".
+:func:`find_minimal_dhe_shape` walks a ladder of candidate shapes (cheapest
+first) and returns the first whose trained quality reaches the baseline
+within tolerance — together with the full search trace for reporting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.costmodel.latency import DheShape
+from repro.utils.validation import check_non_negative, check_positive
+
+#: quality function: shape -> achieved metric (higher is better)
+QualityFn = Callable[[DheShape], float]
+
+
+@dataclass
+class SizeSearchResult:
+    """Outcome of a DHE size search."""
+
+    chosen: Optional[DheShape]
+    baseline_metric: float
+    tolerance: float
+    trace: List[Tuple[DheShape, float]] = field(default_factory=list)
+
+    @property
+    def succeeded(self) -> bool:
+        return self.chosen is not None
+
+
+def default_shape_ladder(out_dim: int,
+                         ks: Sequence[int] = (16, 32, 64, 128, 256, 512,
+                                              1024)) -> List[DheShape]:
+    """Candidate stacks of increasing capacity (k and one hidden FC of k)."""
+    check_positive("out_dim", out_dim)
+    return [DheShape(k=k, fc_sizes=(max(k, 2 * out_dim),), out_dim=out_dim)
+            for k in ks]
+
+
+def find_minimal_dhe_shape(quality_fn: QualityFn, baseline_metric: float,
+                           candidates: Sequence[DheShape],
+                           tolerance: float = 0.0) -> SizeSearchResult:
+    """First (cheapest) candidate with quality >= baseline - tolerance.
+
+    ``candidates`` must be ordered cheapest-first; the search stops at the
+    first success, so its cost is proportional to how small a stack
+    suffices (the common case for small/medium tables, which is exactly
+    why DHE Varied works).
+    """
+    check_non_negative("tolerance", tolerance)
+    if not candidates:
+        raise ValueError("need at least one candidate shape")
+    costs = [shape.flops_per_embedding() for shape in candidates]
+    if costs != sorted(costs):
+        raise ValueError("candidates must be ordered cheapest-first")
+    result = SizeSearchResult(chosen=None, baseline_metric=baseline_metric,
+                              tolerance=tolerance)
+    for shape in candidates:
+        metric = quality_fn(shape)
+        result.trace.append((shape, metric))
+        if metric >= baseline_metric - tolerance:
+            result.chosen = shape
+            return result
+    return result
+
+
+def dlrm_quality_fn(spec, dataset_seed: int, steps: int = 150,
+                    batch_size: int = 64, eval_samples: int = 4096,
+                    lr: float = 2e-3, model_seed: int = 0) -> QualityFn:
+    """Quality function training a DLRM with the candidate DHE everywhere.
+
+    Returns held-out AUC; every candidate sees identical data (fresh
+    generator from the same seed) and identical dense-model init.
+    """
+    from repro.data.criteo import SyntheticCtrDataset
+    from repro.embedding.dhe import DHEEmbedding
+    from repro.models.dlrm import DLRM
+    from repro.models.training import evaluate_dlrm, train_dlrm
+
+    def quality(shape: DheShape) -> float:
+        dataset = SyntheticCtrDataset(spec, seed=dataset_seed)
+        model = DLRM(
+            spec,
+            lambda size, dim: DHEEmbedding(size, dim, shape=shape,
+                                           rng=model_seed),
+            bottom_sizes=(spec.num_dense, 64, spec.embedding_dim),
+            top_hidden_sizes=(64,), rng=model_seed + 1)
+        train_dlrm(model, dataset, steps=steps, batch_size=batch_size, lr=lr)
+        fresh = SyntheticCtrDataset(spec, seed=dataset_seed)
+        return evaluate_dlrm(model, fresh, num_samples=eval_samples)["auc"]
+
+    return quality

@@ -1,0 +1,29 @@
+"""Evaluation metrics: accuracy/AUC, perplexity, memory footprints."""
+
+from repro.metrics.accuracy import binary_accuracy, log_loss, roc_auc
+from repro.metrics.footprint import (
+    MB,
+    FootprintReport,
+    LlmFootprint,
+    dlrm_embedding_footprints,
+    gpt2_footprint,
+)
+from repro.metrics.perplexity import (
+    bits_per_token,
+    perplexity_from_loss,
+    sequence_perplexity,
+)
+
+__all__ = [
+    "binary_accuracy",
+    "log_loss",
+    "roc_auc",
+    "MB",
+    "FootprintReport",
+    "LlmFootprint",
+    "dlrm_embedding_footprints",
+    "gpt2_footprint",
+    "bits_per_token",
+    "perplexity_from_loss",
+    "sequence_perplexity",
+]

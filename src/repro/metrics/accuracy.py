@@ -1,0 +1,58 @@
+"""Classification metrics for the DLRM experiments."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def binary_accuracy(labels: np.ndarray, scores: np.ndarray,
+                    threshold: float = 0.0) -> float:
+    """Fraction of correct {0,1} predictions from raw logits.
+
+    ``threshold`` is in logit space (0.0 corresponds to probability 0.5),
+    matching the paper's reported DLRM "accuracy" metric.
+    """
+    labels = np.asarray(labels).reshape(-1)
+    scores = np.asarray(scores).reshape(-1)
+    if labels.shape != scores.shape:
+        raise ValueError(f"shape mismatch: {labels.shape} vs {scores.shape}")
+    if labels.size == 0:
+        raise ValueError("binary_accuracy of empty arrays")
+    predictions = (scores > threshold).astype(labels.dtype)
+    return float((predictions == labels).mean())
+
+
+def roc_auc(labels: np.ndarray, scores: np.ndarray) -> float:
+    """Area under the ROC curve via the rank-sum (Mann-Whitney) identity."""
+    labels = np.asarray(labels).reshape(-1)
+    scores = np.asarray(scores).reshape(-1)
+    if labels.shape != scores.shape:
+        raise ValueError(f"shape mismatch: {labels.shape} vs {scores.shape}")
+    positives = int(labels.sum())
+    negatives = labels.size - positives
+    if positives == 0 or negatives == 0:
+        raise ValueError("roc_auc needs both classes present")
+    order = np.argsort(scores, kind="mergesort")
+    ranks = np.empty(labels.size, dtype=np.float64)
+    ranks[order] = np.arange(1, labels.size + 1)
+    # Average ties.
+    sorted_scores = scores[order]
+    start = 0
+    for end in range(1, labels.size + 1):
+        if end == labels.size or sorted_scores[end] != sorted_scores[start]:
+            mean_rank = 0.5 * (start + 1 + end)
+            ranks[order[start:end]] = mean_rank
+            start = end
+    rank_sum = ranks[labels == 1].sum()
+    return float((rank_sum - positives * (positives + 1) / 2)
+                 / (positives * negatives))
+
+
+def log_loss(labels: np.ndarray, logits: np.ndarray) -> float:
+    """Mean binary cross-entropy from raw logits (numerically stable)."""
+    labels = np.asarray(labels, dtype=np.float64).reshape(-1)
+    logits = np.asarray(logits, dtype=np.float64).reshape(-1)
+    if labels.shape != logits.shape:
+        raise ValueError(f"shape mismatch: {labels.shape} vs {logits.shape}")
+    losses = np.maximum(logits, 0) - logits * labels + np.log1p(np.exp(-np.abs(logits)))
+    return float(losses.mean())

@@ -1,0 +1,30 @@
+"""Language-model quality metrics (perplexity, §VI-D1)."""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+
+def perplexity_from_loss(mean_nll: float) -> float:
+    """Perplexity = exp(mean negative log-likelihood in nats)."""
+    if mean_nll < 0:
+        raise ValueError(f"mean NLL must be non-negative, got {mean_nll}")
+    return math.exp(mean_nll)
+
+
+def sequence_perplexity(log_probs: Sequence[float]) -> float:
+    """Perplexity of one sequence from per-token natural log-probabilities."""
+    log_probs = np.asarray(log_probs, dtype=np.float64)
+    if log_probs.size == 0:
+        raise ValueError("sequence_perplexity of empty sequence")
+    if (log_probs > 0).any():
+        raise ValueError("log probabilities must be <= 0")
+    return float(np.exp(-log_probs.mean()))
+
+
+def bits_per_token(mean_nll: float) -> float:
+    """Cross-entropy in bits/token (handy against the corpus entropy rate)."""
+    return mean_nll / math.log(2.0)

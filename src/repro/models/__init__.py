@@ -1,0 +1,37 @@
+"""End-to-end models: DLRM and a GPT-2-style LLM with pluggable embeddings."""
+
+from repro.models.dlrm import (
+    DLRM,
+    KAGGLE_BOTTOM,
+    KAGGLE_TOP_HIDDEN,
+    TERABYTE_BOTTOM,
+    TERABYTE_TOP_HIDDEN,
+    dhe_factory,
+    table_factory,
+)
+from repro.models.gpt import GPT, GPTConfig, tiny_config
+from repro.models.training import (
+    TrainHistory,
+    evaluate_dlrm,
+    evaluate_perplexity,
+    train_dlrm,
+    train_gpt,
+)
+
+__all__ = [
+    "DLRM",
+    "KAGGLE_BOTTOM",
+    "KAGGLE_TOP_HIDDEN",
+    "TERABYTE_BOTTOM",
+    "TERABYTE_TOP_HIDDEN",
+    "dhe_factory",
+    "table_factory",
+    "GPT",
+    "GPTConfig",
+    "tiny_config",
+    "TrainHistory",
+    "evaluate_dlrm",
+    "evaluate_perplexity",
+    "train_dlrm",
+    "train_gpt",
+]

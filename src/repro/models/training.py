@@ -1,0 +1,148 @@
+"""Training loops for DLRM (CTR) and GPT (language modelling).
+
+These drive the accuracy-parity experiments: Table V (table vs DHE DLRMs
+reach the same accuracy) and Fig 14 (DHE-GPT finetunes to near-table
+perplexity).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from repro.data.criteo import SyntheticCtrDataset
+from repro.data.text import batchify
+from repro.metrics.accuracy import binary_accuracy, roc_auc
+from repro.metrics.perplexity import perplexity_from_loss
+from repro.models.dlrm import DLRM
+from repro.models.gpt import GPT
+from repro.nn.losses import bce_with_logits, cross_entropy
+from repro.nn.optim import Adam, AdamW, Optimizer
+from repro.utils.rng import SeedLike, new_rng
+from repro.utils.validation import check_positive
+
+
+@dataclass
+class TrainHistory:
+    """Loss/metric curves collected during a training run."""
+
+    steps: List[int] = field(default_factory=list)
+    train_loss: List[float] = field(default_factory=list)
+    eval_metric: List[float] = field(default_factory=list)
+
+    def best_metric(self, larger_is_better: bool = True) -> float:
+        if not self.eval_metric:
+            raise ValueError("no evaluations recorded")
+        return max(self.eval_metric) if larger_is_better else min(self.eval_metric)
+
+
+# ----------------------------------------------------------------------
+# DLRM
+# ----------------------------------------------------------------------
+def train_dlrm(model: DLRM, dataset: SyntheticCtrDataset, steps: int,
+               batch_size: int = 128, lr: float = 1e-3,
+               eval_every: int = 0, eval_batch: int = 2048,
+               optimizer: Optional[Optimizer] = None) -> TrainHistory:
+    """SGD training of a DLRM on synthetic CTR data."""
+    check_positive("steps", steps)
+    optimizer = optimizer or Adam(model.parameters(), lr=lr)
+    history = TrainHistory()
+    model.train()
+    for step in range(steps):
+        batch = dataset.batch(batch_size)
+        optimizer.zero_grad()
+        logits = model(batch.dense, batch.sparse)
+        loss = bce_with_logits(logits, batch.labels)
+        loss.backward()
+        optimizer.step()
+        history.steps.append(step)
+        history.train_loss.append(loss.item())
+        if eval_every and (step + 1) % eval_every == 0:
+            history.eval_metric.append(
+                evaluate_dlrm(model, dataset, eval_batch)["accuracy"])
+            model.train()
+    return history
+
+
+def evaluate_dlrm(model: DLRM, dataset: SyntheticCtrDataset,
+                  num_samples: int = 4096, batch_size: int = 512
+                  ) -> Dict[str, float]:
+    """Held-out accuracy and ROC-AUC (fresh draws from the generator)."""
+    model.eval()
+    all_logits, all_labels = [], []
+    remaining = num_samples
+    while remaining > 0:
+        batch = dataset.batch(min(batch_size, remaining))
+        logits = model(batch.dense, batch.sparse).data
+        all_logits.append(logits)
+        all_labels.append(batch.labels)
+        remaining -= len(batch)
+    logits = np.concatenate(all_logits)
+    labels = np.concatenate(all_labels)
+    return {
+        "accuracy": binary_accuracy(labels, logits),
+        "auc": roc_auc(labels, logits),
+    }
+
+
+# ----------------------------------------------------------------------
+# GPT
+# ----------------------------------------------------------------------
+def train_gpt(model: GPT, tokens: np.ndarray, steps: int,
+              batch_size: int = 8, seq_len: int = 32, lr: float = 3e-4,
+              val_tokens: Optional[np.ndarray] = None, eval_every: int = 0,
+              grad_clip: float = 1.0, rng: SeedLike = 0,
+              optimizer: Optional[Optimizer] = None,
+              schedule: Optional["CosineSchedule"] = None,
+              warmup_fraction: Optional[float] = None) -> TrainHistory:
+    """Language-model (fine)tuning; eval metric is validation perplexity.
+
+    ``warmup_fraction`` builds a cosine schedule with that warmup share
+    (the nanoGPT-style recipe); an explicit ``schedule`` overrides it.
+    """
+    check_positive("steps", steps)
+    optimizer = optimizer or AdamW(model.parameters(), lr=lr)
+    if schedule is None and warmup_fraction is not None:
+        from repro.nn.optim import CosineSchedule
+
+        schedule = CosineSchedule(base_lr=lr,
+                                  warmup_steps=int(warmup_fraction * steps),
+                                  total_steps=steps, min_lr=lr * 0.1)
+    generator = new_rng(rng)
+    history = TrainHistory()
+    model.train()
+    for step in range(steps):
+        if schedule is not None:
+            schedule.apply(optimizer, step)
+        inputs, targets = batchify(tokens, batch_size, seq_len, rng=generator)
+        optimizer.zero_grad()
+        logits = model(inputs)
+        loss = cross_entropy(logits, targets)
+        loss.backward()
+        if grad_clip:
+            optimizer.clip_grad_norm(grad_clip)
+        optimizer.step()
+        history.steps.append(step)
+        history.train_loss.append(loss.item())
+        if eval_every and (step + 1) % eval_every == 0 and val_tokens is not None:
+            history.eval_metric.append(
+                evaluate_perplexity(model, val_tokens, seq_len=seq_len,
+                                    rng=generator))
+            model.train()
+    return history
+
+
+def evaluate_perplexity(model: GPT, tokens: np.ndarray, seq_len: int = 32,
+                        num_batches: int = 8, batch_size: int = 8,
+                        rng: SeedLike = 0) -> float:
+    """Validation perplexity over sampled windows."""
+    model.eval()
+    generator = new_rng(rng)
+    losses = []
+    for _ in range(num_batches):
+        inputs, targets = batchify(tokens, batch_size, seq_len, rng=generator)
+        logits = model(inputs)
+        losses.append(cross_entropy(logits, targets).item())
+    return perplexity_from_loss(float(np.mean(losses)))

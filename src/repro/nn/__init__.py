@@ -1,0 +1,62 @@
+"""``repro.nn`` — a numpy-based neural-network framework.
+
+This subpackage is the PyTorch substitute for the reproduction: a
+reverse-mode autograd :class:`Tensor`, module system, layers, attention with
+KV cache, losses, and optimizers — everything needed to train and serve the
+paper's DLRM and GPT-2 models.
+"""
+
+from repro.nn import functional
+from repro.nn.attention import KVCache, MultiHeadSelfAttention, TransformerBlock
+from repro.nn.layers import (
+    MLP,
+    Dropout,
+    EmbeddingTable,
+    GELU,
+    LayerNorm,
+    Linear,
+    ReLU,
+    Sequential,
+    Sigmoid,
+    Tanh,
+)
+from repro.nn.losses import bce_with_logits, cross_entropy, mse
+from repro.nn.module import Module, Parameter
+from repro.nn.optim import Adam, AdamW, CosineSchedule, Optimizer, SGD
+from repro.nn.serialization import load_state, save_state
+from repro.nn.tensor import Tensor, as_tensor, ones, randn, unbroadcast, zeros
+
+__all__ = [
+    "functional",
+    "KVCache",
+    "MultiHeadSelfAttention",
+    "TransformerBlock",
+    "MLP",
+    "Dropout",
+    "EmbeddingTable",
+    "GELU",
+    "LayerNorm",
+    "Linear",
+    "ReLU",
+    "Sequential",
+    "Sigmoid",
+    "Tanh",
+    "bce_with_logits",
+    "cross_entropy",
+    "mse",
+    "Module",
+    "Parameter",
+    "Adam",
+    "AdamW",
+    "CosineSchedule",
+    "Optimizer",
+    "SGD",
+    "load_state",
+    "save_state",
+    "Tensor",
+    "as_tensor",
+    "ones",
+    "randn",
+    "unbroadcast",
+    "zeros",
+]

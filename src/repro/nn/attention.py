@@ -1,0 +1,127 @@
+"""Multi-head causal self-attention with an incremental KV cache.
+
+Implements the attention block used by the GPT-2 reproduction, including the
+two inference stages the paper distinguishes:
+
+* **prefill** — the whole prompt is processed at once (large embedding batch),
+* **decode** — one token per step, reusing cached keys/values.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.nn import functional as F
+from repro.nn.layers import Dropout, Linear
+from repro.nn.module import Module
+from repro.nn.tensor import Tensor
+from repro.utils.rng import SeedLike, new_rng
+from repro.utils.validation import check_positive
+
+
+@dataclass
+class KVCache:
+    """Per-layer cached keys and values, shape (batch, heads, time, head_dim)."""
+
+    keys: Optional[np.ndarray] = None
+    values: Optional[np.ndarray] = None
+
+    def append(self, k: np.ndarray, v: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Append new keys/values along the time axis and return the full cache."""
+        if self.keys is None:
+            self.keys, self.values = k, v
+        else:
+            self.keys = np.concatenate([self.keys, k], axis=2)
+            self.values = np.concatenate([self.values, v], axis=2)
+        return self.keys, self.values
+
+    @property
+    def length(self) -> int:
+        return 0 if self.keys is None else self.keys.shape[2]
+
+
+class MultiHeadSelfAttention(Module):
+    """Causal multi-head self-attention (GPT-2 style, fused QKV projection)."""
+
+    def __init__(self, embed_dim: int, num_heads: int, dropout: float = 0.0,
+                 rng: SeedLike = None) -> None:
+        super().__init__()
+        check_positive("embed_dim", embed_dim)
+        check_positive("num_heads", num_heads)
+        if embed_dim % num_heads != 0:
+            raise ValueError(
+                f"embed_dim {embed_dim} must be divisible by num_heads {num_heads}")
+        self.embed_dim = embed_dim
+        self.num_heads = num_heads
+        self.head_dim = embed_dim // num_heads
+        generator = new_rng(rng)
+        self.qkv = Linear(embed_dim, 3 * embed_dim, rng=generator)
+        self.proj = Linear(embed_dim, embed_dim, rng=generator)
+        self.attn_dropout = Dropout(dropout, rng=generator)
+
+    def _split_heads(self, x: Tensor, batch: int, time: int) -> Tensor:
+        # (B, T, C) -> (B, H, T, Hd)
+        return x.reshape(batch, time, self.num_heads, self.head_dim).transpose(0, 2, 1, 3)
+
+    def forward(self, x: Tensor, cache: Optional[KVCache] = None) -> Tensor:
+        """Attend over ``x`` (and the cache, if given).
+
+        With a cache, ``x`` holds only the *new* positions (decode step);
+        cached keys/values supply the history. Cached paths run without
+        autograd (inference only).
+        """
+        batch, time, _ = x.shape
+        qkv = self.qkv(x)
+        q = self._split_heads(qkv[:, :, : self.embed_dim], batch, time)
+        k = self._split_heads(qkv[:, :, self.embed_dim: 2 * self.embed_dim], batch, time)
+        v = self._split_heads(qkv[:, :, 2 * self.embed_dim:], batch, time)
+
+        past = 0
+        if cache is not None:
+            past = cache.length
+            k_full, v_full = cache.append(k.data, v.data)
+            k, v = Tensor(k_full), Tensor(v_full)
+
+        scores = (q @ k.swapaxes(-1, -2)) * (1.0 / math.sqrt(self.head_dim))
+        total = past + time
+        if time > 1:
+            # Causal mask for the new block: query i may see keys 0..past+i.
+            mask = np.zeros((time, total))
+            for i in range(time):
+                mask[i, past + i + 1:] = -np.inf
+            scores = scores + Tensor(mask)
+        attn = F.softmax(scores, axis=-1)
+        attn = self.attn_dropout(attn)
+        out = attn @ v  # (B, H, T, Hd)
+        out = out.transpose(0, 2, 1, 3).reshape(batch, time, self.embed_dim)
+        return self.proj(out)
+
+
+class TransformerBlock(Module):
+    """Pre-LN transformer block: LN → attention → residual, LN → MLP → residual."""
+
+    def __init__(self, embed_dim: int, num_heads: int, mlp_ratio: int = 4,
+                 dropout: float = 0.0, rng: SeedLike = None) -> None:
+        super().__init__()
+        from repro.nn.layers import GELU, LayerNorm, Sequential  # local to avoid cycle
+
+        generator = new_rng(rng)
+        self.ln1 = LayerNorm(embed_dim)
+        self.attn = MultiHeadSelfAttention(embed_dim, num_heads, dropout=dropout,
+                                           rng=generator)
+        self.ln2 = LayerNorm(embed_dim)
+        self.mlp = Sequential(
+            Linear(embed_dim, mlp_ratio * embed_dim, rng=generator),
+            GELU(),
+            Linear(mlp_ratio * embed_dim, embed_dim, rng=generator),
+        )
+        self.resid_dropout = Dropout(dropout, rng=generator)
+
+    def forward(self, x: Tensor, cache: Optional[KVCache] = None) -> Tensor:
+        x = x + self.resid_dropout(self.attn(self.ln1(x), cache=cache))
+        x = x + self.resid_dropout(self.mlp(self.ln2(x)))
+        return x

@@ -1,0 +1,34 @@
+"""Weight initialisation schemes."""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.utils.rng import SeedLike, new_rng
+
+
+def kaiming_uniform(shape: Tuple[int, ...], fan_in: int,
+                    rng: SeedLike = None) -> np.ndarray:
+    """He/Kaiming uniform init (the torch.nn.Linear default)."""
+    if fan_in <= 0:
+        raise ValueError(f"fan_in must be positive, got {fan_in}")
+    bound = 1.0 / math.sqrt(fan_in)
+    return new_rng(rng).uniform(-bound, bound, size=shape)
+
+
+def xavier_uniform(shape: Tuple[int, ...], fan_in: int, fan_out: int,
+                   rng: SeedLike = None) -> np.ndarray:
+    """Glorot/Xavier uniform init."""
+    if fan_in <= 0 or fan_out <= 0:
+        raise ValueError(f"fans must be positive, got {fan_in}, {fan_out}")
+    bound = math.sqrt(6.0 / (fan_in + fan_out))
+    return new_rng(rng).uniform(-bound, bound, size=shape)
+
+
+def normal(shape: Tuple[int, ...], std: float = 0.02,
+           rng: SeedLike = None) -> np.ndarray:
+    """Gaussian init (GPT-2 uses std=0.02 throughout)."""
+    return new_rng(rng).normal(0.0, std, size=shape)

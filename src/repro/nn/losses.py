@@ -1,0 +1,51 @@
+"""Loss functions: binary cross-entropy (DLRM) and cross-entropy (LLM)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.tensor import Tensor, as_tensor
+
+
+def bce_with_logits(logits: Tensor, targets) -> Tensor:
+    """Numerically-stable binary cross-entropy on raw logits.
+
+    Uses ``max(x, 0) - x*y + log(1 + exp(-|x|))``, the standard stable form.
+    """
+    logits = as_tensor(logits)
+    targets = as_tensor(np.asarray(targets, dtype=np.float64))
+    relu_term = logits.relu()
+    abs_term = ((logits.abs() * -1.0).exp() + 1.0).log()
+    per_example = relu_term - logits * targets + abs_term
+    return per_example.mean()
+
+
+def cross_entropy(logits: Tensor, targets: np.ndarray) -> Tensor:
+    """Mean cross-entropy over integer class targets.
+
+    ``logits`` has shape (..., num_classes); ``targets`` the matching integer
+    shape (...,). Rows whose target is negative are ignored (padding).
+    """
+    logits = as_tensor(logits)
+    targets = np.asarray(targets)
+    num_classes = logits.shape[-1]
+    flat_logits = logits.reshape(-1, num_classes)
+    flat_targets = targets.reshape(-1)
+    keep = flat_targets >= 0
+    if not keep.any():
+        raise ValueError("cross_entropy received no valid (non-negative) targets")
+
+    # log-softmax, stable
+    shifted = flat_logits - Tensor(flat_logits.data.max(axis=-1, keepdims=True))
+    log_probs = shifted - shifted.exp().sum(axis=-1, keepdims=True).log()
+
+    rows = np.nonzero(keep)[0]
+    picked = log_probs[rows, flat_targets[keep]]
+    return picked.mean() * -1.0
+
+
+def mse(prediction: Tensor, targets) -> Tensor:
+    """Mean squared error (used in unit tests and sanity fits)."""
+    prediction = as_tensor(prediction)
+    diff = prediction - as_tensor(np.asarray(targets, dtype=np.float64))
+    return (diff * diff).mean()

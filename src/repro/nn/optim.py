@@ -1,0 +1,164 @@
+"""Optimizers (SGD, Adam, AdamW) and learning-rate schedules."""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Optional
+
+import numpy as np
+
+from repro.nn.module import Parameter
+from repro.utils.validation import check_non_negative, check_positive
+
+
+class Optimizer:
+    """Base optimizer over a parameter list."""
+
+    def __init__(self, params: Iterable[Parameter], lr: float) -> None:
+        check_positive("lr", lr)
+        self.params: List[Parameter] = list(params)
+        if not self.params:
+            raise ValueError("optimizer received no parameters")
+        # Deduplicate tied parameters (e.g. GPT-2 embedding/head weight tying)
+        # so a shared tensor is not stepped twice per update.
+        seen = set()
+        unique: List[Parameter] = []
+        for param in self.params:
+            if id(param) not in seen:
+                seen.add(id(param))
+                unique.append(param)
+        self.params = unique
+        self.lr = lr
+
+    def zero_grad(self) -> None:
+        for param in self.params:
+            param.zero_grad()
+
+    def step(self) -> None:
+        raise NotImplementedError
+
+    def clip_grad_norm(self, max_norm: float) -> float:
+        """Clip global gradient norm in-place; returns the pre-clip norm."""
+        check_positive("max_norm", max_norm)
+        total = 0.0
+        for param in self.params:
+            if param.grad is not None:
+                total += float((param.grad ** 2).sum())
+        norm = math.sqrt(total)
+        if norm > max_norm and norm > 0:
+            scale = max_norm / norm
+            for param in self.params:
+                if param.grad is not None:
+                    param.grad *= scale
+        return norm
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional momentum and weight decay."""
+
+    def __init__(self, params: Iterable[Parameter], lr: float = 0.01,
+                 momentum: float = 0.0, weight_decay: float = 0.0) -> None:
+        super().__init__(params, lr)
+        check_non_negative("momentum", momentum)
+        check_non_negative("weight_decay", weight_decay)
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self._velocity: Dict[int, np.ndarray] = {}
+
+    def step(self) -> None:
+        for param in self.params:
+            if param.grad is None:
+                continue
+            grad = param.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * param.data
+            if self.momentum:
+                velocity = self._velocity.get(id(param))
+                if velocity is None:
+                    velocity = np.zeros_like(param.data)
+                velocity = self.momentum * velocity + grad
+                self._velocity[id(param)] = velocity
+                grad = velocity
+            param.data -= self.lr * grad
+
+
+class Adam(Optimizer):
+    """Adam with bias correction (decoupled decay in the AdamW subclass)."""
+
+    def __init__(self, params: Iterable[Parameter], lr: float = 1e-3,
+                 betas=(0.9, 0.999), eps: float = 1e-8,
+                 weight_decay: float = 0.0, decoupled: bool = False) -> None:
+        super().__init__(params, lr)
+        if not (0.0 <= betas[0] < 1.0 and 0.0 <= betas[1] < 1.0):
+            raise ValueError(f"betas must be in [0, 1), got {betas}")
+        check_non_negative("weight_decay", weight_decay)
+        self.betas = betas
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self.decoupled = decoupled
+        self._step_count = 0
+        self._m: Dict[int, np.ndarray] = {}
+        self._v: Dict[int, np.ndarray] = {}
+
+    def step(self) -> None:
+        self._step_count += 1
+        beta1, beta2 = self.betas
+        bias1 = 1.0 - beta1 ** self._step_count
+        bias2 = 1.0 - beta2 ** self._step_count
+        for param in self.params:
+            if param.grad is None:
+                continue
+            grad = param.grad
+            if self.weight_decay and not self.decoupled:
+                grad = grad + self.weight_decay * param.data
+            m = self._m.get(id(param))
+            v = self._v.get(id(param))
+            if m is None:
+                m = np.zeros_like(param.data)
+                v = np.zeros_like(param.data)
+            m = beta1 * m + (1 - beta1) * grad
+            v = beta2 * v + (1 - beta2) * grad * grad
+            self._m[id(param)], self._v[id(param)] = m, v
+            update = (m / bias1) / (np.sqrt(v / bias2) + self.eps)
+            if self.weight_decay and self.decoupled:
+                update = update + self.weight_decay * param.data
+            param.data -= self.lr * update
+
+
+class AdamW(Adam):
+    """Adam with decoupled weight decay (the GPT-2 finetuning optimizer)."""
+
+    def __init__(self, params: Iterable[Parameter], lr: float = 1e-3,
+                 betas=(0.9, 0.999), eps: float = 1e-8,
+                 weight_decay: float = 0.01) -> None:
+        super().__init__(params, lr, betas=betas, eps=eps,
+                         weight_decay=weight_decay, decoupled=True)
+
+
+class CosineSchedule:
+    """Cosine decay with linear warmup, as used in nanoGPT-style finetuning."""
+
+    def __init__(self, base_lr: float, warmup_steps: int, total_steps: int,
+                 min_lr: float = 0.0) -> None:
+        check_positive("base_lr", base_lr)
+        check_non_negative("warmup_steps", warmup_steps)
+        check_positive("total_steps", total_steps)
+        if warmup_steps > total_steps:
+            raise ValueError("warmup_steps must not exceed total_steps")
+        self.base_lr = base_lr
+        self.warmup_steps = warmup_steps
+        self.total_steps = total_steps
+        self.min_lr = min_lr
+
+    def lr_at(self, step: int) -> float:
+        if step < self.warmup_steps:
+            return self.base_lr * (step + 1) / max(1, self.warmup_steps)
+        progress = (step - self.warmup_steps) / max(1, self.total_steps - self.warmup_steps)
+        progress = min(1.0, progress)
+        cosine = 0.5 * (1.0 + math.cos(math.pi * progress))
+        return self.min_lr + (self.base_lr - self.min_lr) * cosine
+
+    def apply(self, optimizer: Optimizer, step: int) -> float:
+        lr = self.lr_at(step)
+        optimizer.lr = lr
+        return lr

@@ -1,0 +1,26 @@
+"""Saving and loading module state dicts as ``.npz`` archives."""
+
+from __future__ import annotations
+
+import os
+from typing import Dict
+
+import numpy as np
+
+from repro.nn.module import Module
+
+
+def save_state(module: Module, path: str) -> None:
+    """Write ``module``'s state dict to ``path`` (npz format)."""
+    state = module.state_dict()
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    # npz keys cannot contain '/', so escape dots are fine but keep as-is.
+    np.savez(path, **state)
+
+
+def load_state(module: Module, path: str, strict: bool = True) -> None:
+    """Load a state dict previously written by :func:`save_state`."""
+    with np.load(path) as archive:
+        state: Dict[str, np.ndarray] = {key: archive[key] for key in archive.files}
+    module.load_state_dict(state, strict=strict)

@@ -1,0 +1,71 @@
+"""Data-oblivious computing primitives and the trace-equivalence verifier."""
+
+from repro.oblivious.analysis import (
+    TraceComparison,
+    assert_trace_oblivious,
+    compare_traces,
+)
+from repro.oblivious.linear_scan import (
+    linear_scan_batch,
+    linear_scan_batch_vectorized,
+    linear_scan_lookup,
+)
+from repro.oblivious.primitives import (
+    branchless_relu,
+    ct_eq,
+    ct_lt,
+    ct_select,
+    oblivious_argmax,
+    oblivious_argmax_vectorized,
+    oblivious_copy_row,
+    oblivious_max,
+    oblivious_swap,
+    oblivious_topk,
+)
+from repro.oblivious.sort import (
+    bitonic_network,
+    oblivious_shuffle,
+    oblivious_sort,
+)
+from repro.oblivious.sampling import (
+    oblivious_sample_batch,
+    oblivious_sample_top_k,
+)
+from repro.oblivious.trace import (
+    READ,
+    WRITE,
+    AccessEvent,
+    MemoryTracer,
+    TracedArray,
+    traces_equal,
+)
+
+__all__ = [
+    "TraceComparison",
+    "assert_trace_oblivious",
+    "compare_traces",
+    "linear_scan_batch",
+    "linear_scan_batch_vectorized",
+    "linear_scan_lookup",
+    "branchless_relu",
+    "ct_eq",
+    "ct_lt",
+    "ct_select",
+    "oblivious_argmax",
+    "oblivious_argmax_vectorized",
+    "oblivious_copy_row",
+    "oblivious_max",
+    "oblivious_swap",
+    "oblivious_topk",
+    "bitonic_network",
+    "oblivious_shuffle",
+    "oblivious_sort",
+    "oblivious_sample_batch",
+    "oblivious_sample_top_k",
+    "READ",
+    "WRITE",
+    "AccessEvent",
+    "MemoryTracer",
+    "TracedArray",
+    "traces_equal",
+]

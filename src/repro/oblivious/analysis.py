@@ -1,0 +1,73 @@
+"""Trace-equivalence analysis: the obliviousness verifier.
+
+:func:`assert_trace_oblivious` runs a computation once per candidate secret
+and checks that the recorded access traces are identical — the definitional
+test for data-obliviousness in our threat model. The companion
+:func:`trace_report` returns a structured comparison for diagnostics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.oblivious.trace import AccessEvent, MemoryTracer, traces_equal
+
+
+@dataclass
+class TraceComparison:
+    """Result of comparing traces across secrets."""
+
+    oblivious: bool
+    num_secrets: int
+    trace_length: int
+    first_divergence: Optional[Tuple[int, int, str, str]] = None
+    # (secret_index, event_index, reference_event, divergent_event)
+
+    def __str__(self) -> str:
+        if self.oblivious:
+            return (f"oblivious over {self.num_secrets} secrets "
+                    f"(trace length {self.trace_length})")
+        secret, position, ref, got = self.first_divergence
+        return (f"NOT oblivious: secret #{secret} diverges at event {position}: "
+                f"expected {ref}, observed {got}")
+
+
+def compare_traces(fn: Callable[[MemoryTracer, object], object],
+                   secrets: Sequence[object]) -> TraceComparison:
+    """Run ``fn(tracer, secret)`` per secret and compare access traces."""
+    if len(secrets) < 2:
+        raise ValueError("need at least two secrets to compare traces")
+    reference: Optional[Tuple[AccessEvent, ...]] = None
+    for secret_index, secret in enumerate(secrets):
+        tracer = MemoryTracer()
+        fn(tracer, secret)
+        trace = tracer.snapshot()
+        if reference is None:
+            reference = trace
+            continue
+        if traces_equal(reference, trace):
+            continue
+        # Locate the first divergence for the report.
+        limit = min(len(reference), len(trace))
+        position = next(
+            (i for i in range(limit) if reference[i] != trace[i]), limit)
+        ref_event = str(reference[position]) if position < len(reference) else "<end>"
+        got_event = str(trace[position]) if position < len(trace) else "<end>"
+        return TraceComparison(
+            oblivious=False,
+            num_secrets=len(secrets),
+            trace_length=len(reference),
+            first_divergence=(secret_index, position, ref_event, got_event),
+        )
+    return TraceComparison(oblivious=True, num_secrets=len(secrets),
+                           trace_length=len(reference))
+
+
+def assert_trace_oblivious(fn: Callable[[MemoryTracer, object], object],
+                           secrets: Sequence[object]) -> TraceComparison:
+    """Raise ``AssertionError`` unless ``fn`` is trace-oblivious over ``secrets``."""
+    result = compare_traces(fn, secrets)
+    if not result.oblivious:
+        raise AssertionError(str(result))
+    return result

@@ -1,0 +1,64 @@
+"""Oblivious linear scan: the storage-based baseline protection (§IV-A1).
+
+Looking up index ``i`` touches *every* row of the table and blends the wanted
+row into the output with a branch-free flag — O(n) per lookup, but the access
+pattern is the same full sweep for every index.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.oblivious.primitives import ct_eq, oblivious_copy_row
+from repro.oblivious.trace import MemoryTracer, TracedArray
+
+
+def linear_scan_lookup(table: TracedArray, index: int) -> np.ndarray:
+    """Retrieve row ``index`` by scanning the whole table.
+
+    The scan visits rows ``0..n-1`` in order regardless of ``index``; at each
+    step an equality mask drives an oblivious blend into the output buffer.
+    """
+    if not 0 <= int(index) < table.num_rows:
+        raise IndexError(f"index {index} out of range for table of {table.num_rows} rows")
+    output = np.zeros(table.row_width, dtype=table.data.dtype)
+    wanted = int(index)
+    for row in range(table.num_rows):
+        value = table.read(row)
+        flag = ct_eq(row, wanted)
+        oblivious_copy_row(flag, value, output)
+    return output
+
+
+def linear_scan_batch(table: TracedArray, indices: Sequence[int]) -> np.ndarray:
+    """Batched scan: one full sweep per query (the paper's implementation).
+
+    The C++/AVX version scans the entire embedding table for each input index
+    in the batch; we reproduce that access pattern row-for-row.
+    """
+    indices = np.asarray(indices, dtype=np.int64).reshape(-1)
+    outputs = np.zeros((indices.size, table.row_width), dtype=table.data.dtype)
+    for query, wanted in enumerate(indices):
+        outputs[query] = linear_scan_lookup(table, int(wanted))
+    return outputs
+
+
+def linear_scan_batch_vectorized(table_data: np.ndarray,
+                                 indices: Sequence[int]) -> np.ndarray:
+    """Vectorised scan used for *performance* runs (tracing disabled).
+
+    Computes ``onehot(indices) @ table`` — the same arithmetic as the scalar
+    scan (every row participates in every query's blend), expressed as a
+    dense matmul so numpy's BLAS plays the role of AVX-512. The memory
+    pattern is a full sequential sweep of the table per batch, which is what
+    the AVX implementation streams as well.
+    """
+    table_data = np.asarray(table_data)
+    indices = np.asarray(indices, dtype=np.int64).reshape(-1)
+    if indices.size and (indices.min() < 0 or indices.max() >= table_data.shape[0]):
+        raise IndexError("index out of range in linear_scan_batch_vectorized")
+    onehot = np.zeros((indices.size, table_data.shape[0]), dtype=table_data.dtype)
+    onehot[np.arange(indices.size), indices] = 1.0
+    return onehot @ table_data

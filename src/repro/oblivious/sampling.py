@@ -1,0 +1,67 @@
+"""Oblivious stochastic decoding: temperature + top-k sampling (extension).
+
+The paper secures greedy argmax with a cmov scan (§V-C). Production LLM
+serving usually samples (temperature, top-k); this module extends the same
+discipline: the top-k candidates are selected with constant-trace scans,
+their probabilities computed densely, and the final draw reduces to
+arithmetic over the k extracted values — no secret-indexed memory access
+anywhere.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.oblivious.primitives import ct_lt, ct_select, oblivious_topk
+from repro.utils.rng import SeedLike, new_rng
+from repro.utils.validation import check_positive
+
+
+def oblivious_sample_top_k(logits: np.ndarray, k: int,
+                           temperature: float = 1.0,
+                           rng: SeedLike = None) -> int:
+    """Draw a token id from the top-k of ``logits`` with a constant trace.
+
+    1. k constant-trace scans extract the top-k (indices, logits);
+    2. a stable softmax over the k values gives probabilities;
+    3. inverse-CDF selection over the k candidates runs as a cmov scan.
+
+    The returned value is secret, but every memory access made here depends
+    only on ``(len(logits), k)``.
+    """
+    check_positive("temperature", temperature)
+    logits = np.asarray(logits, dtype=np.float64).reshape(-1)
+    indices, values = oblivious_topk(logits, k)
+
+    scaled = values / temperature
+    scaled = scaled - scaled.max()
+    weights = np.exp(scaled)
+    probabilities = weights / weights.sum()
+
+    draw = float(new_rng(rng).random())
+    cumulative = 0.0
+    chosen = int(indices[0])
+    done = 0
+    for position in range(k):
+        cumulative += float(probabilities[position])
+        hit = ct_lt(draw, cumulative)
+        first_hit = hit * (1 - done)
+        chosen = ct_select(first_hit, int(indices[position]), chosen)
+        done = ct_select(hit, 1, done)
+    return int(chosen)
+
+
+def oblivious_sample_batch(logits: np.ndarray, k: int,
+                           temperature: float = 1.0,
+                           rng: SeedLike = None) -> np.ndarray:
+    """Batched version over (batch, vocab) logits."""
+    logits = np.asarray(logits, dtype=np.float64)
+    if logits.ndim != 2:
+        raise ValueError(f"expected (batch, vocab) logits, got {logits.shape}")
+    generator = new_rng(rng)
+    return np.array([
+        oblivious_sample_top_k(row, k, temperature=temperature, rng=generator)
+        for row in logits
+    ], dtype=np.int64)

@@ -1,0 +1,99 @@
+"""Oblivious sorting and shuffling: the bitonic network.
+
+Tree ORAMs hide patterns by "shuffling and re-encrypting" (§II-B). The
+building block for data-independent shuffling is a sorting *network*: its
+compare-exchange sequence is fixed by the input length alone, so sorting
+(or shuffling, by sorting on random keys) leaks nothing about the data.
+Every compare-exchange goes through the branch-free
+:func:`~repro.oblivious.primitives.oblivious_swap`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.oblivious.primitives import ct_lt, oblivious_swap
+from repro.utils.rng import SeedLike, new_rng
+from repro.utils.validation import check_power_of_two
+
+
+def bitonic_network(length: int) -> List[Tuple[int, int, bool]]:
+    """The compare-exchange schedule (i, j, ascending) for ``length`` items.
+
+    ``length`` must be a power of two. The schedule depends only on
+    ``length`` — this is the obliviousness property.
+    """
+    check_power_of_two("length", length)
+    schedule: List[Tuple[int, int, bool]] = []
+    size = 2
+    while size <= length:
+        stride = size // 2
+        while stride > 0:
+            for i in range(length):
+                j = i ^ stride
+                if j > i:
+                    ascending = (i & size) == 0
+                    schedule.append((i, j, ascending))
+            stride //= 2
+        size *= 2
+    return schedule
+
+
+def oblivious_sort(keys: np.ndarray,
+                   payload: Optional[np.ndarray] = None
+                   ) -> Tuple[np.ndarray, Optional[np.ndarray]]:
+    """Bitonic sort of ``keys`` (ascending), carrying ``payload`` rows along.
+
+    Non-power-of-two inputs are padded with +inf sentinel keys (a public
+    function of the length). Every compare-exchange touches both operands
+    regardless of the comparison outcome.
+    """
+    keys = np.asarray(keys, dtype=np.float64).reshape(-1).copy()
+    if keys.size == 0:
+        raise ValueError("oblivious_sort of empty input")
+    original = keys.size
+    padded = 1 << (original - 1).bit_length()
+    sentinel = np.abs(keys).max() + 1.0 if keys.size else 1.0
+
+    work_keys = np.concatenate([keys, np.full(padded - original, sentinel)])
+    if payload is not None:
+        payload = np.asarray(payload, dtype=np.float64)
+        if payload.shape[0] != original:
+            raise ValueError(
+                f"payload has {payload.shape[0]} rows for {original} keys")
+        pad_rows = np.zeros((padded - original, *payload.shape[1:]))
+        work_payload = np.concatenate([payload.copy(), pad_rows])
+    else:
+        work_payload = None
+
+    key_view = work_keys.reshape(-1, 1)  # oblivious_swap works on rows
+    for i, j, ascending in bitonic_network(padded):
+        if ascending:
+            do_swap = ct_lt(work_keys[j], work_keys[i])
+        else:
+            do_swap = ct_lt(work_keys[i], work_keys[j])
+        oblivious_swap(do_swap, key_view[i], key_view[j])
+        if work_payload is not None:
+            oblivious_swap(do_swap, work_payload[i], work_payload[j])
+
+    sorted_keys = work_keys[:original]
+    sorted_payload = (work_payload[:original]
+                      if work_payload is not None else None)
+    return sorted_keys, sorted_payload
+
+
+def oblivious_shuffle(rows: np.ndarray, rng: SeedLike = None) -> np.ndarray:
+    """Uniformly shuffle ``rows`` with a data-independent access pattern.
+
+    Assigns a random key per row and bitonic-sorts on the keys — the
+    permutation is determined entirely by the (secret) keys while the
+    touched addresses are the fixed network schedule.
+    """
+    rows = np.asarray(rows, dtype=np.float64)
+    if rows.ndim == 1:
+        rows = rows.reshape(-1, 1)
+    keys = new_rng(rng).random(rows.shape[0])
+    _, shuffled = oblivious_sort(keys, rows)
+    return shuffled

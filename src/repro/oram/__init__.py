@@ -1,0 +1,35 @@
+"""Tree-based ORAM controllers (Path ORAM and Circuit ORAM) with recursion."""
+
+from repro.oram.circuit_oram import CircuitORAM, bit_reverse
+from repro.oram.controller import AccessStats, OramController
+from repro.oram.crypto import EncryptedBucketTree, KeystreamCipher
+from repro.oram.path_oram import PathORAM
+from repro.oram.ring_oram import RingORAM
+from repro.oram.position_map import (
+    POSMAP_COMPRESSION,
+    FlatPositionMap,
+    OramPositionMap,
+    PositionMap,
+)
+from repro.oram.stash import Stash, StashOverflowError
+from repro.oram.tree import DUMMY, BucketTree, tree_levels_for
+
+__all__ = [
+    "CircuitORAM",
+    "bit_reverse",
+    "AccessStats",
+    "OramController",
+    "EncryptedBucketTree",
+    "KeystreamCipher",
+    "PathORAM",
+    "RingORAM",
+    "POSMAP_COMPRESSION",
+    "FlatPositionMap",
+    "OramPositionMap",
+    "PositionMap",
+    "Stash",
+    "StashOverflowError",
+    "DUMMY",
+    "BucketTree",
+    "tree_levels_for",
+]

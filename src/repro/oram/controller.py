@@ -1,0 +1,198 @@
+"""Shared controller machinery for the tree-based ORAMs (§IV-A2).
+
+Both Path ORAM and Circuit ORAM subclass :class:`OramController`, which owns
+the bucket tree, the stash, the (possibly recursive) position map, access
+statistics, and the public ``read``/``write``/``access`` API. Subclasses
+implement :meth:`_access_impl`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.oblivious.trace import MemoryTracer
+from repro.oram.position_map import FlatPositionMap, OramPositionMap, PositionMap
+from repro.oram.stash import Stash
+from repro.oram.tree import DUMMY, BucketTree
+from repro.utils.rng import SeedLike, new_rng
+from repro.utils.validation import check_positive
+
+UpdateFn = Callable[[np.ndarray], np.ndarray]
+
+
+@dataclass
+class AccessStats:
+    """Counters describing the work done by the ORAM so far."""
+
+    accesses: int = 0
+    bucket_reads: int = 0
+    bucket_writes: int = 0
+    eviction_passes: int = 0
+    revealed_leaves: list = field(default_factory=list)
+
+    def blocks_touched(self, bucket_size: int) -> int:
+        return (self.bucket_reads + self.bucket_writes) * bucket_size
+
+    def reset(self) -> None:
+        self.accesses = 0
+        self.bucket_reads = 0
+        self.bucket_writes = 0
+        self.eviction_passes = 0
+        self.revealed_leaves.clear()
+
+
+class OramController:
+    """Base class: tree + stash + position map + statistics."""
+
+    #: subclass-specific defaults (paper §V-A1 / ZeroTrace configuration)
+    DEFAULT_STASH = 150
+    DEFAULT_RECURSION_CUTOFF = 1 << 16
+
+    def __init__(self, num_blocks: int, block_width: int,
+                 initial_payloads: Optional[np.ndarray] = None,
+                 bucket_size: int = 4,
+                 stash_capacity: Optional[int] = None,
+                 recursion_cutoff: Optional[int] = None,
+                 pack_factor: int = 1,
+                 rng: SeedLike = None,
+                 tracer: Optional[MemoryTracer] = None,
+                 region_prefix: str = "",
+                 _recursion_level: int = 0) -> None:
+        check_positive("num_blocks", num_blocks)
+        check_positive("block_width", block_width)
+        check_positive("pack_factor", pack_factor)
+        if pack_factor > bucket_size:
+            raise ValueError(
+                f"pack_factor {pack_factor} cannot exceed bucket_size "
+                f"{bucket_size} (the tree could not hold all blocks)")
+        self.num_blocks = num_blocks
+        self.block_width = block_width
+        self.bucket_size = bucket_size
+        # pack_factor > 1 shrinks the tree toward ZeroTrace's sizing
+        # (leaves ~ n/Z): smaller memory, higher utilisation, more stash
+        # pressure. pack_factor = 1 is the classic one-leaf-per-block tree.
+        self.pack_factor = pack_factor
+        self.rng = new_rng(rng)
+        self.tracer = tracer
+        self.stats = AccessStats()
+        self.recursion_cutoff = (recursion_cutoff if recursion_cutoff is not None
+                                 else self.DEFAULT_RECURSION_CUTOFF)
+        self._recursion_level = _recursion_level
+
+        prefix = region_prefix or self.__class__.__name__.lower()
+        sized_blocks = (num_blocks + pack_factor - 1) // pack_factor
+        self.tree = BucketTree(sized_blocks, block_width,
+                               bucket_size=bucket_size, tracer=tracer,
+                               region=f"{prefix}.tree{_recursion_level}")
+        # The configured stash bound counts blocks resident *between* accesses
+        # (ZeroTrace convention); during an access up to a full path of blocks
+        # is transiently held as well, so the physical buffer is sized for both.
+        self.persistent_stash_capacity = stash_capacity or self.DEFAULT_STASH
+        transient = bucket_size * (self.tree.levels + 1)
+        self.stash = Stash(self.persistent_stash_capacity + transient, block_width,
+                           tracer=tracer, region=f"{prefix}.stash{_recursion_level}")
+
+        initial_leaves = self.rng.integers(0, self.tree.num_leaves,
+                                           size=num_blocks, dtype=np.int64)
+        self.position_map = self._build_position_map(initial_leaves, prefix)
+        self._load(initial_payloads, initial_leaves)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def _build_position_map(self, initial_leaves: np.ndarray,
+                            prefix: str) -> PositionMap:
+        if self.num_blocks <= self.recursion_cutoff:
+            return FlatPositionMap(
+                initial_leaves, tracer=self.tracer,
+                region=f"{prefix}.posmap{self._recursion_level}")
+
+        def factory(num_chunks: int, width: int,
+                    payloads: np.ndarray) -> "OramController":
+            return type(self)(
+                num_chunks, width, initial_payloads=payloads,
+                bucket_size=self.bucket_size,
+                recursion_cutoff=self.recursion_cutoff,
+                rng=self.rng, tracer=self.tracer, region_prefix=prefix,
+                _recursion_level=self._recursion_level + 1)
+
+        return OramPositionMap(initial_leaves, factory)
+
+    def _load(self, payloads: Optional[np.ndarray],
+              leaves: np.ndarray) -> None:
+        if payloads is None:
+            payloads = np.zeros((self.num_blocks, self.block_width))
+        payloads = np.asarray(payloads, dtype=np.float64)
+        if payloads.shape != (self.num_blocks, self.block_width):
+            raise ValueError(
+                f"initial payloads shape {payloads.shape} != "
+                f"({self.num_blocks}, {self.block_width})")
+        for block_id in range(self.num_blocks):
+            leaf = int(leaves[block_id])
+            if not self.tree.place_initial(block_id, leaf, payloads[block_id]):
+                self.stash.add(block_id, leaf, payloads[block_id])
+
+    def load_blocks(self, payloads: np.ndarray) -> None:
+        """Bulk-overwrite all block payloads (offline, data-independent)."""
+        payloads = np.asarray(payloads, dtype=np.float64)
+        if payloads.shape != (self.num_blocks, self.block_width):
+            raise ValueError(
+                f"payload shape {payloads.shape} != "
+                f"({self.num_blocks}, {self.block_width})")
+        for block_id in range(self.num_blocks):
+            self.write(block_id, payloads[block_id])
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def access(self, block_id: int, update_fn: Optional[UpdateFn] = None) -> np.ndarray:
+        """One ORAM access: fetch ``block_id``, optionally update, remap.
+
+        Returns the payload *before* ``update_fn`` was applied.
+        """
+        if not 0 <= block_id < self.num_blocks:
+            raise IndexError(
+                f"block {block_id} out of range for ORAM of {self.num_blocks} blocks")
+        new_leaf = int(self.rng.integers(0, self.tree.num_leaves))
+        old_leaf = self.position_map.lookup_and_update(block_id, new_leaf)
+        self.stats.accesses += 1
+        self.stats.revealed_leaves.append(old_leaf)
+        return self._access_impl(block_id, old_leaf, new_leaf, update_fn)
+
+    def read(self, block_id: int) -> np.ndarray:
+        return self.access(block_id)
+
+    def write(self, block_id: int, payload: np.ndarray) -> None:
+        payload = np.asarray(payload, dtype=np.float64)
+        if payload.shape != (self.block_width,):
+            raise ValueError(
+                f"payload shape {payload.shape} != ({self.block_width},)")
+        self.access(block_id, lambda _old: payload)
+
+    # ------------------------------------------------------------------
+    # Subclass hook
+    # ------------------------------------------------------------------
+    def _access_impl(self, block_id: int, old_leaf: int, new_leaf: int,
+                     update_fn: Optional[UpdateFn]) -> np.ndarray:
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def levels(self) -> int:
+        return self.tree.levels
+
+    def total_resident_blocks(self) -> int:
+        return self.tree.occupancy() + self.stash.occupancy
+
+    def memory_blocks(self) -> int:
+        """Physical block slots allocated (tree + stash), incl. recursion."""
+        own = self.tree.num_buckets * self.bucket_size + self.stash.capacity
+        child = getattr(self.position_map, "_child", None)
+        if child is not None:
+            own += child.memory_blocks()
+        return own

@@ -1,0 +1,84 @@
+"""Path ORAM (Stefanov et al.), as configured by ZeroTrace/§V-A1.
+
+Every access fetches the whole path assigned to the block into the stash,
+returns the block (remapped to a fresh random leaf), then writes the path
+back greedily from the leaf upward, pushing stash blocks as deep as their
+assigned leaves allow.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.oblivious.trace import WRITE
+from repro.oram.controller import OramController, UpdateFn
+from repro.oram.stash import StashOverflowError
+from repro.oram.tree import DUMMY
+
+
+class PathORAM(OramController):
+    """Tree ORAM with full-path read/writeback per access."""
+
+    DEFAULT_STASH = 150           # paper: stash size 150 for Path ORAM
+    DEFAULT_RECURSION_CUTOFF = 1 << 16  # paper: recursion beyond 2^16 blocks
+
+    def _access_impl(self, block_id: int, old_leaf: int, new_leaf: int,
+                     update_fn: Optional[UpdateFn]) -> np.ndarray:
+        path = self.tree.path_indices(old_leaf)
+
+        # 1. Fetch the entire path into the stash. Every slot is processed
+        #    (dummies included) so stash traffic is slot-count constant.
+        for bucket in path:
+            ids, leaves, payloads = self.tree.read_bucket(bucket)
+            self.stats.bucket_reads += 1
+            for slot in range(self.bucket_size):
+                slot_id = int(ids[slot])
+                if slot_id != DUMMY:
+                    self.stash.add(slot_id, int(leaves[slot]), payloads[slot])
+                else:
+                    # Dummy slot: same oblivious scan, no insertion.
+                    self.stash._scan_trace(WRITE)
+            # Bucket is now logically empty; writeback repopulates it.
+            self.tree.write_bucket(
+                bucket,
+                np.full(self.bucket_size, DUMMY, dtype=np.int64),
+                np.zeros(self.bucket_size, dtype=np.int64),
+                np.zeros((self.bucket_size, self.block_width)))
+            self.stats.bucket_writes += 1
+
+        # 2. The requested block must now be in the stash.
+        found = self.stash.remove(block_id)
+        if found is None:
+            raise KeyError(f"block {block_id} not found — ORAM invariant broken")
+        _, payload = found
+        result = payload.copy()
+        if update_fn is not None:
+            payload = np.asarray(update_fn(payload), dtype=np.float64)
+        self.stash.add(block_id, new_leaf, payload)
+
+        # 3. Write the path back, deepest bucket first, greedily draining
+        #    the stash of blocks whose assigned path intersects here.
+        for depth in range(self.tree.levels, -1, -1):
+            bucket = path[depth]
+            eligible = self.stash.evict_matching(
+                lambda leaf, d=depth: self.tree.common_depth(leaf, old_leaf) >= d)
+            chosen = eligible[: self.bucket_size]
+            for extra in eligible[self.bucket_size:]:
+                self.stash.add(*extra)  # return overflow to the stash
+            ids = np.full(self.bucket_size, DUMMY, dtype=np.int64)
+            leaves = np.zeros(self.bucket_size, dtype=np.int64)
+            payloads = np.zeros((self.bucket_size, self.block_width))
+            for slot, (bid, bleaf, bpayload) in enumerate(chosen):
+                ids[slot] = bid
+                leaves[slot] = bleaf
+                payloads[slot] = bpayload
+            self.tree.write_bucket(bucket, ids, leaves, payloads)
+            self.stats.bucket_writes += 1
+
+        if self.stash.occupancy > self.persistent_stash_capacity:
+            raise StashOverflowError(
+                f"stash occupancy {self.stash.occupancy} exceeds the configured "
+                f"bound {self.persistent_stash_capacity}")
+        return result

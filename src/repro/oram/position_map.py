@@ -1,0 +1,103 @@
+"""Position maps: flat (oblivious linear scan) and recursive (ORAM-backed).
+
+ZeroTrace protects its position map either by scanning it linearly with
+``cmov`` (small maps) or, above a recursion cutoff, by storing it inside a
+smaller ORAM whose own map recurses again — with a 16x compression factor
+per level (each recursive block packs 16 leaf labels), as in §V-A1.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.oblivious.primitives import ct_eq, ct_select
+from repro.oblivious.trace import READ, WRITE, MemoryTracer
+from repro.utils.validation import check_positive
+
+POSMAP_COMPRESSION = 16
+
+
+class PositionMap:
+    """Interface: look up a block's leaf while installing its new leaf."""
+
+    def lookup_and_update(self, block_id: int, new_leaf: int) -> int:
+        raise NotImplementedError
+
+
+class FlatPositionMap(PositionMap):
+    """Leaf array protected by an oblivious full scan per lookup.
+
+    Every lookup reads *and rewrites* all entries, blending the update in
+    with a branch-free mask, so the touched addresses never depend on the
+    queried block id.
+    """
+
+    def __init__(self, initial_leaves: np.ndarray,
+                 tracer: Optional[MemoryTracer] = None,
+                 region: str = "posmap") -> None:
+        self.leaves = np.asarray(initial_leaves, dtype=np.int64).copy()
+        check_positive("num_blocks", self.leaves.size)
+        self.num_blocks = self.leaves.size
+        self.tracer = tracer
+        self.region = region
+
+    def lookup_and_update(self, block_id: int, new_leaf: int) -> int:
+        if not 0 <= block_id < self.num_blocks:
+            raise IndexError(f"block {block_id} out of range")
+        old_leaf = 0
+        for index in range(self.num_blocks):
+            if self.tracer is not None:
+                self.tracer.record(READ, self.region, index)
+            match = ct_eq(index, block_id)
+            old_leaf = ct_select(match, int(self.leaves[index]), old_leaf)
+            updated = ct_select(match, new_leaf, int(self.leaves[index]))
+            if self.tracer is not None:
+                self.tracer.record(WRITE, self.region, index)
+            self.leaves[index] = updated
+        return int(old_leaf)
+
+
+class OramPositionMap(PositionMap):
+    """Recursive position map: leaf labels packed 16-per-block in a child ORAM.
+
+    ``oram_factory(num_blocks, block_width, initial_payloads)`` builds the
+    child ORAM preloaded with the packed labels. The caller passes the same
+    ORAM class, so Path ORAM recurses into Path ORAM and Circuit into
+    Circuit, matching ZeroTrace's construction.
+    """
+
+    def __init__(self, initial_leaves: np.ndarray,
+                 oram_factory: Callable[[int, int, np.ndarray], "object"],
+                 compression: int = POSMAP_COMPRESSION) -> None:
+        initial_leaves = np.asarray(initial_leaves, dtype=np.int64)
+        check_positive("num_blocks", initial_leaves.size)
+        check_positive("compression", compression)
+        self.num_blocks = initial_leaves.size
+        self.compression = compression
+
+        num_chunks = (self.num_blocks + compression - 1) // compression
+        chunks = np.zeros((num_chunks, compression), dtype=np.float64)
+        chunks.reshape(-1)[: self.num_blocks] = initial_leaves.astype(np.float64)
+        self._child = oram_factory(num_chunks, compression, chunks)
+
+    def lookup_and_update(self, block_id: int, new_leaf: int) -> int:
+        if not 0 <= block_id < self.num_blocks:
+            raise IndexError(f"block {block_id} out of range")
+        chunk_id, offset = divmod(block_id, self.compression)
+        captured = {}
+
+        def update(chunk: np.ndarray) -> np.ndarray:
+            # Oblivious in-chunk select/update: every lane participates.
+            old_leaf = 0
+            updated = chunk.copy()
+            for lane in range(self.compression):
+                match = ct_eq(lane, offset)
+                old_leaf = ct_select(match, int(chunk[lane]), old_leaf)
+                updated[lane] = ct_select(match, float(new_leaf), float(chunk[lane]))
+            captured["old_leaf"] = int(old_leaf)
+            return updated
+
+        self._child.access(chunk_id, update)
+        return captured["old_leaf"]

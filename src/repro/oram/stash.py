@@ -1,0 +1,122 @@
+"""The ORAM stash: a small client-side buffer scanned obliviously.
+
+ZeroTrace hardens its stash with ``cmov``-based full scans; we reproduce the
+same discipline — every lookup touches all capacity slots (reported to the
+tracer under region ``"stash"``), so stash traffic is independent of content.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.oblivious.trace import READ, WRITE, MemoryTracer
+from repro.oram.tree import DUMMY
+from repro.utils.validation import check_positive
+
+
+class StashOverflowError(RuntimeError):
+    """Raised when more real blocks are resident than the stash can hold."""
+
+
+class Stash:
+    """Fixed-capacity block buffer with oblivious full-scan semantics."""
+
+    def __init__(self, capacity: int, block_width: int,
+                 tracer: Optional[MemoryTracer] = None,
+                 region: str = "stash", dtype=np.float64) -> None:
+        check_positive("capacity", capacity)
+        check_positive("block_width", block_width)
+        self.capacity = capacity
+        self.block_width = block_width
+        self.tracer = tracer
+        self.region = region
+        self.ids = np.full(capacity, DUMMY, dtype=np.int64)
+        self.leaves = np.zeros(capacity, dtype=np.int64)
+        self.payloads = np.zeros((capacity, block_width), dtype=dtype)
+        self.peak_occupancy = 0
+
+    def _scan_trace(self, op: str) -> None:
+        if self.tracer is not None:
+            for slot in range(self.capacity):
+                self.tracer.record(op, self.region, slot)
+
+    @property
+    def occupancy(self) -> int:
+        return int((self.ids != DUMMY).sum())
+
+    def _note_occupancy(self) -> None:
+        occ = self.occupancy
+        if occ > self.peak_occupancy:
+            self.peak_occupancy = occ
+
+    # ------------------------------------------------------------------
+    def add(self, block_id: int, leaf: int, payload: np.ndarray) -> None:
+        """Insert a real block into the first free slot (oblivious scan)."""
+        self._scan_trace(WRITE)
+        free = np.nonzero(self.ids == DUMMY)[0]
+        if free.size == 0:
+            raise StashOverflowError(
+                f"stash capacity {self.capacity} exceeded adding block {block_id}")
+        slot = int(free[0])
+        self.ids[slot] = block_id
+        self.leaves[slot] = leaf
+        self.payloads[slot] = payload
+        self._note_occupancy()
+
+    def remove(self, block_id: int) -> Optional[Tuple[int, np.ndarray]]:
+        """Remove and return (leaf, payload) of ``block_id``; None if absent."""
+        self._scan_trace(READ)
+        matches = np.nonzero(self.ids == block_id)[0]
+        if matches.size == 0:
+            return None
+        slot = int(matches[0])
+        leaf = int(self.leaves[slot])
+        payload = self.payloads[slot].copy()
+        self.ids[slot] = DUMMY
+        return leaf, payload
+
+    def peek(self, block_id: int) -> Optional[Tuple[int, np.ndarray]]:
+        """Read a block without removing it (oblivious scan)."""
+        self._scan_trace(READ)
+        matches = np.nonzero(self.ids == block_id)[0]
+        if matches.size == 0:
+            return None
+        slot = int(matches[0])
+        return int(self.leaves[slot]), self.payloads[slot].copy()
+
+    def update(self, block_id: int, leaf: Optional[int] = None,
+               payload: Optional[np.ndarray] = None) -> bool:
+        """Update an existing block in place; returns False if absent."""
+        self._scan_trace(WRITE)
+        matches = np.nonzero(self.ids == block_id)[0]
+        if matches.size == 0:
+            return False
+        slot = int(matches[0])
+        if leaf is not None:
+            self.leaves[slot] = leaf
+        if payload is not None:
+            self.payloads[slot] = payload
+        return True
+
+    # ------------------------------------------------------------------
+    def resident_blocks(self) -> List[Tuple[int, int, np.ndarray]]:
+        """All real blocks as (id, leaf, payload) — a full scan."""
+        self._scan_trace(READ)
+        out = []
+        for slot in np.nonzero(self.ids != DUMMY)[0]:
+            out.append((int(self.ids[slot]), int(self.leaves[slot]),
+                        self.payloads[slot].copy()))
+        return out
+
+    def evict_matching(self, predicate) -> List[Tuple[int, int, np.ndarray]]:
+        """Remove and return every block for which ``predicate(leaf)`` holds."""
+        self._scan_trace(WRITE)
+        taken = []
+        for slot in np.nonzero(self.ids != DUMMY)[0]:
+            if predicate(int(self.leaves[slot])):
+                taken.append((int(self.ids[slot]), int(self.leaves[slot]),
+                              self.payloads[slot].copy()))
+                self.ids[slot] = DUMMY
+        return taken

@@ -1,0 +1,130 @@
+"""Binary-tree bucket storage shared by Path ORAM and Circuit ORAM.
+
+The tree is a complete binary tree of buckets in heap order (root at index
+0, children of ``i`` at ``2i+1``/``2i+2``); each bucket holds ``Z`` block
+slots. A slot stores a block id (``DUMMY`` when empty), the block's assigned
+leaf, and its payload row. Bucket-granularity reads/writes are reported to a
+:class:`~repro.oblivious.trace.MemoryTracer` under the region name given at
+construction — these are exactly the addresses an attacker observes.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.oblivious.trace import READ, WRITE, MemoryTracer
+from repro.utils.validation import check_positive
+
+DUMMY = -1
+
+
+def tree_levels_for(num_blocks: int) -> int:
+    """Number of levels L such that the tree has ``2**L >= num_blocks`` leaves.
+
+    This matches the usual Path ORAM sizing where the leaf count is at least
+    the block count (so each leaf path is lightly loaded).
+    """
+    check_positive("num_blocks", num_blocks)
+    levels = 0
+    while (1 << levels) < num_blocks:
+        levels += 1
+    return levels
+
+
+class BucketTree:
+    """Array-backed complete binary tree of Z-slot buckets."""
+
+    def __init__(self, num_blocks: int, block_width: int, bucket_size: int = 4,
+                 tracer: Optional[MemoryTracer] = None, region: str = "tree",
+                 dtype=np.float64) -> None:
+        check_positive("block_width", block_width)
+        check_positive("bucket_size", bucket_size)
+        self.levels = tree_levels_for(num_blocks)  # leaf level index
+        self.num_leaves = 1 << self.levels
+        self.num_buckets = (1 << (self.levels + 1)) - 1
+        self.bucket_size = bucket_size
+        self.block_width = block_width
+        self.tracer = tracer
+        self.region = region
+        self.ids = np.full((self.num_buckets, bucket_size), DUMMY, dtype=np.int64)
+        self.leaves = np.zeros((self.num_buckets, bucket_size), dtype=np.int64)
+        self.payloads = np.zeros((self.num_buckets, bucket_size, block_width),
+                                 dtype=dtype)
+
+    # ------------------------------------------------------------------
+    # Addressing
+    # ------------------------------------------------------------------
+    def path_indices(self, leaf: int) -> List[int]:
+        """Bucket heap-indices from root to the bucket of ``leaf``."""
+        if not 0 <= leaf < self.num_leaves:
+            raise IndexError(f"leaf {leaf} out of range (< {self.num_leaves})")
+        index = 0
+        path = [0]
+        for level in range(self.levels):
+            bit = (leaf >> (self.levels - 1 - level)) & 1
+            index = 2 * index + 1 + bit
+            path.append(index)
+        return path
+
+    def common_depth(self, leaf_a: int, leaf_b: int) -> int:
+        """Deepest level (0..levels) shared by the paths to two leaves."""
+        if self.levels == 0:
+            return 0
+        diff = leaf_a ^ leaf_b
+        if diff == 0:
+            return self.levels
+        return self.levels - diff.bit_length()
+
+    # ------------------------------------------------------------------
+    # Traced bucket access
+    # ------------------------------------------------------------------
+    def read_bucket(self, bucket: int) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Read a bucket's (ids, leaves, payloads) as copies."""
+        if self.tracer is not None:
+            self.tracer.record(READ, self.region, bucket)
+        return (self.ids[bucket].copy(), self.leaves[bucket].copy(),
+                self.payloads[bucket].copy())
+
+    def write_bucket(self, bucket: int, ids: np.ndarray, leaves: np.ndarray,
+                     payloads: np.ndarray) -> None:
+        if self.tracer is not None:
+            self.tracer.record(WRITE, self.region, bucket)
+        self.ids[bucket] = ids
+        self.leaves[bucket] = leaves
+        self.payloads[bucket] = payloads
+
+    def read_bucket_metadata(self, bucket: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Metadata-only read (ids, leaves) — Circuit ORAM's scan passes."""
+        if self.tracer is not None:
+            self.tracer.record(READ, self.region, bucket)
+        return self.ids[bucket].copy(), self.leaves[bucket].copy()
+
+    # ------------------------------------------------------------------
+    # Bookkeeping
+    # ------------------------------------------------------------------
+    def occupancy(self) -> int:
+        """Total real (non-dummy) blocks stored in the tree."""
+        return int((self.ids != DUMMY).sum())
+
+    def find_slot(self, bucket: int) -> Optional[int]:
+        """Index of a free slot in ``bucket``, or ``None`` when full."""
+        free = np.nonzero(self.ids[bucket] == DUMMY)[0]
+        return int(free[0]) if free.size else None
+
+    def place_initial(self, block_id: int, leaf: int, payload: np.ndarray) -> bool:
+        """Offline placement used at build time: deepest free slot on the path.
+
+        Initialization happens before any secret-dependent access, so direct
+        placement leaks nothing. Returns False when the whole path is full
+        (the caller then parks the block in the stash).
+        """
+        for bucket in reversed(self.path_indices(leaf)):
+            slot = self.find_slot(bucket)
+            if slot is not None:
+                self.ids[bucket, slot] = block_id
+                self.leaves[bucket, slot] = leaf
+                self.payloads[bucket, slot] = payload
+                return True
+        return False

@@ -1,0 +1,30 @@
+"""Cache side-channel substrate: LLC model, victim, PRIME+PROBE attacker."""
+
+from repro.sidechannel.attacker import (
+    AggregatedAttack,
+    AttackResult,
+    PrimeProbeAttacker,
+)
+from repro.sidechannel.cache import CacheConfig, SetAssociativeCache
+from repro.sidechannel.pagefault import (
+    PAGE_SIZE,
+    ControlledChannelAttacker,
+    PageChannelVictim,
+    PageFaultObserver,
+    combined_channel_candidates,
+)
+from repro.sidechannel.victim import EmbeddingLookupVictim
+
+__all__ = [
+    "PAGE_SIZE",
+    "ControlledChannelAttacker",
+    "PageChannelVictim",
+    "PageFaultObserver",
+    "combined_channel_candidates",
+    "AggregatedAttack",
+    "AttackResult",
+    "PrimeProbeAttacker",
+    "CacheConfig",
+    "SetAssociativeCache",
+    "EmbeddingLookupVictim",
+]

@@ -1,0 +1,83 @@
+"""A set-associative last-level-cache model with LRU replacement.
+
+Granularity matches the paper's attack (§III-A2): the attacker observes
+cache-set contention at cache-line granularity, and every embedding-table
+row spans at least one line, so line-level modelling suffices to recover
+lookup indices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.utils.validation import check_positive, check_power_of_two
+
+
+@dataclass
+class CacheConfig:
+    """Geometry and timing of the modelled cache."""
+
+    num_sets: int = 1024
+    ways: int = 12
+    line_size: int = 64
+    hit_latency: float = 40.0     # cycles: LLC hit
+    miss_latency: float = 200.0   # cycles: DRAM access
+
+    def __post_init__(self) -> None:
+        check_power_of_two("num_sets", self.num_sets)
+        check_positive("ways", self.ways)
+        check_power_of_two("line_size", self.line_size)
+        if self.miss_latency <= self.hit_latency:
+            raise ValueError("miss_latency must exceed hit_latency")
+
+
+class SetAssociativeCache:
+    """LRU set-associative cache shared by victim and attacker."""
+
+    def __init__(self, config: Optional[CacheConfig] = None) -> None:
+        self.config = config or CacheConfig()
+        # Per-set list of resident line tags, most-recently-used last.
+        self._sets: List[List[int]] = [[] for _ in range(self.config.num_sets)]
+        self.accesses = 0
+        self.misses = 0
+
+    def _locate(self, address: int) -> tuple:
+        line = address // self.config.line_size
+        set_index = line % self.config.num_sets
+        tag = line // self.config.num_sets
+        return set_index, tag
+
+    def set_index_of(self, address: int) -> int:
+        """Cache set an address maps to (what the attacker computes)."""
+        return self._locate(address)[0]
+
+    def access(self, address: int) -> float:
+        """Access one byte address; returns the observed latency in cycles."""
+        set_index, tag = self._locate(address)
+        resident = self._sets[set_index]
+        self.accesses += 1
+        if tag in resident:
+            resident.remove(tag)
+            resident.append(tag)
+            return self.config.hit_latency
+        self.misses += 1
+        resident.append(tag)
+        if len(resident) > self.config.ways:
+            resident.pop(0)  # evict LRU
+        return self.config.miss_latency
+
+    def access_range(self, address: int, num_bytes: int) -> float:
+        """Access ``num_bytes`` starting at ``address``; total latency."""
+        check_positive("num_bytes", num_bytes)
+        total = 0.0
+        first_line = address // self.config.line_size
+        last_line = (address + num_bytes - 1) // self.config.line_size
+        for line in range(first_line, last_line + 1):
+            total += self.access(line * self.config.line_size)
+        return total
+
+    def flush(self) -> None:
+        """Empty the cache (used between attack trials)."""
+        for resident in self._sets:
+            resident.clear()

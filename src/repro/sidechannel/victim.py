@@ -1,0 +1,46 @@
+"""The victim: an enclave embedding-table lookup running over the shared cache.
+
+Mirrors the paper's SGX demonstration: an embedding layer whose row access
+address is a direct function of the (secret) sparse-feature index. A
+linear-scan variant is provided to show the defence removes the signal.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.sidechannel.cache import SetAssociativeCache
+from repro.utils.validation import check_positive
+
+
+class EmbeddingLookupVictim:
+    """Table-lookup embedding layer with an observable cache footprint."""
+
+    def __init__(self, cache: SetAssociativeCache, num_rows: int = 256,
+                 embedding_dim: int = 64, element_bytes: int = 4,
+                 base_address: int = 0x10_0000) -> None:
+        check_positive("num_rows", num_rows)
+        check_positive("embedding_dim", embedding_dim)
+        self.cache = cache
+        self.num_rows = num_rows
+        self.embedding_dim = embedding_dim
+        self.row_bytes = embedding_dim * element_bytes
+        self.base_address = base_address
+
+    def row_address(self, index: int) -> int:
+        if not 0 <= index < self.num_rows:
+            raise IndexError(f"index {index} out of range")
+        return self.base_address + index * self.row_bytes
+
+    def lookup(self, index: int) -> None:
+        """The vulnerable operation: touch exactly the requested row."""
+        self.cache.access_range(self.row_address(index), self.row_bytes)
+
+    def lookup_linear_scan(self, index: int) -> None:
+        """The protected operation: touch every row regardless of ``index``."""
+        if not 0 <= index < self.num_rows:
+            raise IndexError(f"index {index} out of range")
+        for row in range(self.num_rows):
+            self.cache.access_range(self.row_address(row), self.row_bytes)

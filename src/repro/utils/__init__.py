@@ -1,0 +1,21 @@
+"""Shared utilities: seeded RNG management, validation helpers, timing."""
+
+from repro.utils.rng import RngMixin, new_rng, spawn_rngs
+from repro.utils.timing import Timer
+from repro.utils.validation import (
+    check_positive,
+    check_non_negative,
+    check_in,
+    check_power_of_two,
+)
+
+__all__ = [
+    "RngMixin",
+    "new_rng",
+    "spawn_rngs",
+    "Timer",
+    "check_positive",
+    "check_non_negative",
+    "check_in",
+    "check_power_of_two",
+]

@@ -1,0 +1,42 @@
+"""Wall-clock timing utilities for the profiling harness."""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, List
+
+
+class Timer:
+    """Context manager measuring elapsed wall-clock seconds.
+
+    >>> with Timer() as t:
+    ...     _ = sum(range(1000))
+    >>> t.elapsed >= 0
+    True
+    """
+
+    def __init__(self) -> None:
+        self.elapsed = 0.0
+        self._start = 0.0
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.elapsed = time.perf_counter() - self._start
+
+
+def time_callable(fn: Callable[[], object], repeats: int = 3, warmup: int = 1) -> float:
+    """Return the median wall-clock seconds of ``fn`` over ``repeats`` runs."""
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
+    for _ in range(warmup):
+        fn()
+    samples: List[float] = []
+    for _ in range(repeats):
+        with Timer() as timer:
+            fn()
+        samples.append(timer.elapsed)
+    samples.sort()
+    return samples[len(samples) // 2]

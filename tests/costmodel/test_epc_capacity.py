@@ -1,0 +1,38 @@
+"""EPC-capacity arguments (§II-B, §VI-B4): what fits where."""
+
+import pytest
+
+from repro.costmodel import DLRM_DHE_UNIFORM_64
+from repro.costmodel.platform import CLIENT_SGX_PLATFORM, DEFAULT_PLATFORM
+from repro.data import TERABYTE_SPEC
+from repro.metrics.footprint import dlrm_embedding_footprints
+
+
+@pytest.fixture(scope="module")
+def terabyte_report():
+    return dlrm_embedding_footprints(TERABYTE_SPEC.table_sizes, 64,
+                                     DLRM_DHE_UNIFORM_64,
+                                     hybrid_threshold=3300)
+
+
+class TestScalableSgx:
+    def test_single_table_model_fits(self, terabyte_report):
+        assert terabyte_report.table < DEFAULT_PLATFORM.epc_bytes
+
+    def test_oram_model_fits_but_barely_scales(self, terabyte_report):
+        epc = DEFAULT_PLATFORM.epc_bytes
+        assert terabyte_report.tree_oram < epc
+        # Co-locating even two ORAM Terabyte models exceeds the EPC...
+        assert 2 * terabyte_report.tree_oram > epc / 2
+        # ...while thousands of hybrid models fit (§VI-B2's claim).
+        assert epc // terabyte_report.hybrid_varied > 1000
+
+
+class TestClientSgx:
+    def test_obsolete_edition_cannot_hold_the_table(self, terabyte_report):
+        epc = CLIENT_SGX_PLATFORM.epc_bytes
+        assert terabyte_report.table > epc
+        assert terabyte_report.tree_oram > epc
+
+    def test_dhe_model_fits_even_there(self, terabyte_report):
+        assert terabyte_report.hybrid_varied < CLIENT_SGX_PLATFORM.epc_bytes

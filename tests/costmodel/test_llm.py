@@ -1,0 +1,100 @@
+"""LLM inference cost-model tests (Fig 15 mechanisms)."""
+
+import pytest
+
+from repro.costmodel.llm import (
+    GPT2_MEDIUM,
+    LlmShape,
+    decode_step_latency,
+    embedding_stage_latency,
+    generation_latency,
+    prefill_latency,
+    stage_latency,
+)
+
+
+class TestLlmShape:
+    def test_gpt2_medium_param_count(self):
+        # GPT-2 medium non-embedding params ~ 300M.
+        params = GPT2_MEDIUM.non_embedding_params
+        assert 280e6 < params < 330e6
+
+    def test_kv_bytes(self):
+        assert GPT2_MEDIUM.kv_bytes_per_token() == 2 * 24 * 1024 * 4
+
+    def test_dhe_shape_is_2x_dim(self):
+        shape = GPT2_MEDIUM.dhe_shape()
+        assert shape.k == 2048
+        assert shape.fc_sizes == (2048, 2048, 2048)
+
+
+class TestPrefill:
+    def test_scales_with_tokens(self):
+        short = prefill_latency(GPT2_MEDIUM, 1, 128)
+        long = prefill_latency(GPT2_MEDIUM, 1, 256)
+        assert long > 1.8 * short
+
+    def test_paper_anchor_batch1(self):
+        """Paper non-secure TTFT = 183.7 ms; accept the right decade."""
+        ttft = stage_latency("lookup", "prefill", GPT2_MEDIUM, 1, 256)
+        assert 0.08 < ttft < 0.8
+
+
+class TestDecode:
+    def test_paper_anchor_batch1(self):
+        """Paper non-secure TBT = 37.2 ms at batch 1."""
+        tbt = stage_latency("lookup", "decode", GPT2_MEDIUM, 1, 256)
+        assert 0.02 < tbt < 0.08
+
+    def test_grows_with_batch(self):
+        one = decode_step_latency(GPT2_MEDIUM, 1, 256)
+        twelve = decode_step_latency(GPT2_MEDIUM, 12, 256)
+        assert twelve > 1.5 * one
+
+    def test_grows_with_context(self):
+        assert decode_step_latency(GPT2_MEDIUM, 8, 1024) > \
+            decode_step_latency(GPT2_MEDIUM, 8, 128)
+
+
+class TestTechniqueComparisons:
+    def test_dhe_beats_circuit_on_prefill(self):
+        for batch in (1, 8, 12):
+            dhe = stage_latency("dhe", "prefill", GPT2_MEDIUM, batch, 256)
+            circuit = stage_latency("circuit", "prefill", GPT2_MEDIUM,
+                                    batch, 256)
+            assert dhe < circuit
+
+    def test_decode_batch1_nearly_tied(self):
+        """Paper: Circuit edges DHE by ~1% at batch-1 decode."""
+        dhe = stage_latency("dhe", "decode", GPT2_MEDIUM, 1, 256)
+        circuit = stage_latency("circuit", "decode", GPT2_MEDIUM, 1, 256)
+        assert abs(dhe - circuit) < 0.1 * circuit
+
+    def test_dhe_beats_circuit_at_batched_decode(self):
+        dhe = stage_latency("dhe", "decode", GPT2_MEDIUM, 12, 256)
+        circuit = stage_latency("circuit", "decode", GPT2_MEDIUM, 12, 256)
+        assert dhe < circuit
+
+    def test_dhe_overhead_over_nonsecure_small(self):
+        """Paper: DHE end-to-end overhead 2-5% over non-secure."""
+        for batch in (1, 8):
+            secure = generation_latency("dhe", GPT2_MEDIUM, batch,
+                                        prompt_tokens=256, new_tokens=16)
+            plain = generation_latency("lookup", GPT2_MEDIUM, batch,
+                                       prompt_tokens=256, new_tokens=16)
+            overhead = (secure - plain) / plain
+            assert 0 <= overhead < 0.15
+
+    def test_path_oram_is_worst_secure_option(self):
+        for stage in ("prefill", "decode"):
+            path = stage_latency("path", stage, GPT2_MEDIUM, 8, 256)
+            circuit = stage_latency("circuit", stage, GPT2_MEDIUM, 8, 256)
+            assert path > circuit
+
+    def test_unknown_technique(self):
+        with pytest.raises(ValueError):
+            embedding_stage_latency("magic", GPT2_MEDIUM, 8)
+
+    def test_unknown_stage(self):
+        with pytest.raises(ValueError):
+            stage_latency("dhe", "sampling", GPT2_MEDIUM, 8)

@@ -1,0 +1,74 @@
+"""Footprint-model tests, anchored to the paper's Table VI / §VI-D3."""
+
+import pytest
+
+from repro.costmodel.latency import DLRM_DHE_UNIFORM_16, LLM_DHE_GPT2_MEDIUM
+from repro.costmodel.memory import (
+    _tree_slots,
+    dhe_bytes,
+    mlp_bytes,
+    table_bytes,
+    tree_oram_bytes,
+)
+
+MB = 2**20
+
+
+class TestTableBytes:
+    def test_formula(self):
+        assert table_bytes(1000, 64) == 1000 * 64 * 4
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            table_bytes(0, 64)
+
+
+class TestTreeSlots:
+    def test_between_2x_and_4x(self):
+        for blocks in (100, 5000, 10**6, 10**7):
+            slots = _tree_slots(blocks)
+            assert 1.5 * blocks <= slots <= 4.5 * blocks
+
+    def test_power_of_two_blocks(self):
+        # n = 4 * 2^k packs exactly: slots = (2*2^k - 1) * 4
+        assert _tree_slots(4 * 1024) == (2 * 1024 - 1) * 4
+
+
+class TestTreeOramBytes:
+    def test_paper_ratio_three_ish(self):
+        """Table VI: Tree-ORAM ~327-337% of the raw table."""
+        raw = table_bytes(10**7, 64)
+        oram = tree_oram_bytes(10**7, 64, scheme="circuit")
+        assert 2.5 * raw < oram < 4.5 * raw
+
+    def test_gpt2_vocab_oram_near_514mb(self):
+        """§VI-D3: ORAM table for GPT-2 medium = 513.6 MB."""
+        oram_mb = tree_oram_bytes(50257, 1024, scheme="circuit") / MB
+        assert 450 < oram_mb < 580
+
+    def test_recursion_included(self):
+        small = tree_oram_bytes(1 << 12, 64, scheme="circuit")
+        # Doubling past the cutoff adds posmap trees, not just 2x payload.
+        big = tree_oram_bytes(1 << 13, 64, scheme="circuit")
+        assert big > 2 * small * 0.9
+
+    def test_unknown_scheme(self):
+        with pytest.raises(ValueError):
+            tree_oram_bytes(100, 64, scheme="square")
+
+
+class TestDheBytes:
+    def test_kaggle_uniform_near_2_6mb(self):
+        assert 2.2 * MB < dhe_bytes(DLRM_DHE_UNIFORM_16) < 3.0 * MB
+
+    def test_llm_dhe_near_56mb(self):
+        assert 50 * MB < dhe_bytes(LLM_DHE_GPT2_MEDIUM) < 62 * MB
+
+    def test_far_smaller_than_large_table(self):
+        assert dhe_bytes(DLRM_DHE_UNIFORM_16) < 0.01 * table_bytes(10**7, 16)
+
+
+class TestMlpBytes:
+    def test_formula(self):
+        # 2 layers: 4*8+8 and 8*2+2 params.
+        assert mlp_bytes([4, 8, 2]) == (4 * 8 + 8 + 8 * 2 + 2) * 4

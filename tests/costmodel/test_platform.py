@@ -1,0 +1,61 @@
+"""Platform model tests: rates, saturation, thread scaling."""
+
+import pytest
+
+from repro.costmodel.platform import DEFAULT_PLATFORM, PlatformModel
+
+
+class TestFlopRate:
+    def test_increases_with_batch(self):
+        p = DEFAULT_PLATFORM
+        assert p.flop_rate(1) < p.flop_rate(8) < p.flop_rate(256)
+
+    def test_saturates(self):
+        p = DEFAULT_PLATFORM
+        assert p.flop_rate(10_000) <= p.flops_large_batch
+
+    def test_threads_sublinear(self):
+        p = DEFAULT_PLATFORM
+        assert p.flop_rate(32, threads=16) < 16 * p.flop_rate(32, threads=1)
+        assert p.flop_rate(32, threads=16) > 8 * p.flop_rate(32, threads=1)
+
+    def test_threads_capped_at_cores(self):
+        p = DEFAULT_PLATFORM
+        assert p.flop_rate(32, threads=p.cores) == \
+            p.flop_rate(32, threads=p.cores * 4)
+
+    def test_invalid_batch(self):
+        with pytest.raises(ValueError):
+            DEFAULT_PLATFORM.flop_rate(0)
+
+
+class TestScanBandwidth:
+    def test_llc_faster_than_dram(self):
+        p = DEFAULT_PLATFORM
+        assert p.scan_bandwidth(1024) > p.scan_bandwidth(p.llc_bytes + 1)
+
+    def test_dram_bandwidth_saturates(self):
+        p = DEFAULT_PLATFORM
+        big = p.llc_bytes * 10
+        assert p.scan_bandwidth(big, threads=p.cores) <= p.dram_total_bw
+
+    def test_scan_threads_scale_linearly_up_to_cores(self):
+        p = DEFAULT_PLATFORM
+        assert p.scan_bandwidth(1024, threads=4) == pytest.approx(
+            4 * p.scan_bandwidth(1024, threads=1))
+
+
+class TestCalibration:
+    """The back-solved constants of the paper (see module docstring)."""
+
+    def test_scan_dram_near_nine_gbs(self):
+        assert 7e9 < DEFAULT_PLATFORM.scan_dram_bw < 11e9
+
+    def test_epc_is_64gb(self):
+        assert DEFAULT_PLATFORM.epc_bytes == 64 * 1024 ** 3
+
+    def test_platform_matches_table_iii(self):
+        p = DEFAULT_PLATFORM
+        assert p.cores == 28
+        assert p.smt_threads == 56
+        assert p.llc_bytes == 42 * 1024 * 1024

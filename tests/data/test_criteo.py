@@ -1,0 +1,101 @@
+"""Synthetic Criteo dataset tests: schema, signal, determinism."""
+
+import numpy as np
+import pytest
+
+from repro.data.criteo import (
+    KAGGLE_SPEC,
+    KAGGLE_TABLE_SIZES,
+    TERABYTE_SPEC,
+    TERABYTE_TABLE_SIZES,
+    DlrmDatasetSpec,
+    SyntheticCtrDataset,
+    scaled_spec,
+)
+
+
+class TestSchemas:
+    def test_26_sparse_features(self):
+        assert len(KAGGLE_TABLE_SIZES) == 26
+        assert len(TERABYTE_TABLE_SIZES) == 26
+
+    def test_13_dense_features(self):
+        assert KAGGLE_SPEC.num_dense == 13
+
+    def test_paper_embedding_dims(self):
+        assert KAGGLE_SPEC.embedding_dim == 16
+        assert TERABYTE_SPEC.embedding_dim == 64
+
+    def test_sizes_capped_at_1e7(self):
+        """Paper: 'Criteo [tables] only go up to 1e7'."""
+        assert max(KAGGLE_TABLE_SIZES) < 1.1e7
+        assert max(TERABYTE_TABLE_SIZES) < 1.1e7
+
+    def test_largest_tables_in_the_millions(self):
+        assert sum(1 for s in KAGGLE_TABLE_SIZES if s > 10**6) >= 5
+
+    def test_scaled_spec_caps(self):
+        spec = scaled_spec(KAGGLE_SPEC, 500)
+        assert max(spec.table_sizes) == 500
+        assert spec.num_sparse == 26
+        assert spec.embedding_dim == 16
+
+    def test_scaled_spec_preserves_small_tables(self):
+        spec = scaled_spec(KAGGLE_SPEC, 500)
+        assert spec.table_sizes[KAGGLE_TABLE_SIZES.index(3)] == 3
+
+
+class TestSyntheticCtrDataset:
+    @pytest.fixture
+    def dataset(self):
+        spec = DlrmDatasetSpec("t", 13, (50, 20, 1000), embedding_dim=8)
+        return SyntheticCtrDataset(spec, seed=0)
+
+    def test_batch_shapes(self, dataset):
+        batch = dataset.batch(16)
+        assert batch.dense.shape == (16, 13)
+        assert batch.sparse.shape == (16, 3)
+        assert batch.labels.shape == (16,)
+        assert len(batch) == 16
+
+    def test_indices_in_range(self, dataset):
+        batch = dataset.batch(500)
+        for table, size in enumerate((50, 20, 1000)):
+            column = batch.sparse[:, table]
+            assert column.min() >= 0
+            assert column.max() < size
+
+    def test_labels_binary_and_mixed(self, dataset):
+        labels = dataset.batch(2000).labels
+        assert set(np.unique(labels)) <= {0.0, 1.0}
+        assert 0.05 < labels.mean() < 0.95
+
+    def test_deterministic_under_seed(self):
+        spec = DlrmDatasetSpec("t", 13, (50,), embedding_dim=8)
+        a = SyntheticCtrDataset(spec, seed=7).batch(10)
+        b = SyntheticCtrDataset(spec, seed=7).batch(10)
+        np.testing.assert_allclose(a.dense, b.dense)
+        np.testing.assert_array_equal(a.sparse, b.sparse)
+        np.testing.assert_array_equal(a.labels, b.labels)
+
+    def test_popularity_skew(self, dataset):
+        """Power-law sampling: the head index appears orders of magnitude
+        more often than the uniform share (1/1000)."""
+        column = dataset.batch(5000).sparse[:, 2]
+        counts = np.bincount(column, minlength=1000)
+        assert counts[0] > 50 * counts.sum() / 1000
+        # And the tail is still reachable.
+        assert (counts[500:] > 0).any()
+
+    def test_planted_signal_learnable(self, dataset):
+        """The Bayes-optimal scorer must beat chance by a wide margin —
+        otherwise the Table V parity experiment would be vacuous."""
+        assert dataset.bayes_optimal_auc(num_samples=4000) > 0.8
+
+    def test_batches_list(self, dataset):
+        batches = dataset.batches(8, count=3)
+        assert len(batches) == 3
+
+    def test_invalid_batch_size(self, dataset):
+        with pytest.raises(ValueError):
+            dataset.batch(0)

@@ -1,0 +1,98 @@
+"""Meta table-size synthesis and the Markov text corpus."""
+
+import numpy as np
+import pytest
+
+from repro.data.meta_dataset import (
+    META_MAX_ROWS,
+    META_NUM_TABLES,
+    meta_table_sizes,
+    total_table_bytes,
+)
+from repro.data.text import (
+    MarkovCorpusGenerator,
+    WordTokenizer,
+    batchify,
+)
+
+
+class TestMetaTableSizes:
+    def test_count_and_cap(self):
+        sizes = meta_table_sizes()
+        assert len(sizes) == META_NUM_TABLES == 788
+        assert max(sizes) == META_MAX_ROWS
+
+    def test_sorted_descending(self):
+        sizes = meta_table_sizes()
+        assert list(sizes) == sorted(sizes, reverse=True)
+
+    def test_deterministic(self):
+        assert meta_table_sizes(seed=1) == meta_table_sizes(seed=1)
+        assert meta_table_sizes(seed=1) != meta_table_sizes(seed=2)
+
+    def test_total_near_paper_910gb(self):
+        total_gb = total_table_bytes(meta_table_sizes()) / 1e9
+        assert 500 < total_gb < 1400
+
+    def test_long_tail(self):
+        sizes = meta_table_sizes()
+        assert sum(1 for s in sizes if s < 10**5) > 50
+        assert sum(1 for s in sizes if s > 10**7) > 10
+
+
+class TestWordTokenizer:
+    def test_roundtrip(self):
+        tokenizer = WordTokenizer(100)
+        text = "w0003 w0042 w0099"
+        assert tokenizer.decode(tokenizer.encode(text)) == text
+
+    def test_unknown_word(self):
+        with pytest.raises(KeyError):
+            WordTokenizer(10).encode("hello")
+
+
+class TestMarkovCorpus:
+    def test_tokens_in_vocab(self):
+        generator = MarkovCorpusGenerator(vocab_size=40, branching=4, seed=0)
+        tokens = generator.sample_tokens(500)
+        assert tokens.min() >= 0 and tokens.max() < 40
+
+    def test_entropy_below_uniform(self):
+        """The chain must be predictable (else finetuning can't help)."""
+        generator = MarkovCorpusGenerator(vocab_size=64, branching=4, seed=0)
+        assert generator.entropy_rate_bits() < np.log2(64) * 0.5
+
+    def test_deterministic(self):
+        a = MarkovCorpusGenerator(32, 4, seed=5).sample_tokens(100)
+        b = MarkovCorpusGenerator(32, 4, seed=5).sample_tokens(100)
+        np.testing.assert_array_equal(a, b)
+
+    def test_build_corpus(self):
+        corpus = MarkovCorpusGenerator(32, 4, seed=0).build_corpus(1000, 200)
+        assert corpus.train_tokens.size == 1000
+        assert corpus.val_tokens.size == 200
+        assert corpus.vocab_size == 32
+
+    def test_branching_bounds_successors(self):
+        generator = MarkovCorpusGenerator(vocab_size=32, branching=3, seed=0)
+        tokens = generator.sample_tokens(3000)
+        successors = {}
+        for a, b in zip(tokens[:-1], tokens[1:]):
+            successors.setdefault(int(a), set()).add(int(b))
+        assert max(len(s) for s in successors.values()) <= 3
+
+    def test_invalid_branching(self):
+        with pytest.raises(ValueError):
+            MarkovCorpusGenerator(vocab_size=4, branching=10)
+
+
+class TestBatchify:
+    def test_targets_shifted_by_one(self):
+        tokens = np.arange(100)
+        inputs, targets = batchify(tokens, batch_size=4, seq_len=8, rng=0)
+        assert inputs.shape == targets.shape == (4, 8)
+        np.testing.assert_array_equal(inputs[:, 1:], targets[:, :-1])
+
+    def test_too_short_stream(self):
+        with pytest.raises(ValueError):
+            batchify(np.arange(5), batch_size=2, seq_len=8)

@@ -1,0 +1,105 @@
+"""Shared behaviour of all embedding generators + per-class specifics."""
+
+import numpy as np
+import pytest
+
+from repro.embedding import (
+    CircuitOramEmbedding,
+    DHEEmbedding,
+    HybridEmbedding,
+    LinearScanEmbedding,
+    PathOramEmbedding,
+    RingOramEmbedding,
+    TableEmbedding,
+)
+
+N, D = 40, 6
+
+
+@pytest.fixture
+def weights(rng):
+    return rng.normal(size=(N, D))
+
+
+def storage_generators(weights):
+    return [
+        TableEmbedding(N, D, rng=0),
+        LinearScanEmbedding(N, D, weight=weights),
+        PathOramEmbedding(N, D, weight=weights, rng=1),
+        CircuitOramEmbedding(N, D, weight=weights, rng=2),
+        RingOramEmbedding(N, D, weight=weights, rng=3),
+    ]
+
+
+class TestStorageGeneratorsAgree:
+    def test_scan_and_orams_return_table_rows(self, weights):
+        indices = np.array([0, 5, 5, 39])
+        for generator in storage_generators(weights)[1:]:
+            out = generator.generate(indices)
+            np.testing.assert_allclose(out, weights[indices], atol=1e-12)
+
+    def test_index_shape_preserved(self, weights):
+        indices = np.array([[1, 2, 3], [4, 5, 6]])
+        for generator in storage_generators(weights)[1:]:
+            assert generator.generate(indices).shape == (2, 3, D)
+
+    def test_out_of_range_rejected(self, weights):
+        for generator in storage_generators(weights):
+            with pytest.raises(IndexError):
+                generator.generate(np.array([N]))
+
+    def test_obliviousness_flags(self, weights):
+        flags = {g.technique: g.is_oblivious
+                 for g in storage_generators(weights)}
+        assert flags == {"lookup": False, "scan": True, "path-oram": True,
+                         "circuit-oram": True, "ring-oram": True}
+
+    def test_footprints_ordered(self, weights):
+        scan = LinearScanEmbedding(N, D, weight=weights)
+        path = PathOramEmbedding(N, D, weight=weights, rng=0)
+        assert path.footprint_bytes() > scan.footprint_bytes()
+
+    def test_modelled_latency_positive(self, weights):
+        for generator in storage_generators(weights):
+            assert generator.modelled_latency(batch=32) > 0
+
+
+class TestLinearScanEmbedding:
+    def test_trainable(self, weights):
+        from repro.nn.optim import SGD
+
+        scan = LinearScanEmbedding(N, D, weight=weights)
+        out = scan(np.array([3]))
+        (out ** 2.0).sum().backward()
+        assert scan.weight.grad is not None
+        assert np.abs(scan.weight.grad[3]).sum() > 0
+        assert np.abs(scan.weight.grad[np.arange(N) != 3]).sum() == 0
+
+    def test_weight_shape_validated(self):
+        with pytest.raises(ValueError):
+            LinearScanEmbedding(N, D, weight=np.zeros((N, D + 1)))
+
+
+class TestOramEmbedding:
+    def test_load_weights_refreshes(self, rng):
+        generator = CircuitOramEmbedding(16, 4, rng=0)
+        fresh = rng.normal(size=(16, 4))
+        generator.load_weights(fresh)
+        np.testing.assert_allclose(generator.generate(np.arange(16)), fresh)
+
+    def test_empty_batch(self, weights):
+        generator = CircuitOramEmbedding(N, D, weight=weights, rng=0)
+        out = generator.generate(np.array([], dtype=np.int64))
+        assert out.shape == (0, D)
+
+    def test_weight_shape_validated(self):
+        with pytest.raises(ValueError):
+            PathOramEmbedding(N, D, weight=np.zeros((N, D + 1)))
+
+
+class TestConstructorValidation:
+    def test_bad_sizes(self):
+        with pytest.raises(ValueError):
+            TableEmbedding(0, 4)
+        with pytest.raises(ValueError):
+            TableEmbedding(4, 0)

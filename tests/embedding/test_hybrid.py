@@ -1,0 +1,68 @@
+"""Hybrid dual-representation tests (Algorithm 2's offline conversion)."""
+
+import numpy as np
+import pytest
+
+from repro.embedding.dhe import DHEEmbedding
+from repro.embedding.hybrid import TECHNIQUE_DHE, TECHNIQUE_SCAN, HybridEmbedding
+
+
+@pytest.fixture
+def hybrid():
+    return HybridEmbedding(DHEEmbedding(30, 4, k=8, fc_sizes=(8,), rng=0))
+
+
+class TestSelection:
+    def test_default_is_dhe(self, hybrid):
+        assert hybrid.active == TECHNIQUE_DHE
+        assert hybrid.technique == "hybrid/dhe"
+
+    def test_select_scan_materialises(self, hybrid):
+        hybrid.select(TECHNIQUE_SCAN)
+        assert hybrid.active == TECHNIQUE_SCAN
+        assert hybrid._scan is not None
+
+    def test_invalid_technique(self, hybrid):
+        with pytest.raises(ValueError):
+            hybrid.select("oram")
+
+    def test_select_returns_self(self, hybrid):
+        assert hybrid.select(TECHNIQUE_SCAN) is hybrid
+
+
+class TestRepresentationEquivalence:
+    def test_both_representations_same_outputs(self, hybrid):
+        indices = np.array([0, 13, 29, 13])
+        dhe_out = hybrid.generate(indices)
+        hybrid.select(TECHNIQUE_SCAN)
+        scan_out = hybrid.generate(indices)
+        np.testing.assert_allclose(dhe_out, scan_out, atol=1e-12)
+
+    def test_refresh_after_retraining(self, hybrid):
+        hybrid.select(TECHNIQUE_SCAN)
+        stale = hybrid.generate(np.array([5]))
+        # "Retrain" the DHE: perturb its decoder.
+        for param in hybrid.dhe.parameters():
+            param.data += 0.1
+        hybrid.refresh_table()
+        refreshed = hybrid.generate(np.array([5]))
+        assert not np.allclose(stale, refreshed)
+        hybrid.select(TECHNIQUE_DHE)
+        np.testing.assert_allclose(hybrid.generate(np.array([5])),
+                                   refreshed, atol=1e-12)
+
+
+class TestActiveAccounting:
+    def test_latency_follows_active(self, hybrid):
+        dhe_latency = hybrid.modelled_latency(batch=32)
+        hybrid.select(TECHNIQUE_SCAN)
+        scan_latency = hybrid.modelled_latency(batch=32)
+        assert dhe_latency != scan_latency
+
+    def test_footprint_follows_active(self, hybrid):
+        dhe_bytes = hybrid.footprint_bytes()
+        hybrid.select(TECHNIQUE_SCAN)
+        assert hybrid.footprint_bytes() != dhe_bytes
+
+    def test_is_oblivious(self, hybrid):
+        assert hybrid.is_oblivious

@@ -1,0 +1,73 @@
+"""Multi-hot pooled lookups across every generator."""
+
+import numpy as np
+import pytest
+
+from repro.embedding import (
+    CircuitOramEmbedding,
+    DHEEmbedding,
+    LinearScanEmbedding,
+    TableEmbedding,
+)
+from repro.oblivious import MemoryTracer, assert_trace_oblivious
+
+N, D = 30, 6
+
+
+@pytest.fixture
+def weights(rng):
+    return rng.normal(size=(N, D))
+
+
+class TestPooledSemantics:
+    def test_sum_pooling_matches_manual(self, weights):
+        scan = LinearScanEmbedding(N, D, weight=weights)
+        bags = np.array([[1, 2, 3], [4, 4, 5]])
+        pooled = scan.generate_pooled(bags)
+        expected = weights[bags].sum(axis=1)
+        np.testing.assert_allclose(pooled, expected, atol=1e-12)
+
+    def test_mean_pooling(self, weights):
+        table = TableEmbedding(N, D, rng=0)
+        table.weight.data[...] = weights
+        bags = np.array([[0, 1], [2, 3]])
+        pooled = table.generate_pooled(bags, mode="mean")
+        np.testing.assert_allclose(pooled, weights[bags].mean(axis=1),
+                                   atol=1e-12)
+
+    def test_oram_pooled(self, weights):
+        oram = CircuitOramEmbedding(N, D, weight=weights, rng=1)
+        bags = np.array([[7, 8, 9]])
+        np.testing.assert_allclose(oram.generate_pooled(bags),
+                                   weights[[7, 8, 9]].sum(axis=0,
+                                                          keepdims=True),
+                                   atol=1e-12)
+
+    def test_dhe_pooled_deterministic(self):
+        dhe = DHEEmbedding(N, D, k=8, fc_sizes=(8,), rng=0)
+        bags = np.array([[1, 2], [1, 2]])
+        pooled = dhe.generate_pooled(bags)
+        np.testing.assert_allclose(pooled[0], pooled[1])
+
+    def test_pooled_gradients_accumulate(self, weights):
+        scan = LinearScanEmbedding(N, D, weight=weights)
+        pooled = scan.forward_pooled(np.array([[3, 3]]))
+        pooled.sum().backward()
+        np.testing.assert_allclose(scan.weight.grad[3], 2 * np.ones(D))
+
+    def test_shape_validation(self, weights):
+        scan = LinearScanEmbedding(N, D, weight=weights)
+        with pytest.raises(ValueError):
+            scan.forward_pooled(np.array([1, 2, 3]))
+        with pytest.raises(ValueError):
+            scan.forward_pooled(np.array([[1, 2]]), mode="max")
+
+
+class TestPooledObliviousness:
+    def test_scan_pooled_trace_independent_of_bag_content(self, weights):
+        def fn(tracer: MemoryTracer, secret_bag):
+            scan = LinearScanEmbedding(N, D, weight=weights)
+            # traced path: one scan per bag element, content-independent
+            scan.generate_traced(np.asarray(secret_bag).reshape(-1), tracer)
+
+        assert_trace_oblivious(fn, [[0, 1, 2], [29, 15, 7], [3, 3, 3]])

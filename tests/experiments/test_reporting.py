@@ -1,0 +1,50 @@
+"""ExperimentResult container and rendering tests."""
+
+import pytest
+
+from repro.experiments.reporting import (
+    ExperimentResult,
+    format_mb,
+    format_ms,
+)
+
+
+@pytest.fixture
+def result():
+    r = ExperimentResult("figX", "demo", headers=("a", "b"))
+    r.add_row(1, 2.5)
+    r.add_row(10, 0.000123)
+    return r
+
+
+class TestExperimentResult:
+    def test_add_row_validates_width(self, result):
+        with pytest.raises(ValueError):
+            result.add_row(1)
+
+    def test_column(self, result):
+        assert result.column("a") == [1, 10]
+
+    def test_unknown_column(self, result):
+        with pytest.raises(KeyError):
+            result.column("z")
+
+    def test_render_contains_everything(self, result):
+        result.notes = "hello"
+        text = result.render()
+        assert "figX" in text and "demo" in text
+        assert "2.5" in text
+        assert "note: hello" in text
+
+    def test_render_aligns_columns(self, result):
+        lines = result.render().splitlines()
+        header, _, row1, row2 = lines[1:5]
+        assert len(row1) == len(row2) == len(header)
+
+
+class TestFormatters:
+    def test_format_ms(self):
+        assert format_ms(0.0123) == 12.3
+
+    def test_format_mb(self):
+        assert format_mb(1024 * 1024) == 1.0

@@ -1,0 +1,105 @@
+"""Hybrid-deployment packaging: save/load round-trips and reconfiguration."""
+
+import numpy as np
+import pytest
+
+from repro.costmodel.latency import DheShape
+from repro.data.criteo import DlrmDatasetSpec, SyntheticCtrDataset
+from repro.embedding.dhe import DHEEmbedding
+from repro.embedding.hybrid import HybridEmbedding
+from repro.hybrid.deployment import (
+    load_hybrid_deployment,
+    save_hybrid_deployment,
+)
+from repro.hybrid.thresholds import ThresholdDatabase, ThresholdKey
+from repro.models.dlrm import DLRM
+from repro.models.training import train_dlrm
+
+SPEC = DlrmDatasetSpec("deploy-test", 13, (40, 9000), embedding_dim=8)
+BOTTOM = (13, 16, 8)
+TOP = (16,)
+SHAPE = DheShape(k=16, fc_sizes=(16,), out_dim=8)
+SEEDS = (101, 202)
+
+
+@pytest.fixture
+def trained_bundle():
+    hybrids = []
+
+    def factory(size, dim):
+        dhe = DHEEmbedding(size, dim, shape=SHAPE, rng=SEEDS[len(hybrids)])
+        hybrid = HybridEmbedding(dhe)
+        hybrids.append(hybrid)
+        return hybrid
+
+    model = DLRM(SPEC, factory, bottom_sizes=BOTTOM, top_hidden_sizes=TOP,
+                 rng=3)
+    train_dlrm(model, SyntheticCtrDataset(SPEC, seed=0), steps=30,
+               batch_size=32, lr=2e-3)
+
+    thresholds = ThresholdDatabase(dhe_technique="dhe-uniform")
+    thresholds.thresholds[ThresholdKey(8, 32, 1)] = 1000.0
+    thresholds.thresholds[ThresholdKey(8, 128, 1)] = 50.0
+    return model, hybrids, thresholds
+
+
+class TestRoundTrip:
+    def test_predictions_survive_save_load(self, trained_bundle, tmp_path,
+                                           rng):
+        model, hybrids, thresholds = trained_bundle
+        save_hybrid_deployment(str(tmp_path), model, hybrids, thresholds,
+                               BOTTOM, TOP, SEEDS)
+        deployment = load_hybrid_deployment(str(tmp_path))
+
+        dense = rng.normal(size=(8, 13))
+        sparse = np.stack([rng.integers(0, s, size=8)
+                           for s in SPEC.table_sizes], axis=1)
+        original = model(dense, sparse).data
+        restored = deployment.model(dense, sparse).data
+        np.testing.assert_allclose(original, restored, atol=1e-10)
+
+    def test_configure_allocates_per_configuration(self, trained_bundle,
+                                                   tmp_path):
+        model, hybrids, thresholds = trained_bundle
+        save_hybrid_deployment(str(tmp_path), model, hybrids, thresholds,
+                               BOTTOM, TOP, SEEDS)
+        deployment = load_hybrid_deployment(str(tmp_path))
+
+        # threshold 1000 -> only the 40-row table scans
+        assert deployment.configure(batch=32, threads=1) == 1
+        assert deployment.hybrids[0].active == "scan"
+        assert deployment.hybrids[1].active == "dhe"
+        # threshold 50 -> everything above 50 uses DHE
+        assert deployment.configure(batch=128, threads=1) == 1
+
+    def test_reconfiguration_preserves_outputs(self, trained_bundle,
+                                               tmp_path, rng):
+        """Flipping representations at deploy time must not change the
+        model function (the 'no accuracy loss' guarantee)."""
+        model, hybrids, thresholds = trained_bundle
+        save_hybrid_deployment(str(tmp_path), model, hybrids, thresholds,
+                               BOTTOM, TOP, SEEDS)
+        deployment = load_hybrid_deployment(str(tmp_path))
+
+        dense = rng.normal(size=(4, 13))
+        sparse = np.stack([rng.integers(0, s, size=4)
+                           for s in SPEC.table_sizes], axis=1)
+        deployment.configure(batch=32, threads=1)
+        a = deployment.model(dense, sparse).data
+        deployment.configure(batch=128, threads=1)
+        b = deployment.model(dense, sparse).data
+        np.testing.assert_allclose(a, b, atol=1e-10)
+
+
+class TestValidation:
+    def test_seed_count_checked(self, trained_bundle, tmp_path):
+        model, hybrids, thresholds = trained_bundle
+        with pytest.raises(ValueError):
+            save_hybrid_deployment(str(tmp_path), model, hybrids, thresholds,
+                                   BOTTOM, TOP, encoder_seeds=(1,))
+
+    def test_hybrid_count_checked(self, trained_bundle, tmp_path):
+        model, hybrids, thresholds = trained_bundle
+        with pytest.raises(ValueError):
+            save_hybrid_deployment(str(tmp_path), model, hybrids[:1],
+                                   thresholds, BOTTOM, TOP, SEEDS)

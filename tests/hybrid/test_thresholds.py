@@ -1,0 +1,82 @@
+"""Threshold extraction tests (Fig 6 trends, curve intersection)."""
+
+import math
+
+import pytest
+
+from repro.costmodel.latency import DLRM_DHE_UNIFORM_64
+from repro.hybrid.profiler import OfflineProfiler
+from repro.hybrid.thresholds import (
+    ThresholdKey,
+    build_threshold_database,
+    hybrid_eligible_range,
+    intersect_curves,
+)
+
+
+class TestIntersectCurves:
+    def test_clean_crossing_interpolated(self):
+        sizes = [10, 100, 1000]
+        scan = [1.0, 10.0, 100.0]
+        dhe = [20.0, 20.0, 20.0]
+        crossing = intersect_curves(sizes, scan, dhe)
+        assert 100 < crossing < 1000
+
+    def test_scan_always_cheaper_returns_none(self):
+        assert intersect_curves([10, 100], [1.0, 2.0], [10.0, 10.0]) is None
+
+    def test_scan_never_cheaper_returns_zero(self):
+        assert intersect_curves([10, 100], [5.0, 50.0], [1.0, 1.0]) == 0.0
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            intersect_curves([1, 2], [1.0], [1.0, 2.0])
+
+    def test_too_few_points(self):
+        with pytest.raises(ValueError):
+            intersect_curves([1], [1.0], [2.0])
+
+
+@pytest.fixture(scope="module")
+def thresholds():
+    profiler = OfflineProfiler(DLRM_DHE_UNIFORM_64)
+    profile = profiler.profile(techniques=("scan", "dhe-uniform"),
+                               dims=(64,), batches=(1, 32, 128),
+                               threads_list=(1, 4, 16))
+    return build_threshold_database(profile, dims=(64,),
+                                    batches=(1, 32, 128),
+                                    threads_list=(1, 4, 16))
+
+
+class TestFig6Trends:
+    def test_paper_anchor_batch32_thread1(self, thresholds):
+        """Paper Fig 6: threshold ~3300 at batch 32 / 1 thread (dim 64)."""
+        value = thresholds.threshold(64, 32, 1)
+        assert 2000 < value < 5000
+
+    def test_decreasing_in_batch(self, thresholds):
+        values = [thresholds.threshold(64, batch, 1) for batch in (1, 32, 128)]
+        assert values[0] > values[1] > values[2]
+
+    def test_increasing_in_threads(self, thresholds):
+        values = [thresholds.threshold(64, 32, t) for t in (1, 4, 16)]
+        assert values[0] < values[1] < values[2]
+
+    def test_missing_config_raises(self, thresholds):
+        with pytest.raises(KeyError):
+            thresholds.threshold(64, 999, 1)
+
+    def test_configurations_sorted(self, thresholds):
+        keys = thresholds.configurations()
+        assert keys == sorted(keys, key=lambda k: (k.dim, k.batch, k.threads))
+
+
+class TestEligibleRange:
+    def test_band_spans_thresholds(self, thresholds):
+        low, high = hybrid_eligible_range(thresholds, 64)
+        assert low == min(v for v in thresholds.thresholds.values())
+        assert high == max(v for v in thresholds.thresholds.values())
+
+    def test_unknown_dim_raises(self, thresholds):
+        with pytest.raises(ValueError):
+            hybrid_eligible_range(thresholds, 128)

@@ -1,0 +1,76 @@
+"""DHE size-search tests (§IV-C3)."""
+
+import pytest
+
+from repro.costmodel.latency import DheShape
+from repro.data.criteo import DlrmDatasetSpec
+from repro.hybrid.tuning import (
+    default_shape_ladder,
+    dlrm_quality_fn,
+    find_minimal_dhe_shape,
+)
+
+
+class TestLadder:
+    def test_costs_increasing(self):
+        ladder = default_shape_ladder(out_dim=16)
+        costs = [shape.flops_per_embedding() for shape in ladder]
+        assert costs == sorted(costs)
+
+    def test_out_dim_propagated(self):
+        assert all(shape.out_dim == 8
+                   for shape in default_shape_ladder(out_dim=8))
+
+
+class TestSearch:
+    def _ladder(self):
+        return [DheShape(k, (k,), 8) for k in (8, 16, 32, 64)]
+
+    def test_stops_at_first_sufficient(self):
+        evaluated = []
+
+        def quality(shape):
+            evaluated.append(shape.k)
+            return {8: 0.6, 16: 0.72, 32: 0.8, 64: 0.81}[shape.k]
+
+        result = find_minimal_dhe_shape(quality, baseline_metric=0.7,
+                                        candidates=self._ladder())
+        assert result.succeeded
+        assert result.chosen.k == 16
+        assert evaluated == [8, 16]  # never trained the bigger stacks
+
+    def test_tolerance_lowers_the_bar(self):
+        result = find_minimal_dhe_shape(lambda s: 0.68,
+                                        baseline_metric=0.7,
+                                        candidates=self._ladder(),
+                                        tolerance=0.03)
+        assert result.chosen.k == 8
+
+    def test_failure_reported_with_trace(self):
+        result = find_minimal_dhe_shape(lambda s: 0.1, baseline_metric=0.9,
+                                        candidates=self._ladder())
+        assert not result.succeeded
+        assert len(result.trace) == 4
+
+    def test_unordered_candidates_rejected(self):
+        ladder = self._ladder()[::-1]
+        with pytest.raises(ValueError):
+            find_minimal_dhe_shape(lambda s: 1.0, 0.5, ladder)
+
+    def test_empty_candidates_rejected(self):
+        with pytest.raises(ValueError):
+            find_minimal_dhe_shape(lambda s: 1.0, 0.5, [])
+
+
+class TestDlrmQualityFn:
+    def test_end_to_end_search_finds_small_stack(self):
+        """On an easy dataset a modest DHE already matches a weak baseline —
+        the search should terminate early and really train models."""
+        spec = DlrmDatasetSpec("tune", 13, (40, 60), embedding_dim=8)
+        quality = dlrm_quality_fn(spec, dataset_seed=0, steps=60,
+                                  batch_size=64, eval_samples=1024)
+        ladder = [DheShape(k, (max(k, 16),), 8) for k in (8, 32)]
+        result = find_minimal_dhe_shape(quality, baseline_metric=0.75,
+                                        candidates=ladder, tolerance=0.02)
+        assert result.succeeded
+        assert result.trace[0][1] > 0.5  # a real trained metric

@@ -1,0 +1,78 @@
+"""Accuracy/AUC/log-loss metric tests."""
+
+import numpy as np
+import pytest
+
+from repro.metrics.accuracy import binary_accuracy, log_loss, roc_auc
+
+
+class TestBinaryAccuracy:
+    def test_perfect(self):
+        labels = np.array([0.0, 1.0, 1.0])
+        logits = np.array([-5.0, 5.0, 5.0])
+        assert binary_accuracy(labels, logits) == 1.0
+
+    def test_all_wrong(self):
+        assert binary_accuracy(np.array([1.0, 0.0]),
+                               np.array([-5.0, 5.0])) == 0.0
+
+    def test_threshold_in_logit_space(self):
+        labels = np.array([1.0])
+        assert binary_accuracy(labels, np.array([0.1])) == 1.0
+        assert binary_accuracy(labels, np.array([-0.1])) == 0.0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            binary_accuracy(np.zeros(3), np.zeros(4))
+
+    def test_empty(self):
+        with pytest.raises(ValueError):
+            binary_accuracy(np.array([]), np.array([]))
+
+
+class TestRocAuc:
+    def test_perfect_separation(self):
+        labels = np.array([0, 0, 1, 1], dtype=float)
+        scores = np.array([0.1, 0.2, 0.8, 0.9])
+        assert roc_auc(labels, scores) == 1.0
+
+    def test_inverted(self):
+        labels = np.array([1, 1, 0, 0], dtype=float)
+        scores = np.array([0.1, 0.2, 0.8, 0.9])
+        assert roc_auc(labels, scores) == 0.0
+
+    def test_random_scores_near_half(self, rng):
+        labels = (rng.random(5000) > 0.5).astype(float)
+        scores = rng.random(5000)
+        assert abs(roc_auc(labels, scores) - 0.5) < 0.05
+
+    def test_ties_averaged(self):
+        labels = np.array([0, 1], dtype=float)
+        scores = np.array([0.5, 0.5])
+        assert roc_auc(labels, scores) == 0.5
+
+    def test_single_class_raises(self):
+        with pytest.raises(ValueError):
+            roc_auc(np.ones(4), np.random.random(4))
+
+    def test_invariant_to_monotone_transform(self, rng):
+        labels = (rng.random(200) > 0.5).astype(float)
+        scores = rng.normal(size=200)
+        a = roc_auc(labels, scores)
+        b = roc_auc(labels, 3 * scores + 7)
+        assert a == pytest.approx(b)
+
+
+class TestLogLoss:
+    def test_matches_nn_loss(self, rng):
+        from repro.nn.losses import bce_with_logits
+        from repro.nn.tensor import Tensor
+
+        labels = (rng.random(50) > 0.5).astype(float)
+        logits = rng.normal(size=50)
+        assert log_loss(labels, logits) == pytest.approx(
+            bce_with_logits(Tensor(logits), labels).item())
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            log_loss(np.zeros(2), np.zeros(3))

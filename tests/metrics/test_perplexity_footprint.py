@@ -1,0 +1,102 @@
+"""Perplexity helpers and whole-model footprint accounting."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.costmodel.latency import (
+    DLRM_DHE_UNIFORM_16,
+    LLM_DHE_GPT2_MEDIUM,
+)
+from repro.metrics.footprint import (
+    MB,
+    dlrm_embedding_footprints,
+    gpt2_footprint,
+)
+from repro.metrics.perplexity import (
+    bits_per_token,
+    perplexity_from_loss,
+    sequence_perplexity,
+)
+
+
+class TestPerplexity:
+    def test_uniform_distribution(self):
+        # NLL of uniform over V = log V -> perplexity V.
+        assert perplexity_from_loss(math.log(50)) == pytest.approx(50)
+
+    def test_zero_loss(self):
+        assert perplexity_from_loss(0.0) == 1.0
+
+    def test_negative_loss_rejected(self):
+        with pytest.raises(ValueError):
+            perplexity_from_loss(-0.1)
+
+    def test_sequence_perplexity(self):
+        log_probs = [math.log(0.5)] * 10
+        assert sequence_perplexity(log_probs) == pytest.approx(2.0)
+
+    def test_sequence_rejects_positive_logprob(self):
+        with pytest.raises(ValueError):
+            sequence_perplexity([0.1])
+
+    def test_bits_per_token(self):
+        assert bits_per_token(math.log(2)) == pytest.approx(1.0)
+
+
+class TestDlrmFootprints:
+    @pytest.fixture
+    def report(self):
+        sizes = (100, 5000, 10**6)
+        return dlrm_embedding_footprints(sizes, 16, DLRM_DHE_UNIFORM_16,
+                                         hybrid_threshold=5000)
+
+    def test_ordering(self, report):
+        assert report.tree_oram > report.table
+        assert report.dhe_uniform < report.table
+        assert report.hybrid_varied <= report.dhe_uniform
+
+    def test_hybrid_counts_cheaper_representation(self, report):
+        # Features <= threshold ship the raw table; above, the DHE stack.
+        raw_small = (100 + 5000) * 16 * 4
+        assert report.hybrid_uniform >= raw_small
+
+    def test_relative_to_table(self, report):
+        rel = report.relative_to_table()
+        assert rel["table"] == 1.0
+        assert rel["tree_oram"] > 2.5
+
+    def test_as_mb(self, report):
+        assert report.as_mb()["table"] == pytest.approx(report.table / MB)
+
+
+class TestGpt2Footprint:
+    @pytest.fixture
+    def footprint(self):
+        return gpt2_footprint(50257, 1024, 24, 1024, LLM_DHE_GPT2_MEDIUM)
+
+    def test_paper_table_size(self, footprint):
+        """§VI-D3: embedding table 196.3 MB."""
+        assert footprint.table / MB == pytest.approx(196.3, rel=0.02)
+
+    def test_paper_oram_size(self, footprint):
+        """§VI-D3: ORAM representation 513.6 MB."""
+        assert footprint.oram_table / MB == pytest.approx(513.6, rel=0.1)
+
+    def test_paper_dhe_size(self, footprint):
+        """§VI-D3: DHE adds 56.0 MB."""
+        assert footprint.dhe / MB == pytest.approx(56.0, rel=0.1)
+
+    def test_paper_model_total(self, footprint):
+        """§VI-D3: GPT-2 medium = 1353.5 MB with the table."""
+        assert footprint.total("table") / MB == pytest.approx(1353.5,
+                                                              rel=0.05)
+
+    def test_dhe_keeps_tied_head_table(self, footprint):
+        assert footprint.total("dhe") == \
+            footprint.base_model + footprint.table + footprint.dhe
+
+    def test_unknown_scheme(self, footprint):
+        with pytest.raises(ValueError):
+            footprint.total("magic")

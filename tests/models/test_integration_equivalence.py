@@ -1,0 +1,88 @@
+"""End-to-end equivalence: swapping the embedding backend must not change
+model outputs when all backends hold the same trained rows.
+
+This is the integration-level statement of the paper's design: protection
+is a *representation* choice (scan/ORAM vs raw table), orthogonal to the
+model function. DHE is the exception — it's a different function family —
+and is covered by the parity training tests instead.
+"""
+
+import numpy as np
+import pytest
+
+from repro.data.criteo import DlrmDatasetSpec, SyntheticCtrDataset
+from repro.embedding import (
+    CircuitOramEmbedding,
+    LinearScanEmbedding,
+    PathOramEmbedding,
+    TableEmbedding,
+)
+from repro.models.dlrm import DLRM, table_factory
+from repro.models.gpt import GPT, tiny_config
+from repro.models.training import train_dlrm
+
+SPEC = DlrmDatasetSpec("equiv", 13, (25, 40), embedding_dim=8)
+
+
+class TestDlrmBackendEquivalence:
+    def test_trained_table_model_served_from_any_backend(self, rng):
+        dataset = SyntheticCtrDataset(SPEC, seed=0)
+        model = DLRM(SPEC, table_factory(rng=0), bottom_sizes=(13, 16, 8),
+                     top_hidden_sizes=(16,), rng=1)
+        train_dlrm(model, dataset, steps=40, batch_size=32, lr=2e-3)
+        batch = dataset.batch(16)
+        reference = model(batch.dense, batch.sparse).data
+
+        trained_rows = [emb.weight.data.copy() for emb in model.embeddings]
+        backends = {
+            "scan": lambda size, dim, rows: LinearScanEmbedding(
+                size, dim, weight=rows),
+            "path": lambda size, dim, rows: PathOramEmbedding(
+                size, dim, weight=rows, rng=7),
+            "circuit": lambda size, dim, rows: CircuitOramEmbedding(
+                size, dim, weight=rows, rng=7),
+        }
+        for name, build in backends.items():
+            for feature, rows in enumerate(trained_rows):
+                size, dim = rows.shape
+                model.embeddings[feature] = build(size, dim, rows)
+                setattr(model, f"emb{feature}", model.embeddings[feature])
+            served = model(batch.dense, batch.sparse).data
+            np.testing.assert_allclose(served, reference, atol=1e-9,
+                                       err_msg=name)
+
+
+class TestGptBackendEquivalence:
+    def test_generation_identical_with_oram_token_embedding(self, rng):
+        config = tiny_config(vocab_size=40, embed_dim=16, num_layers=1,
+                             num_heads=2)
+        table_model = GPT(config, rng=0)
+        rows = table_model.token_embedding.weight.data.copy()
+
+        oram_embedding = CircuitOramEmbedding(40, 16, weight=rows, rng=5)
+        oram_model = GPT(config, token_embedding=oram_embedding, rng=0)
+        # Copy all shared weights; the ORAM model's separate head must hold
+        # the same matrix the tied model uses.
+        oram_model.load_state_dict(table_model.state_dict(), strict=False)
+        oram_model.lm_head_weight.data[...] = rows
+
+        prompt = rng.integers(0, 40, size=(2, 5))
+        a = table_model.generate(prompt, max_new_tokens=6)
+        b = oram_model.generate(prompt, max_new_tokens=6)
+        np.testing.assert_array_equal(a, b)
+
+    def test_scan_token_embedding_equivalent_forward(self, rng):
+        config = tiny_config(vocab_size=40, embed_dim=16, num_layers=1,
+                             num_heads=2)
+        table_model = GPT(config, rng=0)
+        rows = table_model.token_embedding.weight.data.copy()
+        scan_model = GPT(config,
+                         token_embedding=LinearScanEmbedding(40, 16,
+                                                             weight=rows),
+                         rng=0)
+        scan_model.load_state_dict(table_model.state_dict(), strict=False)
+        scan_model.lm_head_weight.data[...] = rows
+
+        tokens = rng.integers(0, 40, size=(2, 7))
+        np.testing.assert_allclose(scan_model(tokens).data,
+                                   table_model(tokens).data, atol=1e-9)

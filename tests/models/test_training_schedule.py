@@ -1,0 +1,55 @@
+"""LR-schedule integration in the GPT training loop."""
+
+import numpy as np
+import pytest
+
+from repro.data import MarkovCorpusGenerator
+from repro.models.gpt import GPT, tiny_config
+from repro.models.training import train_gpt
+from repro.nn.optim import AdamW, CosineSchedule
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return MarkovCorpusGenerator(32, 4, seed=0).build_corpus(6000, 600)
+
+
+def small_gpt():
+    return GPT(tiny_config(vocab_size=32, embed_dim=16, num_layers=1,
+                           num_heads=2), rng=0)
+
+
+class TestScheduledTraining:
+    def test_warmup_fraction_builds_schedule(self, corpus):
+        model = small_gpt()
+        optimizer = AdamW(model.parameters(), lr=1e-3)
+        train_gpt(model, corpus.train_tokens, steps=10, batch_size=4,
+                  seq_len=16, lr=1e-3, optimizer=optimizer,
+                  warmup_fraction=0.5)
+        # After 10 steps of a 10-step cosine, lr has decayed toward min_lr.
+        assert optimizer.lr < 1e-3
+
+    def test_explicit_schedule_wins(self, corpus):
+        model = small_gpt()
+        optimizer = AdamW(model.parameters(), lr=1e-3)
+        schedule = CosineSchedule(base_lr=5e-4, warmup_steps=0,
+                                  total_steps=10)
+        train_gpt(model, corpus.train_tokens, steps=1, batch_size=4,
+                  seq_len=16, optimizer=optimizer, schedule=schedule,
+                  warmup_fraction=0.9)
+        assert optimizer.lr == pytest.approx(5e-4)
+
+    def test_no_schedule_keeps_lr(self, corpus):
+        model = small_gpt()
+        optimizer = AdamW(model.parameters(), lr=1e-3)
+        train_gpt(model, corpus.train_tokens, steps=5, batch_size=4,
+                  seq_len=16, optimizer=optimizer)
+        assert optimizer.lr == pytest.approx(1e-3)
+
+    def test_scheduled_run_still_learns(self, corpus):
+        model = small_gpt()
+        history = train_gpt(model, corpus.train_tokens, steps=60,
+                            batch_size=8, seq_len=16, lr=2e-3,
+                            warmup_fraction=0.1)
+        assert np.mean(history.train_loss[-10:]) < \
+            np.mean(history.train_loss[:10])

@@ -1,0 +1,116 @@
+"""§IV-C3: DHE training is secure — no secret-indexed memory ops.
+
+The framework's only index-addressed memory operation in training is the
+scatter-add seam in :mod:`repro.nn.tensor`. It fires for two kinds of key:
+
+* **plain integer arrays** — embedding-table row gathers, whose indices ARE
+  the secret sparse features;
+* **tuple keys** — structural slicing (e.g. the DLRM interaction's
+  ``triu_indices``), which are compile-time constants independent of data.
+
+Training a table-based model performs one secret-keyed scatter per sparse
+feature per step; an all-DHE model performs none (its forward and backward
+are dense). These tests instrument the seam and verify exactly that
+separation.
+"""
+
+from contextlib import contextmanager
+
+import numpy as np
+import pytest
+
+from repro.data.criteo import DlrmDatasetSpec, SyntheticCtrDataset
+from repro.models.dlrm import DLRM, dhe_factory, table_factory
+from repro.nn.losses import bce_with_logits
+from repro.nn.optim import SGD
+
+SPEC = DlrmDatasetSpec("sec", 13, (20, 30), embedding_dim=8)
+
+
+@contextmanager
+def scatter_add_monitor():
+    """Patch the framework's scatter-add seam to record every key."""
+    import repro.nn.tensor as tensor_module
+
+    calls = []
+    original = tensor_module.scatter_add
+
+    def spy(array, indices, values):
+        calls.append(indices)
+        original(array, indices, values)
+
+    tensor_module.scatter_add = spy
+    try:
+        yield calls
+    finally:
+        tensor_module.scatter_add = original
+
+
+def secret_gather_keys(calls):
+    """Keys from embedding row gathers (secret); tuple keys are structural."""
+    return [key for key in calls if isinstance(key, np.ndarray)]
+
+
+def train_one_step(model, batch):
+    optimizer = SGD(model.parameters(), lr=0.01)
+    optimizer.zero_grad()
+    loss = bce_with_logits(model(batch.dense, batch.sparse), batch.labels)
+    loss.backward()
+    optimizer.step()
+
+
+class TestTrainingSideChannel:
+    def test_table_training_scatters_at_secret_indices(self):
+        dataset = SyntheticCtrDataset(SPEC, seed=0)
+        batch = dataset.batch(16)
+        model = DLRM(SPEC, table_factory(rng=0), bottom_sizes=(13, 8),
+                     top_hidden_sizes=(8,), rng=1)
+        with scatter_add_monitor() as calls:
+            train_one_step(model, batch)
+        gathers = secret_gather_keys(calls)
+        # One secret-keyed scatter per sparse feature ...
+        assert len(gathers) == SPEC.num_sparse
+        # ... targeting exactly the secret indices of the batch (the leak).
+        observed = {tuple(np.sort(np.unique(k)).tolist()) for k in gathers}
+        secrets = {tuple(np.sort(np.unique(batch.sparse[:, f])).tolist())
+                   for f in range(SPEC.num_sparse)}
+        assert observed == secrets
+
+    def test_dhe_training_has_no_secret_keyed_scatter(self):
+        dataset = SyntheticCtrDataset(SPEC, seed=0)
+        batch = dataset.batch(16)
+        model = DLRM(SPEC, dhe_factory(k=16, fc_sizes=(16,), rng=0),
+                     bottom_sizes=(13, 8), top_hidden_sizes=(8,), rng=1)
+        with scatter_add_monitor() as calls:
+            train_one_step(model, batch)
+        assert secret_gather_keys(calls) == []  # dense end to end (§IV-C3)
+
+    def test_structural_keys_are_input_independent(self):
+        """The tuple keys that remain (interaction slicing) are identical
+        for any two input batches — they carry no information."""
+        dataset = SyntheticCtrDataset(SPEC, seed=0)
+        structural = []
+        for _ in range(2):
+            batch = dataset.batch(16)
+            model = DLRM(SPEC, dhe_factory(k=16, fc_sizes=(16,), rng=0),
+                         bottom_sizes=(13, 8), top_hidden_sizes=(8,), rng=1)
+            with scatter_add_monitor() as calls:
+                train_one_step(model, batch)
+            keys = [key for key in calls if isinstance(key, tuple)]
+            structural.append(
+                [tuple(np.asarray(part).tolist() if not isinstance(part, slice)
+                       else ("slice",))
+                 for key in keys for part in key])
+        assert structural[0] == structural[1]
+
+    def test_dhe_gradients_dense_shaped(self):
+        """Every DHE gradient tensor has an index-independent shape."""
+        dataset = SyntheticCtrDataset(SPEC, seed=0)
+        batch = dataset.batch(16)
+        model = DLRM(SPEC, dhe_factory(k=16, fc_sizes=(16,), rng=0),
+                     bottom_sizes=(13, 8), top_hidden_sizes=(8,), rng=1)
+        loss = bce_with_logits(model(batch.dense, batch.sparse), batch.labels)
+        loss.backward()
+        for name, param in model.named_parameters():
+            assert param.grad is not None, name
+            assert param.grad.shape == param.shape

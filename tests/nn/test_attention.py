@@ -1,0 +1,90 @@
+"""Attention tests — most importantly: KV-cache decode == full forward."""
+
+import numpy as np
+import pytest
+
+from repro.nn.attention import KVCache, MultiHeadSelfAttention, TransformerBlock
+from repro.nn.tensor import Tensor
+
+
+class TestKVCache:
+    def test_append_concatenates_time(self, rng):
+        cache = KVCache()
+        k1 = rng.normal(size=(2, 2, 3, 4))
+        v1 = rng.normal(size=(2, 2, 3, 4))
+        cache.append(k1, v1)
+        assert cache.length == 3
+        k2 = rng.normal(size=(2, 2, 1, 4))
+        keys, values = cache.append(k2, rng.normal(size=(2, 2, 1, 4)))
+        assert keys.shape == (2, 2, 4, 4)
+        np.testing.assert_allclose(keys[:, :, :3], k1)
+
+
+class TestMultiHeadSelfAttention:
+    def test_output_shape(self, rng):
+        attn = MultiHeadSelfAttention(8, 2, rng=rng)
+        out = attn(Tensor(rng.normal(size=(3, 5, 8))))
+        assert out.shape == (3, 5, 8)
+
+    def test_dim_head_divisibility(self):
+        with pytest.raises(ValueError):
+            MultiHeadSelfAttention(10, 3)
+
+    def test_causality(self, rng):
+        """Changing a future token must not affect earlier outputs."""
+        attn = MultiHeadSelfAttention(8, 2, rng=0)
+        x = rng.normal(size=(1, 6, 8))
+        base = attn(Tensor(x)).data.copy()
+        perturbed = x.copy()
+        perturbed[0, 5] += 10.0
+        out = attn(Tensor(perturbed)).data
+        np.testing.assert_allclose(out[0, :5], base[0, :5], atol=1e-10)
+        assert not np.allclose(out[0, 5], base[0, 5])
+
+    def test_cached_decode_matches_full_forward(self, rng):
+        attn = MultiHeadSelfAttention(8, 2, rng=0)
+        tokens = rng.normal(size=(2, 7, 8))
+        full = attn(Tensor(tokens)).data
+
+        cache = KVCache()
+        prefill = attn(Tensor(tokens[:, :4]), cache=cache).data
+        np.testing.assert_allclose(prefill, full[:, :4], atol=1e-10)
+        for t in range(4, 7):
+            step = attn(Tensor(tokens[:, t:t + 1]), cache=cache).data
+            np.testing.assert_allclose(step[:, 0], full[:, t], atol=1e-10)
+
+    def test_gradients_flow(self, rng):
+        attn = MultiHeadSelfAttention(8, 2, rng=0)
+        out = attn(Tensor(rng.normal(size=(1, 4, 8)), requires_grad=True))
+        (out ** 2.0).sum().backward()
+        assert attn.qkv.weight.grad is not None
+        assert attn.proj.weight.grad is not None
+
+
+class TestTransformerBlock:
+    def test_shape_preserved(self, rng):
+        block = TransformerBlock(8, 2, rng=0)
+        out = block(Tensor(rng.normal(size=(2, 5, 8))))
+        assert out.shape == (2, 5, 8)
+
+    def test_cached_decode_matches_full(self, rng):
+        block = TransformerBlock(8, 2, rng=0)
+        tokens = rng.normal(size=(1, 6, 8))
+        full = block(Tensor(tokens)).data
+        cache = KVCache()
+        prefill = block(Tensor(tokens[:, :3]), cache=cache).data
+        np.testing.assert_allclose(prefill, full[:, :3], atol=1e-10)
+        for t in range(3, 6):
+            step = block(Tensor(tokens[:, t:t + 1]), cache=cache).data
+            np.testing.assert_allclose(step[:, 0], full[:, t], atol=1e-10)
+
+    def test_residual_path(self):
+        """With zeroed sublayer outputs the block is the identity."""
+        block = TransformerBlock(8, 2, rng=0)
+        block.attn.proj.weight.data[...] = 0.0
+        block.attn.proj.bias.data[...] = 0.0
+        last = block.mlp._ordered[-1]
+        last.weight.data[...] = 0.0
+        last.bias.data[...] = 0.0
+        x = np.random.default_rng(0).normal(size=(1, 4, 8))
+        np.testing.assert_allclose(block(Tensor(x)).data, x, atol=1e-12)

@@ -1,0 +1,111 @@
+"""Tests for functional ops: softmax, gelu, layer_norm, dropout, masks."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.nn import functional as F
+from repro.nn.tensor import Tensor
+
+from tests.conftest import check_gradient
+
+
+class TestSoftmax:
+    def test_rows_sum_to_one(self, rng):
+        out = F.softmax(Tensor(rng.normal(size=(5, 7)))).data
+        np.testing.assert_allclose(out.sum(axis=-1), np.ones(5))
+
+    def test_shift_invariance(self, rng):
+        x = rng.normal(size=(3, 4))
+        a = F.softmax(Tensor(x)).data
+        b = F.softmax(Tensor(x + 100.0)).data
+        np.testing.assert_allclose(a, b, atol=1e-12)
+
+    def test_large_values_stable(self):
+        out = F.softmax(Tensor([[1000.0, 0.0]])).data
+        assert np.isfinite(out).all()
+        np.testing.assert_allclose(out, [[1.0, 0.0]], atol=1e-12)
+
+    def test_gradient(self, rng):
+        check_gradient(lambda x: (F.softmax(x) ** 2.0).sum(),
+                       rng.normal(size=(2, 5)))
+
+    def test_log_softmax_matches_log_of_softmax(self, rng):
+        x = Tensor(rng.normal(size=(3, 4)))
+        np.testing.assert_allclose(F.log_softmax(x).data,
+                                   np.log(F.softmax(x).data), atol=1e-10)
+
+
+class TestGelu:
+    def test_known_values(self):
+        # GELU(0) = 0; GELU(large) ~ identity; GELU(-large) ~ 0
+        out = F.gelu(Tensor([0.0, 10.0, -10.0])).data
+        assert out[0] == pytest.approx(0.0)
+        assert out[1] == pytest.approx(10.0, rel=1e-3)
+        assert out[2] == pytest.approx(0.0, abs=1e-3)
+
+    def test_gradient(self, rng):
+        check_gradient(lambda x: F.gelu(x).sum(), rng.normal(size=(6,)))
+
+
+class TestLayerNorm:
+    def test_normalises_last_dim(self, rng):
+        x = Tensor(rng.normal(2.0, 5.0, size=(4, 8)))
+        weight, bias = Tensor(np.ones(8)), Tensor(np.zeros(8))
+        out = F.layer_norm(x, weight, bias).data
+        np.testing.assert_allclose(out.mean(axis=-1), np.zeros(4), atol=1e-9)
+        np.testing.assert_allclose(out.std(axis=-1), np.ones(4), atol=1e-3)
+
+    def test_gradient_through_input(self, rng):
+        weight = Tensor(rng.normal(size=(6,)))
+        bias = Tensor(rng.normal(size=(6,)))
+        check_gradient(
+            lambda x: (F.layer_norm(x, weight, bias) ** 2.0).sum(),
+            rng.normal(size=(3, 6)))
+
+
+class TestLinear:
+    def test_matches_manual(self, rng):
+        x = rng.normal(size=(3, 4))
+        w = rng.normal(size=(5, 4))
+        b = rng.normal(size=(5,))
+        out = F.linear(Tensor(x), Tensor(w), Tensor(b)).data
+        np.testing.assert_allclose(out, x @ w.T + b)
+
+    def test_no_bias(self, rng):
+        x = rng.normal(size=(3, 4))
+        w = rng.normal(size=(5, 4))
+        out = F.linear(Tensor(x), Tensor(w)).data
+        np.testing.assert_allclose(out, x @ w.T)
+
+
+class TestDropout:
+    def test_eval_mode_identity(self, rng):
+        x = Tensor(rng.normal(size=(10,)))
+        out = F.dropout(x, 0.5, rng, training=False)
+        np.testing.assert_allclose(out.data, x.data)
+
+    def test_p_zero_identity(self, rng):
+        x = Tensor(rng.normal(size=(10,)))
+        out = F.dropout(x, 0.0, rng, training=True)
+        np.testing.assert_allclose(out.data, x.data)
+
+    def test_scales_survivors(self, rng):
+        x = Tensor(np.ones(10_000))
+        out = F.dropout(x, 0.5, rng, training=True).data
+        survivors = out[out != 0]
+        np.testing.assert_allclose(survivors, 2.0 * np.ones_like(survivors))
+        assert 0.4 < (out != 0).mean() < 0.6
+
+    def test_invalid_p_raises(self, rng):
+        with pytest.raises(ValueError):
+            F.dropout(Tensor([1.0]), 1.0, rng)
+
+
+class TestCausalMask:
+    def test_structure(self):
+        mask = F.causal_mask(4)
+        assert mask.shape == (4, 4)
+        assert (mask[np.tril_indices(4)] == 0).all()
+        assert np.isneginf(mask[np.triu_indices(4, k=1)]).all()

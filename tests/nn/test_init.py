@@ -1,0 +1,37 @@
+"""Initializer tests."""
+
+import numpy as np
+import pytest
+
+from repro.nn import init
+
+
+class TestKaimingUniform:
+    def test_bound(self):
+        values = init.kaiming_uniform((1000,), fan_in=25, rng=0)
+        assert np.abs(values).max() <= 0.2
+
+    def test_deterministic(self):
+        a = init.kaiming_uniform((10, 10), fan_in=10, rng=7)
+        b = init.kaiming_uniform((10, 10), fan_in=10, rng=7)
+        np.testing.assert_allclose(a, b)
+
+    def test_invalid_fan(self):
+        with pytest.raises(ValueError):
+            init.kaiming_uniform((3,), fan_in=0)
+
+
+class TestXavierUniform:
+    def test_bound(self):
+        values = init.xavier_uniform((2000,), fan_in=3, fan_out=3, rng=0)
+        assert np.abs(values).max() <= np.sqrt(6 / 6)
+
+    def test_invalid_fans(self):
+        with pytest.raises(ValueError):
+            init.xavier_uniform((3,), fan_in=-1, fan_out=2)
+
+
+class TestNormal:
+    def test_std(self):
+        values = init.normal((100_000,), std=0.02, rng=0)
+        assert values.std() == pytest.approx(0.02, rel=0.05)

@@ -1,0 +1,169 @@
+"""Layer tests: Linear, activations, LayerNorm, MLP, EmbeddingTable."""
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import (
+    MLP,
+    Dropout,
+    EmbeddingTable,
+    GELU,
+    LayerNorm,
+    Linear,
+    ReLU,
+    Sequential,
+    Sigmoid,
+    Tanh,
+    _make_activation,
+)
+from repro.nn.tensor import Tensor
+
+
+class TestLinear:
+    def test_shapes(self, rng):
+        layer = Linear(4, 7, rng=rng)
+        out = layer(Tensor(rng.normal(size=(3, 4))))
+        assert out.shape == (3, 7)
+
+    def test_no_bias(self, rng):
+        layer = Linear(4, 7, bias=False, rng=rng)
+        assert layer.bias is None
+        out = layer(Tensor(np.zeros((2, 4))))
+        np.testing.assert_allclose(out.data, np.zeros((2, 7)))
+
+    def test_init_scale_kaiming(self):
+        layer = Linear(100, 50, rng=0)
+        bound = 1.0 / np.sqrt(100)
+        assert np.abs(layer.weight.data).max() <= bound
+
+    def test_invalid_sizes(self):
+        with pytest.raises(ValueError):
+            Linear(0, 5)
+        with pytest.raises(ValueError):
+            Linear(5, -1)
+
+    def test_deterministic_under_seed(self):
+        a, b = Linear(4, 4, rng=42), Linear(4, 4, rng=42)
+        np.testing.assert_allclose(a.weight.data, b.weight.data)
+
+    def test_repr(self):
+        assert "Linear(4, 7" in repr(Linear(4, 7, rng=0))
+
+
+class TestActivations:
+    @pytest.mark.parametrize("module,reference", [
+        (ReLU(), lambda x: np.maximum(x, 0)),
+        (Tanh(), np.tanh),
+    ])
+    def test_matches_numpy(self, module, reference, rng):
+        x = rng.normal(size=(10,))
+        np.testing.assert_allclose(module(Tensor(x)).data, reference(x),
+                                   atol=1e-12)
+
+    def test_sigmoid_range(self, rng):
+        out = Sigmoid()(Tensor(rng.normal(0, 10, size=(50,)))).data
+        assert (out >= 0).all() and (out <= 1).all()
+
+    def test_gelu_between_zero_and_identity(self, rng):
+        x = rng.uniform(0.1, 3.0, size=(20,))
+        out = GELU()(Tensor(x)).data
+        assert (out <= x).all() and (out >= 0).all()
+
+    def test_make_activation_unknown(self):
+        with pytest.raises(ValueError):
+            _make_activation("swish")
+
+
+class TestLayerNorm:
+    def test_learnable_affine(self, rng):
+        layer = LayerNorm(6)
+        layer.weight.data[...] = 2.0
+        layer.bias.data[...] = 1.0
+        out = layer(Tensor(rng.normal(size=(4, 6)))).data
+        np.testing.assert_allclose(out.mean(axis=-1), np.ones(4), atol=1e-9)
+
+    def test_gradients_flow_to_affine(self, rng):
+        layer = LayerNorm(6)
+        out = layer(Tensor(rng.normal(size=(4, 6))))
+        (out ** 2.0).sum().backward()
+        assert layer.weight.grad is not None
+        assert layer.bias.grad is not None
+
+
+class TestDropoutLayer:
+    def test_respects_training_flag(self, rng):
+        layer = Dropout(0.9, rng=0)
+        layer.eval()
+        x = Tensor(np.ones(100))
+        np.testing.assert_allclose(layer(x).data, np.ones(100))
+        layer.train()
+        assert (layer(x).data == 0).any()
+
+
+class TestSequential:
+    def test_order(self, rng):
+        seq = Sequential(Linear(3, 5, rng=0), ReLU(), Linear(5, 2, rng=1))
+        assert len(seq) == 3
+        out = seq(Tensor(rng.normal(size=(4, 3))))
+        assert out.shape == (4, 2)
+
+
+class TestMLP:
+    def test_paper_notation_sizes(self, rng):
+        # The Kaggle bottom MLP: 13-512-256-64-16 (Table IV).
+        mlp = MLP([13, 512, 256, 64, 16], rng=rng)
+        out = mlp(Tensor(rng.normal(size=(2, 13))))
+        assert out.shape == (2, 16)
+
+    def test_final_activation_optional(self, rng):
+        plain = MLP([4, 8, 3], rng=0)
+        x = Tensor(rng.normal(size=(5, 4)))
+        assert (plain(x).data < 0).any()  # linear output layer
+        relu_out = MLP([4, 8, 3], final_activation="relu", rng=0)(x)
+        assert (relu_out.data >= 0).all()
+
+    def test_too_few_sizes(self):
+        with pytest.raises(ValueError):
+            MLP([4])
+
+    def test_trains_to_fit_xor(self):
+        from repro.nn.losses import mse
+        from repro.nn.optim import Adam
+
+        x = np.array([[0.0, 0], [0, 1], [1, 0], [1, 1]])
+        y = np.array([0.0, 1, 1, 0])
+        mlp = MLP([2, 16, 1], activation="tanh", rng=3)
+        opt = Adam(mlp.parameters(), lr=0.02)
+        for _ in range(400):
+            opt.zero_grad()
+            loss = mse(mlp(Tensor(x)).reshape(-1), y)
+            loss.backward()
+            opt.step()
+        assert loss.item() < 0.01
+
+
+class TestEmbeddingTable:
+    def test_lookup_matches_rows(self, rng):
+        table = EmbeddingTable(10, 4, rng=rng)
+        idx = np.array([1, 3, 3])
+        out = table(idx)
+        np.testing.assert_allclose(out.data, table.weight.data[idx])
+
+    def test_out_of_range_raises(self):
+        table = EmbeddingTable(10, 4, rng=0)
+        with pytest.raises(IndexError):
+            table(np.array([10]))
+        with pytest.raises(IndexError):
+            table(np.array([-1]))
+
+    def test_gradient_accumulates_for_repeats(self):
+        table = EmbeddingTable(5, 3, rng=0)
+        out = table(np.array([2, 2]))
+        out.sum().backward()
+        np.testing.assert_allclose(table.weight.grad[2], 2 * np.ones(3))
+        np.testing.assert_allclose(table.weight.grad[0], np.zeros(3))
+
+    def test_multi_dim_indices(self, rng):
+        table = EmbeddingTable(10, 4, rng=rng)
+        out = table(np.zeros((2, 5), dtype=np.int64))
+        assert out.shape == (2, 5, 4)

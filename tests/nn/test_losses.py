@@ -1,0 +1,90 @@
+"""Loss function tests, including numerical stability and gradients."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.nn.losses import bce_with_logits, cross_entropy, mse
+from repro.nn.tensor import Tensor
+
+from tests.conftest import check_gradient
+
+
+class TestBceWithLogits:
+    def test_matches_reference(self, rng):
+        logits = rng.normal(size=(20,))
+        labels = (rng.random(20) > 0.5).astype(float)
+        probs = 1 / (1 + np.exp(-logits))
+        expected = -(labels * np.log(probs)
+                     + (1 - labels) * np.log(1 - probs)).mean()
+        got = bce_with_logits(Tensor(logits), labels).item()
+        assert got == pytest.approx(expected, rel=1e-9)
+
+    def test_extreme_logits_finite(self):
+        loss = bce_with_logits(Tensor([1000.0, -1000.0]),
+                               np.array([1.0, 0.0])).item()
+        assert math.isfinite(loss)
+        assert loss == pytest.approx(0.0, abs=1e-12)
+
+    def test_wrong_confident_prediction_large_loss(self):
+        loss = bce_with_logits(Tensor([100.0]), np.array([0.0])).item()
+        assert loss == pytest.approx(100.0, rel=1e-6)
+
+    def test_gradient(self, rng):
+        labels = (rng.random(8) > 0.5).astype(float)
+        check_gradient(lambda x: bce_with_logits(x, labels),
+                       rng.normal(size=(8,)))
+
+
+class TestCrossEntropy:
+    def test_matches_reference(self, rng):
+        logits = rng.normal(size=(6, 5))
+        targets = rng.integers(0, 5, size=6)
+        shifted = logits - logits.max(axis=1, keepdims=True)
+        log_probs = shifted - np.log(np.exp(shifted).sum(axis=1,
+                                                         keepdims=True))
+        expected = -log_probs[np.arange(6), targets].mean()
+        got = cross_entropy(Tensor(logits), targets).item()
+        assert got == pytest.approx(expected, rel=1e-9)
+
+    def test_multi_dim_logits(self, rng):
+        logits = rng.normal(size=(2, 3, 5))
+        targets = rng.integers(0, 5, size=(2, 3))
+        loss = cross_entropy(Tensor(logits), targets)
+        assert math.isfinite(loss.item())
+
+    def test_ignores_negative_targets(self, rng):
+        logits = rng.normal(size=(4, 5))
+        targets = np.array([1, -1, 2, -1])
+        full = cross_entropy(Tensor(logits), targets).item()
+        only = cross_entropy(Tensor(logits[[0, 2]]),
+                             np.array([1, 2])).item()
+        assert full == pytest.approx(only, rel=1e-9)
+
+    def test_all_padding_raises(self, rng):
+        with pytest.raises(ValueError):
+            cross_entropy(Tensor(rng.normal(size=(2, 3))),
+                          np.array([-1, -1]))
+
+    def test_gradient(self, rng):
+        targets = rng.integers(0, 4, size=5)
+        check_gradient(lambda x: cross_entropy(x, targets),
+                       rng.normal(size=(5, 4)))
+
+    def test_perfect_prediction_near_zero(self):
+        logits = np.full((2, 3), -100.0)
+        logits[0, 1] = 100.0
+        logits[1, 2] = 100.0
+        loss = cross_entropy(Tensor(logits), np.array([1, 2])).item()
+        assert loss == pytest.approx(0.0, abs=1e-9)
+
+
+class TestMse:
+    def test_value(self):
+        loss = mse(Tensor([1.0, 2.0]), np.array([0.0, 4.0])).item()
+        assert loss == pytest.approx((1 + 4) / 2)
+
+    def test_gradient(self, rng):
+        target = rng.normal(size=(6,))
+        check_gradient(lambda x: mse(x, target), rng.normal(size=(6,)))

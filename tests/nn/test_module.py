@@ -1,0 +1,92 @@
+"""Module system tests: parameter discovery, train/eval, state dicts."""
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import Linear, ReLU, Sequential
+from repro.nn.module import Module, Parameter
+from repro.nn.tensor import Tensor
+
+
+class Branching(Module):
+    def __init__(self):
+        super().__init__()
+        self.fc1 = Linear(3, 4, rng=0)
+        self.fc2 = Linear(4, 2, rng=1)
+        self.scale = Parameter(np.ones(1))
+
+    def forward(self, x):
+        return self.fc2(self.fc1(x).relu()) * self.scale
+
+
+class TestParameterDiscovery:
+    def test_named_parameters_includes_nested(self):
+        names = dict(Branching().named_parameters())
+        assert "fc1.weight" in names
+        assert "fc2.bias" in names
+        assert "scale" in names
+
+    def test_parameters_count(self):
+        model = Branching()
+        assert model.num_parameters() == 3 * 4 + 4 + 4 * 2 + 2 + 1
+
+    def test_tied_parameters_counted_once(self):
+        model = Branching()
+        model.tied = model.scale
+        assert model.num_parameters() == 3 * 4 + 4 + 4 * 2 + 2 + 1
+
+    def test_zero_grad_clears(self):
+        model = Branching()
+        out = model(Tensor(np.ones((2, 3))))
+        out.sum().backward()
+        assert any(p.grad is not None for p in model.parameters())
+        model.zero_grad()
+        assert all(p.grad is None for p in model.parameters())
+
+
+class TestTrainEval:
+    def test_mode_propagates(self):
+        model = Sequential(Linear(2, 2, rng=0), ReLU())
+        model.eval()
+        assert not model.training
+        assert all(not m.training for m in model)
+        model.train()
+        assert model.training
+
+
+class TestStateDict:
+    def test_roundtrip(self):
+        a, b = Branching(), Branching()
+        b.fc1.weight.data += 1.0
+        assert not np.allclose(a.fc1.weight.data, b.fc1.weight.data)
+        b.load_state_dict(a.state_dict())
+        np.testing.assert_allclose(a.fc1.weight.data, b.fc1.weight.data)
+
+    def test_state_dict_is_copy(self):
+        model = Branching()
+        state = model.state_dict()
+        state["scale"][0] = 99.0
+        assert model.scale.data[0] == 1.0
+
+    def test_strict_missing_raises(self):
+        model = Branching()
+        state = model.state_dict()
+        del state["scale"]
+        with pytest.raises(KeyError):
+            model.load_state_dict(state)
+
+    def test_non_strict_partial_load(self):
+        model = Branching()
+        model.load_state_dict({"scale": np.array([5.0])}, strict=False)
+        assert model.scale.data[0] == 5.0
+
+    def test_shape_mismatch_raises(self):
+        model = Branching()
+        state = model.state_dict()
+        state["scale"] = np.zeros(7)
+        with pytest.raises(ValueError):
+            model.load_state_dict(state)
+
+    def test_forward_not_implemented(self):
+        with pytest.raises(NotImplementedError):
+            Module()(1)

@@ -1,0 +1,143 @@
+"""Optimizer tests: convergence, momentum, Adam bias correction, schedules."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.nn.module import Parameter
+from repro.nn.optim import SGD, Adam, AdamW, CosineSchedule
+from repro.nn.tensor import Tensor
+
+
+def quadratic_loss(param: Parameter) -> Tensor:
+    return ((param - Tensor(np.array([3.0, -2.0]))) ** 2.0).sum()
+
+
+class TestSGD:
+    def test_converges_on_quadratic(self):
+        p = Parameter(np.zeros(2))
+        opt = SGD([p], lr=0.1)
+        for _ in range(200):
+            opt.zero_grad()
+            quadratic_loss(p).backward()
+            opt.step()
+        np.testing.assert_allclose(p.data, [3.0, -2.0], atol=1e-4)
+
+    def test_momentum_accelerates(self):
+        def losses_after(momentum, steps=25):
+            p = Parameter(np.zeros(2))
+            opt = SGD([p], lr=0.02, momentum=momentum)
+            for _ in range(steps):
+                opt.zero_grad()
+                loss = quadratic_loss(p)
+                loss.backward()
+                opt.step()
+            return quadratic_loss(p).item()
+
+        assert losses_after(0.9) < losses_after(0.0)
+
+    def test_weight_decay_shrinks(self):
+        p = Parameter(np.array([10.0]))
+        opt = SGD([p], lr=0.1, weight_decay=1.0)
+        p.grad = np.zeros(1)
+        opt.step()
+        assert p.data[0] == pytest.approx(9.0)
+
+    def test_skips_params_without_grad(self):
+        p = Parameter(np.array([1.0]))
+        SGD([p], lr=0.1).step()
+        assert p.data[0] == 1.0
+
+    def test_invalid_lr(self):
+        with pytest.raises(ValueError):
+            SGD([Parameter(np.zeros(1))], lr=0.0)
+
+    def test_empty_params(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+
+class TestAdam:
+    def test_converges_on_quadratic(self):
+        p = Parameter(np.zeros(2))
+        opt = Adam([p], lr=0.1)
+        for _ in range(300):
+            opt.zero_grad()
+            quadratic_loss(p).backward()
+            opt.step()
+        np.testing.assert_allclose(p.data, [3.0, -2.0], atol=1e-3)
+
+    def test_first_step_size_is_lr(self):
+        # With bias correction the first Adam step is ~lr regardless of grad
+        # magnitude.
+        p = Parameter(np.array([0.0]))
+        opt = Adam([p], lr=0.05)
+        p.grad = np.array([1234.0])
+        opt.step()
+        assert abs(p.data[0]) == pytest.approx(0.05, rel=1e-6)
+
+    def test_deduplicates_tied_params(self):
+        p = Parameter(np.array([0.0]))
+        opt = Adam([p, p], lr=0.05)
+        assert len(opt.params) == 1
+        p.grad = np.array([1.0])
+        opt.step()
+        assert abs(p.data[0]) == pytest.approx(0.05, rel=1e-6)
+
+    def test_invalid_betas(self):
+        with pytest.raises(ValueError):
+            Adam([Parameter(np.zeros(1))], betas=(1.0, 0.999))
+
+
+class TestAdamW:
+    def test_decay_is_decoupled(self):
+        # Zero gradient: AdamW still shrinks weights, coupled Adam does not.
+        p = Parameter(np.array([10.0]))
+        opt = AdamW([p], lr=0.1, weight_decay=0.1)
+        p.grad = np.zeros(1)
+        opt.step()
+        assert p.data[0] == pytest.approx(10.0 - 0.1 * 0.1 * 10.0)
+
+
+class TestClipGradNorm:
+    def test_clips_large_norm(self):
+        p = Parameter(np.zeros(4))
+        opt = SGD([p], lr=0.1)
+        p.grad = np.full(4, 10.0)
+        norm = opt.clip_grad_norm(1.0)
+        assert norm == pytest.approx(20.0)
+        assert np.linalg.norm(p.grad) == pytest.approx(1.0)
+
+    def test_leaves_small_norm(self):
+        p = Parameter(np.zeros(4))
+        opt = SGD([p], lr=0.1)
+        p.grad = np.full(4, 0.1)
+        opt.clip_grad_norm(10.0)
+        np.testing.assert_allclose(p.grad, np.full(4, 0.1))
+
+
+class TestCosineSchedule:
+    def test_warmup_then_decay(self):
+        sched = CosineSchedule(base_lr=1.0, warmup_steps=10, total_steps=110,
+                               min_lr=0.1)
+        assert sched.lr_at(0) == pytest.approx(0.1)
+        assert sched.lr_at(9) == pytest.approx(1.0)
+        assert sched.lr_at(10) == pytest.approx(1.0)
+        assert sched.lr_at(60) < 1.0
+        assert sched.lr_at(1000) == pytest.approx(0.1)
+
+    def test_monotone_decay_after_warmup(self):
+        sched = CosineSchedule(base_lr=1.0, warmup_steps=5, total_steps=50)
+        values = [sched.lr_at(s) for s in range(5, 50)]
+        assert all(a >= b for a, b in zip(values, values[1:]))
+
+    def test_apply_sets_optimizer_lr(self):
+        opt = SGD([Parameter(np.zeros(1))], lr=1.0)
+        sched = CosineSchedule(base_lr=0.5, warmup_steps=0, total_steps=10)
+        sched.apply(opt, 0)
+        assert opt.lr == pytest.approx(0.5)
+
+    def test_warmup_exceeding_total_raises(self):
+        with pytest.raises(ValueError):
+            CosineSchedule(1.0, warmup_steps=20, total_steps=10)

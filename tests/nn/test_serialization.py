@@ -1,0 +1,32 @@
+"""State-dict save/load round-trips through npz archives."""
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import MLP
+from repro.nn.serialization import load_state, save_state
+from repro.nn.tensor import Tensor
+
+
+class TestSaveLoad:
+    def test_roundtrip(self, tmp_path, rng):
+        path = str(tmp_path / "model.npz")
+        source = MLP([4, 8, 2], rng=0)
+        save_state(source, path)
+
+        target = MLP([4, 8, 2], rng=99)
+        x = Tensor(rng.normal(size=(3, 4)))
+        assert not np.allclose(source(x).data, target(x).data)
+        load_state(target, path)
+        np.testing.assert_allclose(source(x).data, target(x).data)
+
+    def test_creates_directories(self, tmp_path):
+        path = str(tmp_path / "nested" / "dir" / "model.npz")
+        save_state(MLP([2, 2], rng=0), path)
+        load_state(MLP([2, 2], rng=1), path)
+
+    def test_strict_mismatch_raises(self, tmp_path):
+        path = str(tmp_path / "model.npz")
+        save_state(MLP([4, 8, 2], rng=0), path)
+        with pytest.raises((KeyError, ValueError)):
+            load_state(MLP([4, 9, 2], rng=0), path)

@@ -1,0 +1,303 @@
+"""Autograd engine tests: forward values and gradients vs finite differences."""
+
+import numpy as np
+import pytest
+
+from repro.nn.tensor import Tensor, as_tensor, unbroadcast, zeros, ones, randn
+
+from tests.conftest import check_gradient
+
+
+class TestTensorBasics:
+    def test_wraps_array(self):
+        t = Tensor([[1.0, 2.0], [3.0, 4.0]])
+        assert t.shape == (2, 2)
+        assert t.ndim == 2
+        assert t.size == 4
+
+    def test_as_tensor_passthrough(self):
+        t = Tensor([1.0])
+        assert as_tensor(t) is t
+
+    def test_as_tensor_from_list(self):
+        t = as_tensor([1, 2, 3])
+        assert t.shape == (3,)
+
+    def test_requires_grad_rejects_int_dtype(self):
+        with pytest.raises(TypeError):
+            Tensor(np.array([1, 2, 3]), requires_grad=True)
+
+    def test_item_scalar(self):
+        assert Tensor(np.array(3.5)).item() == 3.5
+
+    def test_detach_cuts_graph(self):
+        x = Tensor([1.0], requires_grad=True)
+        y = (x * 2.0).detach()
+        z = y * 3.0
+        z.backward(np.array([1.0]))
+        assert x.grad is None
+
+    def test_repr_mentions_shape(self):
+        assert "shape=(2,)" in repr(Tensor([1.0, 2.0]))
+
+    def test_len(self):
+        assert len(Tensor([1.0, 2.0, 3.0])) == 3
+
+    def test_zeros_ones_randn(self):
+        assert zeros((2, 3)).data.sum() == 0
+        assert ones((2, 3)).data.sum() == 6
+        assert randn((4, 4), rng=np.random.default_rng(0)).shape == (4, 4)
+
+    def test_backward_shape_mismatch_raises(self):
+        x = Tensor([1.0, 2.0], requires_grad=True)
+        with pytest.raises(ValueError):
+            x.backward(np.ones((3,)))
+
+
+class TestUnbroadcast:
+    def test_identity(self):
+        g = np.ones((2, 3))
+        assert unbroadcast(g, (2, 3)).shape == (2, 3)
+
+    def test_sums_leading_dims(self):
+        g = np.ones((4, 2, 3))
+        out = unbroadcast(g, (2, 3))
+        assert out.shape == (2, 3)
+        np.testing.assert_allclose(out, 4 * np.ones((2, 3)))
+
+    def test_sums_size_one_axes(self):
+        g = np.ones((2, 3))
+        out = unbroadcast(g, (1, 3))
+        assert out.shape == (1, 3)
+        np.testing.assert_allclose(out, 2 * np.ones((1, 3)))
+
+
+class TestArithmeticGradients:
+    def test_add(self, rng):
+        check_gradient(lambda x: (x + 2.0).sum(), rng.normal(size=(3, 4)))
+
+    def test_add_broadcast(self, rng):
+        b = rng.normal(size=(4,))
+        check_gradient(lambda x: (x + Tensor(b)).sum(), rng.normal(size=(3, 4)))
+
+    def test_mul(self, rng):
+        check_gradient(lambda x: (x * x).sum(), rng.normal(size=(3, 4)))
+
+    def test_sub_rsub(self, rng):
+        check_gradient(lambda x: (1.0 - x).sum(), rng.normal(size=(5,)))
+
+    def test_div(self, rng):
+        x0 = rng.normal(size=(4,)) + 3.0
+        check_gradient(lambda x: (x / 2.0).sum(), x0)
+        check_gradient(lambda x: (2.0 / x).sum(), x0)
+
+    def test_pow(self, rng):
+        check_gradient(lambda x: (x ** 3.0).sum(), rng.normal(size=(4,)))
+
+    def test_pow_rejects_tensor_exponent(self):
+        with pytest.raises(TypeError):
+            Tensor([2.0]) ** Tensor([2.0])
+
+    def test_neg(self, rng):
+        check_gradient(lambda x: (-x).sum(), rng.normal(size=(4,)))
+
+    def test_matmul_2d(self, rng):
+        w = rng.normal(size=(4, 5))
+        check_gradient(lambda x: (x @ Tensor(w)).sum(), rng.normal(size=(3, 4)))
+
+    def test_matmul_grad_to_rhs(self, rng):
+        x = rng.normal(size=(3, 4))
+        check_gradient(lambda w: (Tensor(x) @ w).sum(), rng.normal(size=(4, 5)))
+
+    def test_matmul_batched(self, rng):
+        w = rng.normal(size=(2, 4, 5))
+        check_gradient(lambda x: (x @ Tensor(w)).sum(),
+                       rng.normal(size=(2, 3, 4)))
+
+    def test_matmul_vector_rhs(self, rng):
+        v = rng.normal(size=(4,))
+        check_gradient(lambda x: (x @ Tensor(v)).sum(), rng.normal(size=(3, 4)))
+
+    def test_grad_accumulates_over_reuse(self):
+        x = Tensor([2.0], requires_grad=True)
+        y = x * 3.0 + x * 4.0
+        y.backward(np.array([1.0]))
+        np.testing.assert_allclose(x.grad, [7.0])
+
+    def test_no_graph_when_no_requires_grad(self):
+        x = Tensor([1.0])
+        y = x * 2.0 + 1.0
+        assert y._backward is None and y._parents == ()
+
+
+class TestUnaryGradients:
+    def test_exp(self, rng):
+        check_gradient(lambda x: x.exp().sum(), rng.normal(size=(4,)))
+
+    def test_log(self, rng):
+        check_gradient(lambda x: x.log().sum(),
+                       rng.uniform(0.5, 2.0, size=(4,)))
+
+    def test_tanh(self, rng):
+        check_gradient(lambda x: x.tanh().sum(), rng.normal(size=(4,)))
+
+    def test_relu(self, rng):
+        # keep values away from the kink
+        x0 = rng.normal(size=(6,))
+        x0[np.abs(x0) < 0.1] = 0.5
+        check_gradient(lambda x: x.relu().sum(), x0)
+
+    def test_sigmoid(self, rng):
+        check_gradient(lambda x: x.sigmoid().sum(), rng.normal(size=(4,)))
+
+    def test_sigmoid_extreme_values_stable(self):
+        out = Tensor([-1000.0, 1000.0]).sigmoid().data
+        np.testing.assert_allclose(out, [0.0, 1.0], atol=1e-12)
+
+    def test_abs(self, rng):
+        x0 = rng.normal(size=(5,))
+        x0[np.abs(x0) < 0.1] = 1.0
+        check_gradient(lambda x: x.abs().sum(), x0)
+
+    def test_sqrt(self):
+        check_gradient(lambda x: x.sqrt().sum(),
+                       np.array([1.0, 4.0, 9.0]))
+
+    def test_clip(self, rng):
+        x0 = np.array([-2.0, -0.5, 0.5, 2.0])
+        check_gradient(lambda x: x.clip(-1.0, 1.0).sum(), x0)
+
+    def test_clip_forward(self):
+        out = Tensor([-2.0, 0.0, 2.0]).clip(-1.0, 1.0).data
+        np.testing.assert_allclose(out, [-1.0, 0.0, 1.0])
+
+
+class TestReductions:
+    def test_sum_all(self, rng):
+        check_gradient(lambda x: x.sum(), rng.normal(size=(3, 4)))
+
+    def test_sum_axis_keepdims(self, rng):
+        check_gradient(lambda x: (x.sum(axis=1, keepdims=True) ** 2.0).sum(),
+                       rng.normal(size=(3, 4)))
+
+    def test_sum_negative_axis(self, rng):
+        check_gradient(lambda x: (x.sum(axis=-1) ** 2.0).sum(),
+                       rng.normal(size=(3, 4)))
+
+    def test_mean(self, rng):
+        x0 = rng.normal(size=(3, 4))
+        np.testing.assert_allclose(Tensor(x0).mean().data, x0.mean())
+        check_gradient(lambda x: x.mean(), x0)
+
+    def test_mean_axis(self, rng):
+        x0 = rng.normal(size=(3, 4))
+        np.testing.assert_allclose(Tensor(x0).mean(axis=0).data,
+                                   x0.mean(axis=0))
+
+    def test_var(self, rng):
+        x0 = rng.normal(size=(10,))
+        np.testing.assert_allclose(Tensor(x0).var().data, x0.var())
+
+    def test_max_forward(self, rng):
+        x0 = rng.normal(size=(3, 4))
+        np.testing.assert_allclose(Tensor(x0).max(axis=1).data, x0.max(axis=1))
+
+    def test_max_gradient(self):
+        x = Tensor(np.array([1.0, 5.0, 3.0]), requires_grad=True)
+        x.max().backward()
+        np.testing.assert_allclose(x.grad, [0.0, 1.0, 0.0])
+
+    def test_max_gradient_splits_ties(self):
+        x = Tensor(np.array([5.0, 5.0]), requires_grad=True)
+        x.max().backward()
+        np.testing.assert_allclose(x.grad, [0.5, 0.5])
+
+
+class TestShapeOps:
+    def test_reshape_roundtrip(self, rng):
+        check_gradient(lambda x: (x.reshape(4, 3) ** 2.0).sum(),
+                       rng.normal(size=(3, 4)))
+
+    def test_transpose(self, rng):
+        x0 = rng.normal(size=(3, 4))
+        np.testing.assert_allclose(Tensor(x0).T.data, x0.T)
+        check_gradient(lambda x: (x.transpose() ** 2.0).sum(), x0)
+
+    def test_transpose_axes(self, rng):
+        x0 = rng.normal(size=(2, 3, 4))
+        np.testing.assert_allclose(Tensor(x0).transpose(1, 0, 2).data,
+                                   x0.transpose(1, 0, 2))
+
+    def test_swapaxes(self, rng):
+        x0 = rng.normal(size=(2, 3, 4))
+        np.testing.assert_allclose(Tensor(x0).swapaxes(1, 2).data,
+                                   x0.swapaxes(1, 2))
+        check_gradient(lambda x: (x.swapaxes(0, 1) ** 2.0).sum(),
+                       rng.normal(size=(3, 4)))
+
+    def test_getitem(self, rng):
+        check_gradient(lambda x: (x[1:, :2] ** 2.0).sum(),
+                       rng.normal(size=(3, 4)))
+
+    def test_getitem_fancy_accumulates(self):
+        x = Tensor(np.ones(3), requires_grad=True)
+        y = x[np.array([0, 0, 2])]
+        y.sum().backward()
+        np.testing.assert_allclose(x.grad, [2.0, 0.0, 1.0])
+
+    def test_concatenate(self, rng):
+        a0 = rng.normal(size=(2, 3))
+        b = Tensor(rng.normal(size=(2, 2)))
+        check_gradient(
+            lambda x: (Tensor.concatenate([x, b], axis=1) ** 2.0).sum(), a0)
+
+    def test_concatenate_forward(self, rng):
+        a, b = rng.normal(size=(2, 3)), rng.normal(size=(2, 3))
+        out = Tensor.concatenate([Tensor(a), Tensor(b)], axis=0)
+        np.testing.assert_allclose(out.data, np.concatenate([a, b], axis=0))
+
+    def test_stack(self, rng):
+        a0 = rng.normal(size=(2, 3))
+        b = Tensor(rng.normal(size=(2, 3)))
+        check_gradient(lambda x: (Tensor.stack([x, b], axis=1) ** 2.0).sum(),
+                       a0)
+
+    def test_gather_rows(self, rng):
+        w0 = rng.normal(size=(5, 3))
+        idx = np.array([0, 2, 2, 4])
+        check_gradient(lambda w: (w.gather_rows(idx) ** 2.0).sum(), w0)
+
+    def test_gather_rows_forward(self, rng):
+        w = rng.normal(size=(5, 3))
+        idx = np.array([[1, 2], [3, 4]])
+        out = Tensor(w).gather_rows(idx)
+        assert out.shape == (2, 2, 3)
+        np.testing.assert_allclose(out.data, w[idx])
+
+
+class TestComparisons:
+    def test_gt(self):
+        out = Tensor([1.0, 3.0]) > Tensor([2.0, 2.0])
+        np.testing.assert_array_equal(out.data, [False, True])
+
+    def test_le(self):
+        out = Tensor([1.0, 3.0]) <= 2.0
+        np.testing.assert_array_equal(out.data, [True, False])
+
+
+class TestDeepGraph:
+    def test_deep_chain_no_recursion_error(self):
+        x = Tensor(np.array([1.0]), requires_grad=True)
+        y = x
+        for _ in range(3000):
+            y = y * 1.0001
+        y.backward(np.array([1.0]))
+        assert x.grad is not None and np.isfinite(x.grad).all()
+
+    def test_diamond_graph_gradient(self):
+        x = Tensor(np.array([2.0]), requires_grad=True)
+        a = x * 3.0
+        b = x * 5.0
+        (a * b).backward(np.array([1.0]))
+        # d/dx (15 x^2) = 30 x = 60
+        np.testing.assert_allclose(x.grad, [60.0])

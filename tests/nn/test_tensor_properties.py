@@ -1,0 +1,114 @@
+"""Property-based autograd tests: random shapes, broadcasting, gradients."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn.tensor import Tensor
+
+from tests.conftest import numerical_gradient
+
+small_dims = st.integers(1, 4)
+
+
+@st.composite
+def broadcastable_shapes(draw):
+    """Two shapes that numpy can broadcast together."""
+    ndim = draw(st.integers(1, 3))
+    full = [draw(small_dims) for _ in range(ndim)]
+    a = [draw(st.sampled_from([dim, 1])) for dim in full]
+    b = [draw(st.sampled_from([dim, 1])) for dim in full]
+    # Ensure the full shape is actually realised by at least one operand.
+    for axis in range(ndim):
+        if a[axis] == 1 and b[axis] == 1:
+            full[axis] = 1
+    return tuple(a), tuple(b)
+
+
+def check_binary_gradients(op, shape_a, shape_b, seed):
+    rng = np.random.default_rng(seed)
+    a_value = rng.normal(size=shape_a) + 2.0  # keep away from 0 for div
+    b_value = rng.normal(size=shape_b) + 2.0
+
+    a = Tensor(a_value.copy(), requires_grad=True)
+    b = Tensor(b_value.copy(), requires_grad=True)
+    op(a, b).sum().backward()
+
+    for tensor, value, other, first in ((a, a_value, b_value, True),
+                                        (b, b_value, a_value, False)):
+        def scalar(x):
+            left, right = (x, other) if first else (other, x)
+            return float(op(Tensor(left), Tensor(right)).sum().data)
+
+        numeric = numerical_gradient(scalar, value.copy())
+        np.testing.assert_allclose(tensor.grad, numeric, atol=1e-5,
+                                   rtol=1e-4)
+
+
+class TestBroadcastGradients:
+    @given(shapes=broadcastable_shapes(), seed=st.integers(0, 2**16))
+    @settings(max_examples=25, deadline=None)
+    def test_add(self, shapes, seed):
+        check_binary_gradients(lambda x, y: x + y, *shapes, seed)
+
+    @given(shapes=broadcastable_shapes(), seed=st.integers(0, 2**16))
+    @settings(max_examples=25, deadline=None)
+    def test_mul(self, shapes, seed):
+        check_binary_gradients(lambda x, y: x * y, *shapes, seed)
+
+    @given(shapes=broadcastable_shapes(), seed=st.integers(0, 2**16))
+    @settings(max_examples=15, deadline=None)
+    def test_div(self, shapes, seed):
+        check_binary_gradients(lambda x, y: x / y, *shapes, seed)
+
+
+class TestMatmulShapes:
+    @given(batch=small_dims, rows=small_dims, inner=small_dims,
+           cols=small_dims, seed=st.integers(0, 2**16))
+    @settings(max_examples=25, deadline=None)
+    def test_batched_matmul_forward_and_grad_shape(self, batch, rows, inner,
+                                                   cols, seed):
+        rng = np.random.default_rng(seed)
+        a = Tensor(rng.normal(size=(batch, rows, inner)), requires_grad=True)
+        b = Tensor(rng.normal(size=(batch, inner, cols)), requires_grad=True)
+        out = a @ b
+        assert out.shape == (batch, rows, cols)
+        np.testing.assert_allclose(out.data, a.data @ b.data)
+        out.sum().backward()
+        assert a.grad.shape == a.shape
+        assert b.grad.shape == b.shape
+
+
+class TestForwardInvariants:
+    @given(st.lists(st.floats(-50, 50), min_size=1, max_size=20),
+           st.integers(0, 2**16))
+    @settings(max_examples=30, deadline=None)
+    def test_softmax_is_distribution(self, values, seed):
+        from repro.nn.functional import softmax
+
+        x = Tensor(np.asarray(values).reshape(1, -1))
+        out = softmax(x).data
+        assert (out >= 0).all()
+        np.testing.assert_allclose(out.sum(), 1.0, atol=1e-9)
+
+    @given(st.lists(st.floats(-100, 100), min_size=2, max_size=30))
+    @settings(max_examples=30, deadline=None)
+    def test_layer_norm_standardises(self, values):
+        from repro.nn.functional import layer_norm
+
+        data = np.asarray(values).reshape(1, -1)
+        if np.ptp(data) < 1e-6:
+            return  # degenerate constant row
+        dim = data.shape[-1]
+        out = layer_norm(Tensor(data), Tensor(np.ones(dim)),
+                         Tensor(np.zeros(dim))).data
+        np.testing.assert_allclose(out.mean(), 0.0, atol=1e-8)
+
+    @given(st.lists(st.floats(0.01, 10), min_size=1, max_size=10),
+           st.integers(0, 2**16))
+    @settings(max_examples=20, deadline=None)
+    def test_exp_log_roundtrip_gradient_consistency(self, values, seed):
+        x = Tensor(np.asarray(values), requires_grad=True)
+        y = x.exp().log()  # identity, so gradient should be ones
+        y.sum().backward()
+        np.testing.assert_allclose(x.grad, np.ones_like(x.data), atol=1e-9)

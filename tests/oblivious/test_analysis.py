@@ -1,0 +1,62 @@
+"""Trace-equivalence verifier tests."""
+
+import numpy as np
+import pytest
+
+from repro.oblivious.analysis import (
+    TraceComparison,
+    assert_trace_oblivious,
+    compare_traces,
+)
+from repro.oblivious.trace import READ, MemoryTracer, TracedArray
+
+
+def oblivious_fn(tracer, secret):
+    arr = TracedArray(np.zeros((5, 1)), "t", tracer)
+    arr.read_all()
+
+
+def leaky_fn(tracer, secret):
+    arr = TracedArray(np.zeros((5, 1)), "t", tracer)
+    arr.read(secret)
+
+
+class TestCompareTraces:
+    def test_oblivious_function_passes(self):
+        result = compare_traces(oblivious_fn, [0, 2, 4])
+        assert result.oblivious
+        assert result.trace_length == 5
+        assert "oblivious over 3 secrets" in str(result)
+
+    def test_leaky_function_caught(self):
+        result = compare_traces(leaky_fn, [1, 3])
+        assert not result.oblivious
+        secret, position, ref, got = result.first_divergence
+        assert secret == 1
+        assert position == 0
+        assert ref == "R t[1]"
+        assert got == "R t[3]"
+        assert "NOT oblivious" in str(result)
+
+    def test_length_divergence_caught(self):
+        def fn(tracer, secret):
+            arr = TracedArray(np.zeros((5, 1)), "t", tracer)
+            for i in range(secret):
+                arr.read(0)
+        result = compare_traces(fn, [2, 3])
+        assert not result.oblivious
+        assert result.first_divergence[3] == "<end>" or \
+            result.first_divergence[2] == "<end>"
+
+    def test_needs_two_secrets(self):
+        with pytest.raises(ValueError):
+            compare_traces(oblivious_fn, [1])
+
+
+class TestAssertTraceOblivious:
+    def test_passes_silently(self):
+        assert_trace_oblivious(oblivious_fn, [0, 1])
+
+    def test_raises_on_leak(self):
+        with pytest.raises(AssertionError, match="NOT oblivious"):
+            assert_trace_oblivious(leaky_fn, [0, 1])

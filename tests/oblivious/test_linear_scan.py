@@ -1,0 +1,71 @@
+"""Linear-scan lookup: correctness + the full-sweep access pattern."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.oblivious.linear_scan import (
+    linear_scan_batch,
+    linear_scan_batch_vectorized,
+    linear_scan_lookup,
+)
+from repro.oblivious.trace import MemoryTracer, TracedArray
+
+
+@pytest.fixture
+def table(rng):
+    return rng.normal(size=(20, 6))
+
+
+class TestLinearScanLookup:
+    def test_retrieves_correct_row(self, table):
+        traced = TracedArray(table, "t")
+        for index in (0, 7, 19):
+            np.testing.assert_allclose(linear_scan_lookup(traced, index),
+                                       table[index])
+
+    def test_touches_every_row_in_order(self, table):
+        tracer = MemoryTracer()
+        traced = TracedArray(table, "t", tracer)
+        linear_scan_lookup(traced, 13)
+        assert tracer.addresses("t") == list(range(20))
+
+    def test_trace_independent_of_index(self, table):
+        digests = set()
+        for index in (0, 5, 19):
+            tracer = MemoryTracer()
+            linear_scan_lookup(TracedArray(table, "t", tracer), index)
+            digests.add(tracer.digest())
+        assert len(digests) == 1
+
+    def test_out_of_range(self, table):
+        with pytest.raises(IndexError):
+            linear_scan_lookup(TracedArray(table, "t"), 20)
+
+
+class TestLinearScanBatch:
+    def test_matches_gather(self, table):
+        indices = np.array([3, 3, 0, 19, 7])
+        out = linear_scan_batch(TracedArray(table, "t"), indices)
+        np.testing.assert_allclose(out, table[indices])
+
+    def test_one_sweep_per_query(self, table):
+        tracer = MemoryTracer()
+        linear_scan_batch(TracedArray(table, "t", tracer), [1, 2, 3])
+        assert len(tracer.addresses("t")) == 3 * 20
+
+
+class TestVectorizedScan:
+    @given(st.lists(st.integers(0, 19), min_size=1, max_size=10))
+    @settings(max_examples=25)
+    def test_matches_scalar_scan(self, indices):
+        rng = np.random.default_rng(0)
+        table = rng.normal(size=(20, 6))
+        scalar = linear_scan_batch(TracedArray(table, "t"), indices)
+        vector = linear_scan_batch_vectorized(table, indices)
+        np.testing.assert_allclose(scalar, vector, atol=1e-12)
+
+    def test_out_of_range(self):
+        with pytest.raises(IndexError):
+            linear_scan_batch_vectorized(np.zeros((4, 2)), [4])

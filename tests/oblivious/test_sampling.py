@@ -1,0 +1,114 @@
+"""Oblivious top-k and stochastic-sampling tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.oblivious.primitives import oblivious_topk
+from repro.oblivious.sampling import (
+    oblivious_sample_batch,
+    oblivious_sample_top_k,
+)
+
+
+class TestObliviousTopk:
+    @given(st.lists(st.floats(-1e3, 1e3), min_size=1, max_size=30,
+                    unique=True),
+           st.data())
+    @settings(max_examples=40)
+    def test_matches_numpy_topk(self, values, data):
+        k = data.draw(st.integers(1, len(values)))
+        array = np.asarray(values)
+        indices, top = oblivious_topk(array, k)
+        expected = np.sort(array)[::-1][:k]
+        np.testing.assert_allclose(np.asarray(top), expected)
+        np.testing.assert_allclose(array[indices], top)
+
+    def test_indices_distinct(self):
+        indices, _ = oblivious_topk([5.0, 5.0, 5.0, 1.0], 3)
+        assert len(set(indices.tolist())) == 3
+
+    def test_k_validation(self):
+        with pytest.raises(ValueError):
+            oblivious_topk([1.0, 2.0], 3)
+        with pytest.raises(ValueError):
+            oblivious_topk([1.0], 0)
+        with pytest.raises(ValueError):
+            oblivious_topk([], 1)
+
+
+class TestObliviousSampleTopK:
+    def test_only_topk_tokens_sampled(self, rng):
+        logits = np.array([10.0, 9.0, 8.0, -50.0, -50.0])
+        draws = {oblivious_sample_top_k(logits, 3, rng=int(seed))
+                 for seed in rng.integers(0, 10**6, size=40)}
+        assert draws <= {0, 1, 2}
+        assert len(draws) >= 2  # actually stochastic
+
+    def test_low_temperature_approaches_greedy(self):
+        logits = np.array([1.0, 1.2, 0.9])
+        draws = [oblivious_sample_top_k(logits, 3, temperature=0.01,
+                                        rng=seed)
+                 for seed in range(20)]
+        assert all(token == 1 for token in draws)
+
+    def test_distribution_tracks_softmax(self):
+        logits = np.log(np.array([0.7, 0.2, 0.1]))
+        counts = np.zeros(3)
+        for seed in range(3000):
+            counts[oblivious_sample_top_k(logits, 3, rng=seed)] += 1
+        freqs = counts / counts.sum()
+        np.testing.assert_allclose(freqs, [0.7, 0.2, 0.1], atol=0.05)
+
+    def test_deterministic_under_seed(self):
+        logits = np.random.default_rng(0).normal(size=20)
+        a = oblivious_sample_top_k(logits, 5, rng=42)
+        b = oblivious_sample_top_k(logits, 5, rng=42)
+        assert a == b
+
+    def test_temperature_validated(self):
+        with pytest.raises(ValueError):
+            oblivious_sample_top_k(np.zeros(4), 2, temperature=0.0)
+
+
+class TestBatchSampling:
+    def test_shape(self, rng):
+        logits = rng.normal(size=(5, 16))
+        out = oblivious_sample_batch(logits, 4, rng=0)
+        assert out.shape == (5,)
+        assert (out >= 0).all() and (out < 16).all()
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError):
+            oblivious_sample_batch(np.zeros(4), 2)
+
+
+class TestGptSamplingIntegration:
+    def test_top_k_generation(self, rng):
+        from repro.models.gpt import GPT, tiny_config
+
+        model = GPT(tiny_config(vocab_size=32, embed_dim=16, num_layers=1,
+                                num_heads=2), rng=0)
+        prompt = rng.integers(0, 32, size=(2, 4))
+        out = model.generate(prompt, max_new_tokens=5, top_k=4,
+                             temperature=0.8, rng=1)
+        assert out.shape == (2, 9)
+        # Stochastic: a different seed usually gives a different sequence.
+        other = model.generate(prompt, max_new_tokens=5, top_k=4,
+                               temperature=0.8, rng=2)
+        assert out.shape == other.shape
+
+    def test_oblivious_and_plain_topk_same_support(self, rng):
+        """Both samplers draw from the same top-k support set."""
+        from repro.models.gpt import GPT, tiny_config
+
+        model = GPT(tiny_config(vocab_size=32, embed_dim=16, num_layers=1,
+                                num_heads=2), rng=0)
+        prompt = rng.integers(0, 32, size=(1, 4))
+        caches = model.new_caches()
+        logits = model.prefill(prompt, caches).data[0]
+        top = set(np.argsort(logits)[::-1][:4].tolist())
+        for seed in range(10):
+            token = oblivious_sample_top_k(logits, 4, rng=seed)
+            assert token in top

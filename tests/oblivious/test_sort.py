@@ -1,0 +1,93 @@
+"""Bitonic sort / oblivious shuffle tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.oblivious.sort import (
+    bitonic_network,
+    oblivious_shuffle,
+    oblivious_sort,
+)
+
+
+class TestBitonicNetwork:
+    def test_schedule_depends_only_on_length(self):
+        assert bitonic_network(8) == bitonic_network(8)
+
+    def test_comparator_count(self):
+        # Bitonic network: n/2 * log2(n) * (log2(n)+1) / 2 comparators.
+        for n in (2, 4, 8, 16, 32):
+            import math
+            log = int(math.log2(n))
+            assert len(bitonic_network(n)) == n * log * (log + 1) // 4
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ValueError):
+            bitonic_network(6)
+
+
+class TestObliviousSort:
+    @given(st.lists(st.floats(-1e6, 1e6), min_size=1, max_size=40))
+    @settings(max_examples=40)
+    def test_matches_numpy_sort(self, values):
+        keys = np.asarray(values)
+        sorted_keys, _ = oblivious_sort(keys)
+        np.testing.assert_allclose(sorted_keys, np.sort(keys))
+
+    def test_payload_follows_keys(self, rng):
+        keys = rng.normal(size=10)
+        payload = np.arange(10, dtype=float).reshape(10, 1)
+        sorted_keys, sorted_payload = oblivious_sort(keys, payload)
+        order = np.argsort(keys, kind="stable")
+        np.testing.assert_allclose(sorted_payload.reshape(-1)[
+            np.argsort(sorted_keys, kind="stable")].sum(), payload.sum())
+        # each payload row still paired with its key
+        np.testing.assert_allclose(sorted_keys, keys[order])
+        np.testing.assert_allclose(sorted_payload.reshape(-1),
+                                   np.arange(10)[order])
+
+    def test_non_power_of_two_lengths(self):
+        for n in (1, 3, 5, 7, 13):
+            keys = np.arange(n, dtype=float)[::-1].copy()
+            sorted_keys, _ = oblivious_sort(keys)
+            np.testing.assert_allclose(sorted_keys, np.arange(n))
+
+    def test_payload_row_count_validated(self, rng):
+        with pytest.raises(ValueError):
+            oblivious_sort(rng.normal(size=4), rng.normal(size=(3, 2)))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            oblivious_sort(np.array([]))
+
+
+class TestObliviousShuffle:
+    def test_is_a_permutation(self, rng):
+        rows = rng.normal(size=(20, 3))
+        shuffled = oblivious_shuffle(rows, rng=0)
+        assert shuffled.shape == rows.shape
+        # multiset equality row-wise
+        original = sorted(map(tuple, rows.round(12)))
+        permuted = sorted(map(tuple, shuffled.round(12)))
+        assert original == permuted
+
+    def test_actually_shuffles(self, rng):
+        rows = np.arange(32, dtype=float).reshape(32, 1)
+        shuffled = oblivious_shuffle(rows, rng=1)
+        assert not np.allclose(shuffled, rows)
+
+    def test_uniformity_of_first_position(self):
+        """Over many seeds, each element reaches position 0 roughly
+        equally often."""
+        rows = np.arange(8, dtype=float).reshape(8, 1)
+        counts = np.zeros(8)
+        for seed in range(800):
+            counts[int(oblivious_shuffle(rows, rng=seed)[0, 0])] += 1
+        assert counts.min() > 0.5 * counts.mean()
+        assert counts.max() < 1.5 * counts.mean()
+
+    def test_1d_input_promoted(self, rng):
+        out = oblivious_shuffle(np.arange(5, dtype=float), rng=0)
+        assert out.shape == (5, 1)

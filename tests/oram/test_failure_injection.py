@@ -1,0 +1,63 @@
+"""Failure injection: corrupted state must be detected, not silently served."""
+
+import numpy as np
+import pytest
+
+from repro.oram import (
+    DUMMY,
+    CircuitORAM,
+    PathORAM,
+    StashOverflowError,
+)
+
+
+class TestCorruptionDetected:
+    @pytest.mark.parametrize("oram_class", [PathORAM, CircuitORAM],
+                             ids=["path", "circuit"])
+    def test_deleted_block_raises(self, oram_class):
+        """Erasing a block everywhere breaks the ORAM invariant; the next
+        access must fail loudly rather than return garbage."""
+        oram = oram_class(16, 2, rng=0)
+        oram.tree.ids[oram.tree.ids == 5] = DUMMY
+        oram.stash.ids[oram.stash.ids == 5] = DUMMY
+        with pytest.raises(KeyError, match="invariant"):
+            oram.read(5)
+
+    def test_other_blocks_unaffected_by_one_corruption(self):
+        rng = np.random.default_rng(0)
+        data = rng.normal(size=(16, 2))
+        oram = CircuitORAM(16, 2, initial_payloads=data.copy(), rng=1)
+        oram.tree.ids[oram.tree.ids == 5] = DUMMY
+        oram.stash.ids[oram.stash.ids == 5] = DUMMY
+        for block in (0, 3, 15):
+            np.testing.assert_allclose(oram.read(block), data[block])
+
+
+class TestStashExhaustion:
+    def test_tiny_stash_overflows_loudly(self):
+        """A deliberately undersized Path ORAM stash must raise
+        StashOverflowError instead of dropping blocks. Z=1 buckets make
+        stash pressure certain (the classic Path ORAM failure mode)."""
+        rng = np.random.default_rng(2)
+        with pytest.raises(StashOverflowError):
+            oram = PathORAM(64, 2, bucket_size=1, stash_capacity=1, rng=3)
+            for _ in range(500):
+                oram.read(int(rng.integers(0, 64)))
+
+    def test_blocks_never_silently_lost_before_overflow(self):
+        """Up to the moment of overflow, conservation holds."""
+        rng = np.random.default_rng(4)
+        oram = PathORAM(128, 2, pack_factor=4, stash_capacity=3, rng=5)
+        try:
+            for _ in range(500):
+                oram.read(int(rng.integers(0, 128)))
+                assert oram.total_resident_blocks() == 128
+        except StashOverflowError:
+            pass  # acceptable terminal state for this configuration
+
+
+class TestPayloadValidation:
+    def test_update_fn_result_shape_enforced(self):
+        oram = CircuitORAM(8, 3, rng=0)
+        with pytest.raises(ValueError):
+            oram.access(0, lambda payload: np.zeros(5))

@@ -1,0 +1,53 @@
+"""Tree-packing (ZeroTrace sizing) tests: correctness under pressure."""
+
+import numpy as np
+import pytest
+
+from repro.oram import CircuitORAM, PathORAM
+
+
+class TestPackedTrees:
+    @pytest.mark.parametrize("oram_class,stash", [(PathORAM, 150),
+                                                  (CircuitORAM, 40)],
+                             ids=["path", "circuit"])
+    def test_packed_kv_semantics(self, oram_class, stash, rng):
+        data = rng.normal(size=(128, 4))
+        oram = oram_class(128, 4, initial_payloads=data.copy(),
+                          pack_factor=4, stash_capacity=stash, rng=1)
+        mirror = data.copy()
+        for _ in range(300):
+            block = int(rng.integers(0, 128))
+            if rng.random() < 0.5:
+                np.testing.assert_allclose(oram.read(block), mirror[block])
+            else:
+                value = rng.normal(size=4)
+                oram.write(block, value)
+                mirror[block] = value
+
+    def test_packing_shrinks_tree(self):
+        loose = CircuitORAM(128, 4, rng=0)
+        packed = CircuitORAM(128, 4, pack_factor=4, stash_capacity=40, rng=0)
+        assert packed.tree.num_buckets < loose.tree.num_buckets / 2
+
+    def test_packing_increases_stash_pressure(self, rng):
+        loose = PathORAM(256, 4, rng=1)
+        packed = PathORAM(256, 4, pack_factor=4, rng=1)
+        for _ in range(400):
+            block = int(rng.integers(0, 256))
+            loose.read(block)
+            packed.read(block)
+        assert packed.stash.peak_occupancy >= loose.stash.peak_occupancy
+
+    def test_pack_factor_bounded_by_bucket_size(self):
+        with pytest.raises(ValueError):
+            CircuitORAM(64, 4, pack_factor=8)
+
+    def test_invalid_pack_factor(self):
+        with pytest.raises(ValueError):
+            CircuitORAM(64, 4, pack_factor=0)
+
+    def test_block_conservation_packed(self, rng):
+        oram = CircuitORAM(200, 2, pack_factor=4, stash_capacity=40, rng=2)
+        for _ in range(150):
+            oram.read(int(rng.integers(0, 200)))
+        assert oram.total_resident_blocks() == 200

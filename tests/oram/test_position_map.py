@@ -1,0 +1,67 @@
+"""Position map tests: flat scan pattern and recursive consistency."""
+
+import numpy as np
+import pytest
+
+from repro.oblivious.trace import MemoryTracer
+from repro.oram.circuit_oram import CircuitORAM
+from repro.oram.position_map import FlatPositionMap, OramPositionMap
+
+
+class TestFlatPositionMap:
+    def test_lookup_returns_old_installs_new(self):
+        posmap = FlatPositionMap(np.array([3, 1, 4]))
+        old = posmap.lookup_and_update(1, new_leaf=9)
+        assert old == 1
+        assert posmap.lookup_and_update(1, new_leaf=0) == 9
+
+    def test_scan_touches_all_entries(self):
+        tracer = MemoryTracer()
+        posmap = FlatPositionMap(np.arange(5), tracer=tracer, region="pm")
+        posmap.lookup_and_update(3, 0)
+        reads = [e for e in tracer if e.op == "R"]
+        writes = [e for e in tracer if e.op == "W"]
+        assert [e.address for e in reads] == list(range(5))
+        assert [e.address for e in writes] == list(range(5))
+
+    def test_trace_independent_of_block(self):
+        digests = set()
+        for block in (0, 2, 4):
+            tracer = MemoryTracer()
+            posmap = FlatPositionMap(np.arange(5), tracer=tracer)
+            posmap.lookup_and_update(block, 1)
+            digests.add(tracer.digest())
+        assert len(digests) == 1
+
+    def test_out_of_range(self):
+        with pytest.raises(IndexError):
+            FlatPositionMap(np.arange(3)).lookup_and_update(3, 0)
+
+
+class TestOramPositionMap:
+    def _factory(self, num_blocks, width, payloads):
+        return CircuitORAM(num_blocks, width, initial_payloads=payloads,
+                           rng=0, recursion_cutoff=1 << 20)
+
+    def test_round_trip_many_blocks(self):
+        rng = np.random.default_rng(1)
+        initial = rng.integers(0, 16, size=40)
+        posmap = OramPositionMap(initial, self._factory)
+        mirror = initial.copy()
+        for step in range(120):
+            block = int(rng.integers(0, 40))
+            new_leaf = int(rng.integers(0, 16))
+            old = posmap.lookup_and_update(block, new_leaf)
+            assert old == mirror[block], f"step {step}"
+            mirror[block] = new_leaf
+
+    def test_partial_last_chunk(self):
+        initial = np.arange(18)  # not a multiple of 16
+        posmap = OramPositionMap(initial, self._factory)
+        assert posmap.lookup_and_update(17, 99) == 17
+        assert posmap.lookup_and_update(17, 0) == 99
+
+    def test_out_of_range(self):
+        posmap = OramPositionMap(np.arange(18), self._factory)
+        with pytest.raises(IndexError):
+            posmap.lookup_and_update(18, 0)

@@ -1,0 +1,87 @@
+"""Set-associative cache model tests."""
+
+import pytest
+
+from repro.sidechannel.cache import CacheConfig, SetAssociativeCache
+
+
+def make_cache(num_sets=8, ways=2):
+    return SetAssociativeCache(CacheConfig(num_sets=num_sets, ways=ways))
+
+
+class TestCacheConfig:
+    def test_rejects_non_power_of_two_sets(self):
+        with pytest.raises(ValueError):
+            CacheConfig(num_sets=10)
+
+    def test_rejects_hit_slower_than_miss(self):
+        with pytest.raises(ValueError):
+            CacheConfig(hit_latency=300.0, miss_latency=200.0)
+
+
+class TestMapping:
+    def test_same_line_same_set(self):
+        cache = make_cache()
+        assert cache.set_index_of(0) == cache.set_index_of(63)
+
+    def test_adjacent_lines_adjacent_sets(self):
+        cache = make_cache()
+        assert cache.set_index_of(64) == (cache.set_index_of(0) + 1) % 8
+
+    def test_stride_wraps_to_same_set(self):
+        cache = make_cache(num_sets=8)
+        stride = 8 * 64
+        assert cache.set_index_of(100) == cache.set_index_of(100 + stride)
+
+
+class TestHitMiss:
+    def test_cold_miss_then_hit(self):
+        cache = make_cache()
+        assert cache.access(0) == cache.config.miss_latency
+        assert cache.access(0) == cache.config.hit_latency
+
+    def test_lru_eviction(self):
+        cache = make_cache(num_sets=1, ways=2)
+        cache.access(0)       # line A
+        cache.access(64)      # line B
+        cache.access(128)     # line C evicts A (LRU)
+        assert cache.access(64) == cache.config.hit_latency
+        assert cache.access(0) == cache.config.miss_latency
+
+    def test_lru_updated_on_hit(self):
+        cache = make_cache(num_sets=1, ways=2)
+        cache.access(0)
+        cache.access(64)
+        cache.access(0)       # A becomes MRU
+        cache.access(128)     # evicts B
+        assert cache.access(0) == cache.config.hit_latency
+
+    def test_miss_counter(self):
+        cache = make_cache()
+        cache.access(0)
+        cache.access(0)
+        assert cache.accesses == 2
+        assert cache.misses == 1
+
+
+class TestAccessRange:
+    def test_spans_lines(self):
+        cache = make_cache()
+        latency = cache.access_range(0, 130)  # 3 lines
+        assert latency == 3 * cache.config.miss_latency
+
+    def test_within_one_line(self):
+        cache = make_cache()
+        assert cache.access_range(10, 20) == cache.config.miss_latency
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            make_cache().access_range(0, 0)
+
+
+class TestFlush:
+    def test_flush_forgets(self):
+        cache = make_cache()
+        cache.access(0)
+        cache.flush()
+        assert cache.access(0) == cache.config.miss_latency

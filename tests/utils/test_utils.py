@@ -1,0 +1,90 @@
+"""Utility tests: RNG plumbing, validation, timing."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import RngMixin, new_rng, spawn_rngs
+from repro.utils.timing import Timer, time_callable
+from repro.utils.validation import (
+    check_in,
+    check_non_negative,
+    check_positive,
+    check_power_of_two,
+)
+
+
+class TestNewRng:
+    def test_int_seed_deterministic(self):
+        assert new_rng(5).integers(1000) == new_rng(5).integers(1000)
+
+    def test_generator_passthrough(self):
+        generator = np.random.default_rng(0)
+        assert new_rng(generator) is generator
+
+    def test_none_gives_generator(self):
+        assert isinstance(new_rng(None), np.random.Generator)
+
+
+class TestSpawnRngs:
+    def test_children_independent(self):
+        a, b = spawn_rngs(0, 2)
+        assert a.integers(10**9) != b.integers(10**9)
+
+    def test_count_validated(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, -1)
+
+    def test_zero_children(self):
+        assert spawn_rngs(0, 0) == []
+
+
+class TestRngMixin:
+    def test_lazy_and_reseedable(self):
+        class Thing(RngMixin):
+            pass
+
+        thing = Thing(seed=3)
+        first = thing.rng.integers(10**9)
+        thing.reseed(3)
+        assert thing.rng.integers(10**9) == first
+
+
+class TestValidation:
+    def test_check_positive(self):
+        check_positive("x", 1)
+        with pytest.raises(ValueError):
+            check_positive("x", 0)
+
+    def test_check_non_negative(self):
+        check_non_negative("x", 0)
+        with pytest.raises(ValueError):
+            check_non_negative("x", -1)
+
+    def test_check_in(self):
+        check_in("x", "a", ("a", "b"))
+        with pytest.raises(ValueError):
+            check_in("x", "c", ("a", "b"))
+
+    def test_check_power_of_two(self):
+        check_power_of_two("x", 8)
+        for bad in (0, -4, 3, 6):
+            with pytest.raises(ValueError):
+                check_power_of_two("x", bad)
+
+
+class TestTiming:
+    def test_timer_measures(self):
+        with Timer() as timer:
+            time.sleep(0.01)
+        assert timer.elapsed >= 0.009
+
+    def test_time_callable_median(self):
+        latency = time_callable(lambda: time.sleep(0.002), repeats=3,
+                                warmup=0)
+        assert latency >= 0.0015
+
+    def test_repeats_validated(self):
+        with pytest.raises(ValueError):
+            time_callable(lambda: None, repeats=0)
