@@ -10,7 +10,6 @@
 """
 
 import numpy as np
-import pytest
 
 from repro.costmodel.latency import (
     DLRM_DHE_UNIFORM_16,

@@ -1,8 +1,7 @@
 """Fig 13 bench: co-located latency-throughput, DHE vs Hybrid Varied."""
 
-from repro.data import KAGGLE_SPEC, TERABYTE_SPEC
+from repro.data import KAGGLE_SPEC
 from repro.experiments import fig13_throughput
-from repro.hybrid import latency_bounded_throughput
 
 
 def test_fig13_terabyte(benchmark, emit):

@@ -15,9 +15,8 @@ are divided among tenants. This reproduces the paper's observations:
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
-from typing import Callable, List, Sequence
+from typing import List, Sequence
 
 from repro.costmodel.latency import (
     DheShape,
@@ -26,7 +25,7 @@ from repro.costmodel.latency import (
     oram_latency,
 )
 from repro.costmodel.platform import DEFAULT_PLATFORM, PlatformModel
-from repro.utils.validation import check_non_negative, check_positive
+from repro.utils.validation import check_positive
 
 
 @dataclass(frozen=True)
@@ -106,6 +105,18 @@ def colocated_latencies(tenants: Sequence[TenantDemand],
             dilation *= 1.0 + 0.25 * (bw_dilation - 1.0) + 0.02 * (llc_pressure - 1.0)
         latencies.append(tenant.solo_latency * dilation)
     return latencies
+
+
+def replicated_latencies(demand: TenantDemand, copies: int,
+                         platform: PlatformModel = DEFAULT_PLATFORM
+                         ) -> List[float]:
+    """Per-copy latency of ``copies`` identical tenants sharing the host.
+
+    The homogeneous-fleet special case used by the co-location sweeps and
+    the serving dispatcher (Fig 13).
+    """
+    check_positive("copies", copies)
+    return colocated_latencies([demand] * copies, platform)
 
 
 def throughput_inferences_per_second(tenants: Sequence[TenantDemand],

@@ -11,11 +11,15 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Tuple
 
 from repro.costmodel.platform import DEFAULT_PLATFORM, PlatformModel
 from repro.oram.tree import tree_levels_for
 from repro.utils.validation import check_in, check_positive
+
+#: Table VII: bottom/top MLP + feature interaction per DLRM batch. Shared by
+#: the serving engine and the end-to-end experiments (one copy, not three).
+MLP_OVERHEAD_SECONDS = 1.5e-3
 
 BUCKET_SIZE = 4
 PATH_STASH = 150

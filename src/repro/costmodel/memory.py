@@ -9,7 +9,6 @@ per-slot metadata and the recursive position-map trees.
 from __future__ import annotations
 
 import math
-from typing import Optional
 
 from repro.costmodel.latency import (
     CIRCUIT_RECURSION_CUTOFF,

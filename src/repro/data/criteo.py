@@ -14,8 +14,8 @@ table-based vs DHE-based DLRM reaching the same accuracy) is run for real.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import List, Tuple
 
 import numpy as np
 

@@ -47,7 +47,25 @@ class EmbeddingGenerator(Module):
         """Inference-only convenience: embeddings as a plain array."""
         return self.forward(np.asarray(indices)).data
 
-    def forward_pooled(self, indices, mode: str = "sum") -> Tensor:
+    def batched_forward(self, indices,
+                        batch_size: Optional[int] = None) -> np.ndarray:
+        """Inference in chunks of ``batch_size`` along the leading axis.
+
+        The seam measured execution backends drive: one call is one serving
+        batch. ``batch_size=None`` runs the whole request in a single chunk.
+        """
+        indices = np.asarray(indices)
+        if batch_size is None:
+            return self.generate(indices)
+        if batch_size <= 0:
+            raise ValueError(f"batch_size must be positive, got {batch_size}")
+        chunks = [self.generate(indices[first:first + batch_size])
+                  for first in range(0, indices.shape[0], batch_size)]
+        return np.concatenate(chunks, axis=0) if chunks else np.empty(
+            (0, self.embedding_dim))
+
+    def forward_pooled(self, indices, mode: str = "sum",
+                       lengths=None) -> Tensor:
         """Multi-hot lookup with pooling: (batch, bag) indices -> (batch, dim).
 
         Real DLRM sparse features are bags of ids (e.g. recent purchases)
@@ -55,6 +73,12 @@ class EmbeddingGenerator(Module):
         with no data-dependent access, so a generator's obliviousness is
         inherited; the *bag length* is visible, which the threat model does
         not hide (§III: the number of accesses is public).
+
+        ``lengths`` gives the true per-row bag length for padded bags: rows
+        are reduced over their first ``lengths[i]`` slots only, and mean
+        pooling divides by the true length rather than the padded width.
+        Padding slots must still hold valid indices (the pads are masked
+        after lookup, keeping the access pattern length-independent).
         """
         indices = np.asarray(indices, dtype=np.int64)
         if indices.ndim != 2:
@@ -64,13 +88,30 @@ class EmbeddingGenerator(Module):
         if mode not in ("sum", "mean"):
             raise ValueError(f"mode must be 'sum' or 'mean', got {mode!r}")
         vectors = self.forward(indices)          # (batch, bag, dim)
-        pooled = vectors.sum(axis=1)
+        if lengths is None:
+            pooled = vectors.sum(axis=1)
+            if mode == "mean":
+                pooled = pooled * (1.0 / indices.shape[1])
+            return pooled
+        lengths = np.asarray(lengths, dtype=np.int64)
+        if lengths.shape != (indices.shape[0],):
+            raise ValueError(
+                f"lengths must have shape ({indices.shape[0]},), got "
+                f"{lengths.shape}")
+        if lengths.size and (lengths.min() < 1
+                             or lengths.max() > indices.shape[1]):
+            raise ValueError(
+                f"lengths must be in [1, {indices.shape[1]}] for bags of "
+                f"width {indices.shape[1]}")
+        mask = (np.arange(indices.shape[1]) < lengths[:, None])
+        pooled = (vectors * mask[:, :, None].astype(np.float64)).sum(axis=1)
         if mode == "mean":
-            pooled = pooled * (1.0 / indices.shape[1])
+            pooled = pooled * (1.0 / lengths.astype(np.float64))[:, None]
         return pooled
 
-    def generate_pooled(self, indices, mode: str = "sum") -> np.ndarray:
-        return self.forward_pooled(indices, mode=mode).data
+    def generate_pooled(self, indices, mode: str = "sum",
+                        lengths=None) -> np.ndarray:
+        return self.forward_pooled(indices, mode=mode, lengths=lengths).data
 
     # ------------------------------------------------------------------
     def modelled_latency(self, batch: int, threads: int = 1,
@@ -85,10 +126,14 @@ class EmbeddingGenerator(Module):
     # ------------------------------------------------------------------
     def _check_indices(self, indices: np.ndarray) -> np.ndarray:
         indices = np.asarray(indices, dtype=np.int64)
-        if indices.size and (indices.min() < 0
-                             or indices.max() >= self.num_embeddings):
+        invalid = (indices < 0) | (indices >= self.num_embeddings)
+        if indices.size and invalid.any():
+            position = np.unravel_index(int(np.argmax(invalid)),
+                                        indices.shape)
             raise IndexError(
-                f"index out of range for table of {self.num_embeddings} rows")
+                f"index {int(indices[position])} at position "
+                f"{tuple(int(p) for p in position)} is out of range for "
+                f"table of {self.num_embeddings} rows")
         return indices
 
     def __repr__(self) -> str:

@@ -11,7 +11,6 @@ from __future__ import annotations
 
 from typing import Optional
 
-import numpy as np
 
 from repro.costmodel.platform import DEFAULT_PLATFORM, PlatformModel
 from repro.embedding.base import EmbeddingGenerator

@@ -11,7 +11,7 @@ the DHE-vs-TT footprint/latency trade-off can be benchmarked.
 from __future__ import annotations
 
 import math
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Tuple
 
 import numpy as np
 

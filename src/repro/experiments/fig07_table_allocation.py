@@ -11,7 +11,7 @@ from __future__ import annotations
 from typing import Sequence
 
 from repro.costmodel import DLRM_DHE_UNIFORM_16, DLRM_DHE_UNIFORM_64
-from repro.data import KAGGLE_SPEC, TERABYTE_SPEC, DlrmDatasetSpec
+from repro.data import KAGGLE_SPEC, TERABYTE_SPEC
 from repro.experiments.reporting import ExperimentResult
 from repro.hybrid import (
     OfflineProfiler,

@@ -8,35 +8,34 @@ this configuration).
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Sequence
 
 from repro.costmodel import (
     DLRM_DHE_UNIFORM_16,
     DLRM_DHE_UNIFORM_64,
+    MLP_OVERHEAD_SECONDS,
     DheShape,
-    dhe_latency,
-    dhe_varied_shape,
-    linear_scan_latency,
 )
 from repro.data import KAGGLE_SPEC, DlrmDatasetSpec
+from repro.embedding.hybrid import TECHNIQUE_DHE, TECHNIQUE_SCAN
 from repro.experiments.reporting import ExperimentResult, format_ms
 from repro.hybrid import OfflineProfiler, build_threshold_database
-
-MLP_OVERHEAD_SECONDS = 1.5e-3  # bottom/top FC + interaction, from Table VII
+from repro.hybrid.allocator import FeatureAllocation, allocation_latency
+from repro.serving.backends import ModelledBackend
 
 
 def embedding_latency_for_split(sizes_sorted: Sequence[int], num_scan: int,
                                 uniform: DheShape, batch: int,
                                 threads: int, varied: bool = True) -> float:
     """Latency when the ``num_scan`` smallest tables scan and the rest DHE."""
-    total = 0.0
-    for position, size in enumerate(sizes_sorted):
-        if position < num_scan:
-            total += linear_scan_latency(size, uniform.out_dim, batch, threads)
-        else:
-            shape = dhe_varied_shape(size, uniform) if varied else uniform
-            total += dhe_latency(shape, batch, threads)
-    return total
+    allocations = [
+        FeatureAllocation(position, size,
+                          TECHNIQUE_SCAN if position < num_scan
+                          else TECHNIQUE_DHE)
+        for position, size in enumerate(sizes_sorted)
+    ]
+    return allocation_latency(allocations, ModelledBackend(uniform),
+                              uniform.out_dim, batch, threads, varied=varied)
 
 
 def run(spec: DlrmDatasetSpec = KAGGLE_SPEC, batch: int = 32,

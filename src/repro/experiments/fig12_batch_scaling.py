@@ -9,13 +9,15 @@ from __future__ import annotations
 
 from typing import Sequence
 
-from repro.data import KAGGLE_SPEC, TERABYTE_SPEC, DlrmDatasetSpec
+from repro.data import KAGGLE_SPEC, TERABYTE_SPEC
 from repro.experiments.reporting import ExperimentResult, format_ms
 from repro.experiments.table07_e2e_latency import dataset_latencies
+from repro.serving.backends import BackendLike
 
 
 def run(batches: Sequence[int] = (1, 8, 32, 128),
-        threads: int = 1) -> ExperimentResult:
+        threads: int = 1,
+        backend: BackendLike = "modelled") -> ExperimentResult:
     result = ExperimentResult(
         experiment_id="fig12",
         title="End-to-end DLRM latency vs batch size (ms)",
@@ -26,7 +28,7 @@ def run(batches: Sequence[int] = (1, 8, 32, 128),
     )
     for spec in (KAGGLE_SPEC, TERABYTE_SPEC):
         for batch in batches:
-            latencies = dataset_latencies(spec, batch, threads)
+            latencies = dataset_latencies(spec, batch, threads, backend)
             result.add_row(
                 spec.name, batch,
                 format_ms(latencies["circuit_oram"]),

@@ -2,24 +2,24 @@
 
 DHE Varied vs Hybrid Varied fleets of Kaggle/Terabyte models; the paper's
 headline: at a 20 ms SLA the hybrid lifts latency-bounded throughput by
-~1.6x (Kaggle) / ~1.4x (Terabyte) over all-DHE.
+~1.6x (Kaggle) / ~1.4x (Terabyte) over all-DHE. The bench routes through
+the serving :class:`~repro.serving.engine.ExecutionEngine`: the engine
+resolves the live allocation (Algorithm 3) and hands replica fleets to its
+:class:`~repro.serving.dispatcher.Dispatcher`.
 """
 
 from __future__ import annotations
 
-from typing import Sequence
-
 from repro.costmodel import DLRM_DHE_UNIFORM_16, DLRM_DHE_UNIFORM_64
-from repro.data import KAGGLE_SPEC, TERABYTE_SPEC, DlrmDatasetSpec
+from repro.data import TERABYTE_SPEC, DlrmDatasetSpec
 from repro.experiments.reporting import ExperimentResult, format_ms
 from repro.hybrid import (
     OfflineProfiler,
     allocate_by_threshold,
     build_threshold_database,
-    colocation_sweep,
-    dlrm_tenant,
-    latency_bounded_throughput,
+    count_scan_features,
 )
+from repro.serving import ExecutionEngine, ServingConfig
 
 SLA_SECONDS = 0.020
 
@@ -33,17 +33,20 @@ def run(spec: DlrmDatasetSpec = TERABYTE_SPEC, batch: int = 32,
     profile = profiler.profile(techniques=("scan", "dhe-varied"),
                                dims=(dim,), batches=(batch,),
                                threads_list=(1,))
-    threshold = build_threshold_database(
+    thresholds = build_threshold_database(
         profile, dhe_technique="dhe-varied", dims=(dim,), batches=(batch,),
-        threads_list=(1,)).threshold(dim, batch, 1)
+        threads_list=(1,))
 
-    hybrid_alloc = allocate_by_threshold(spec.table_sizes, threshold)
+    engine = ExecutionEngine(spec.table_sizes, dim, uniform, thresholds,
+                             varied=True)
+    config = ServingConfig(batch_size=batch, threads=1,
+                           sla_seconds=SLA_SECONDS)
+
+    hybrid_alloc = engine.allocations(config)
     all_dhe_alloc = allocate_by_threshold(spec.table_sizes, 0.0)
 
-    hybrid_tenant = dlrm_tenant(spec.table_sizes, dim, hybrid_alloc, uniform,
-                                batch, varied=True)
-    dhe_tenant_model = dlrm_tenant(spec.table_sizes, dim, all_dhe_alloc,
-                                   uniform, batch, varied=True)
+    hybrid_dispatcher = engine.dispatcher(config, hybrid_alloc)
+    dhe_dispatcher = engine.dispatcher(config, all_dhe_alloc)
 
     result = ExperimentResult(
         experiment_id="fig13",
@@ -52,19 +55,21 @@ def run(spec: DlrmDatasetSpec = TERABYTE_SPEC, batch: int = 32,
         headers=("copies", "dhe_varied_ms", "dhe_varied_ips",
                  "hybrid_varied_ms", "hybrid_varied_ips"),
     )
-    hybrid_sweep = colocation_sweep(hybrid_tenant, max_copies, batch)
-    dhe_sweep = colocation_sweep(dhe_tenant_model, max_copies, batch)
+    hybrid_sweep = hybrid_dispatcher.sweep(max_copies)
+    dhe_sweep = dhe_dispatcher.sweep(max_copies)
     for (copies, dhe_lat, dhe_tp), (_, hyb_lat, hyb_tp) in zip(dhe_sweep,
                                                                hybrid_sweep):
         result.add_row(copies, format_ms(dhe_lat), round(dhe_tp),
                        format_ms(hyb_lat), round(hyb_tp))
 
-    dhe_bounded = latency_bounded_throughput(dhe_sweep, SLA_SECONDS)
-    hybrid_bounded = latency_bounded_throughput(hybrid_sweep, SLA_SECONDS)
+    dhe_bounded = dhe_dispatcher.sla_bounded_throughput(SLA_SECONDS,
+                                                        max_copies)
+    hybrid_bounded = hybrid_dispatcher.sla_bounded_throughput(SLA_SECONDS,
+                                                              max_copies)
     gain = hybrid_bounded / dhe_bounded if dhe_bounded else float("inf")
     result.notes = (f"SLA-bounded throughput: DHE {dhe_bounded:.0f} ips, "
                     f"Hybrid {hybrid_bounded:.0f} ips ({gain:.2f}x; paper "
                     f"1.4x Terabyte / 1.6x Kaggle); "
-                    f"{hybrid_tenant.num_scan_features}/{spec.num_sparse} "
+                    f"{count_scan_features(hybrid_alloc)}/{spec.num_sparse} "
                     f"features on scan")
     return result

@@ -10,7 +10,6 @@ table model's perplexity, and only full-model finetuning achieves that.
 
 from __future__ import annotations
 
-from typing import Sequence
 
 from repro.costmodel.latency import DheShape
 from repro.data import MarkovCorpusGenerator

@@ -9,7 +9,7 @@ same held-out generator.
 
 from __future__ import annotations
 
-from typing import Dict, Sequence
+from typing import Sequence
 
 from repro.costmodel.latency import DheShape
 from repro.data import KAGGLE_SPEC, SyntheticCtrDataset, scaled_spec

@@ -1,28 +1,30 @@
 """Table VII: end-to-end DLRM latency per protection technique.
 
 Batch 32, 1 thread, Kaggle + Terabyte; speed-ups reported relative to
-Circuit ORAM (the paper's most competitive traditional baseline).
+Circuit ORAM (the paper's most competitive traditional baseline). All
+per-table latencies resolve through the serving
+:class:`~repro.serving.backends.ExecutionBackend` — the same seam the
+profiler and the execution engine use.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Sequence
+from typing import Dict
 
 from repro.costmodel import (
     DLRM_DHE_UNIFORM_16,
     DLRM_DHE_UNIFORM_64,
-    DheShape,
-    dhe_latency,
-    dhe_varied_shape,
-    linear_scan_latency,
-    lookup_latency,
-    oram_latency,
+    MLP_OVERHEAD_SECONDS,
 )
 from repro.data import KAGGLE_SPEC, TERABYTE_SPEC, DlrmDatasetSpec
 from repro.experiments.reporting import ExperimentResult, format_ms
-from repro.hybrid import OfflineProfiler, build_threshold_database
-
-MLP_OVERHEAD_SECONDS = 1.5e-3
+from repro.hybrid import (
+    OfflineProfiler,
+    allocate_by_threshold,
+    allocation_latency,
+    build_threshold_database,
+)
+from repro.serving.backends import BackendLike, resolve_backend
 
 TECHNIQUE_ORDER = ("index_lookup", "linear_scan", "path_oram", "circuit_oram",
                    "dhe_uniform", "dhe_varied", "hybrid_uniform",
@@ -30,12 +32,14 @@ TECHNIQUE_ORDER = ("index_lookup", "linear_scan", "path_oram", "circuit_oram",
 
 
 def dataset_latencies(spec: DlrmDatasetSpec, batch: int = 32,
-                      threads: int = 1) -> Dict[str, float]:
+                      threads: int = 1,
+                      backend: BackendLike = "modelled") -> Dict[str, float]:
     """End-to-end latency (seconds) of each technique on one dataset."""
     dim = spec.embedding_dim
     uniform = DLRM_DHE_UNIFORM_16 if dim == 16 else DLRM_DHE_UNIFORM_64
+    resolved = resolve_backend(backend, uniform)
 
-    profiler = OfflineProfiler(uniform)
+    profiler = OfflineProfiler(uniform, backend=resolved)
     profile = profiler.profile(techniques=("scan", "dhe-uniform",
                                            "dhe-varied"),
                                dims=(dim,), batches=(batch,),
@@ -48,31 +52,26 @@ def dataset_latencies(spec: DlrmDatasetSpec, batch: int = 32,
         for variant in ("uniform", "varied")
     }
 
+    def technique_sum(technique: str) -> float:
+        return sum(resolved.technique_latency(technique, size, dim, batch,
+                                              threads)
+                   for size in spec.table_sizes)
+
     def hybrid(varied: bool) -> float:
         threshold = thresholds["varied" if varied else "uniform"]
-        total = 0.0
-        for size in spec.table_sizes:
-            if size <= threshold:
-                total += linear_scan_latency(size, dim, batch, threads)
-            else:
-                shape = dhe_varied_shape(size, uniform) if varied else uniform
-                total += dhe_latency(shape, batch, threads)
-        return total
+        allocations = allocate_by_threshold(spec.table_sizes, threshold)
+        return allocation_latency(allocations, resolved, dim, batch, threads,
+                                  varied=varied)
 
     embeddings = {
-        "index_lookup": sum(lookup_latency(size, dim, batch, threads)
-                            for size in spec.table_sizes),
-        "linear_scan": sum(linear_scan_latency(size, dim, batch, threads)
-                           for size in spec.table_sizes),
-        "path_oram": sum(oram_latency("path", size, dim, batch, threads)
-                         for size in spec.table_sizes),
-        "circuit_oram": sum(oram_latency("circuit", size, dim, batch, threads)
-                            for size in spec.table_sizes),
-        "dhe_uniform": len(spec.table_sizes) * dhe_latency(uniform, batch,
-                                                           threads),
-        "dhe_varied": sum(dhe_latency(dhe_varied_shape(size, uniform),
-                                      batch, threads)
-                          for size in spec.table_sizes),
+        "index_lookup": technique_sum("lookup"),
+        "linear_scan": technique_sum("scan"),
+        "path_oram": technique_sum("path-oram"),
+        "circuit_oram": technique_sum("circuit-oram"),
+        # Uniform stacks are identical across tables, so price one batch.
+        "dhe_uniform": len(spec.table_sizes) * resolved.technique_latency(
+            "dhe-uniform", spec.table_sizes[0], dim, batch, threads),
+        "dhe_varied": technique_sum("dhe-varied"),
         "hybrid_uniform": hybrid(varied=False),
         "hybrid_varied": hybrid(varied=True),
     }
@@ -80,7 +79,8 @@ def dataset_latencies(spec: DlrmDatasetSpec, batch: int = 32,
             for name, latency in embeddings.items()}
 
 
-def run(batch: int = 32, threads: int = 1) -> ExperimentResult:
+def run(batch: int = 32, threads: int = 1,
+        backend: BackendLike = "modelled") -> ExperimentResult:
     result = ExperimentResult(
         experiment_id="table7",
         title=f"DLRM end-to-end latency (ms), batch={batch}, threads={threads}",
@@ -89,8 +89,8 @@ def run(batch: int = 32, threads: int = 1) -> ExperimentResult:
         notes="paper: Hybrid Varied 2.01x (Kaggle) / 2.28x (Terabyte) over "
               "Circuit ORAM",
     )
-    kaggle = dataset_latencies(KAGGLE_SPEC, batch, threads)
-    terabyte = dataset_latencies(TERABYTE_SPEC, batch, threads)
+    kaggle = dataset_latencies(KAGGLE_SPEC, batch, threads, backend)
+    terabyte = dataset_latencies(TERABYTE_SPEC, batch, threads, backend)
     for technique in TECHNIQUE_ORDER:
         result.add_row(
             technique,

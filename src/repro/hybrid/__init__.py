@@ -4,6 +4,7 @@ from repro.hybrid.allocator import (
     FeatureAllocation,
     allocate_by_threshold,
     allocate_for_configuration,
+    allocation_latency,
     apply_allocations,
     count_scan_features,
 )
@@ -47,6 +48,7 @@ __all__ = [
     "FeatureAllocation",
     "allocate_by_threshold",
     "allocate_for_configuration",
+    "allocation_latency",
     "apply_allocations",
     "count_scan_features",
     "ModelTenant",

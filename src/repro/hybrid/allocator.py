@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import List, Sequence
 
 from repro.embedding.hybrid import TECHNIQUE_DHE, TECHNIQUE_SCAN, HybridEmbedding
 from repro.hybrid.thresholds import ThresholdDatabase
@@ -67,3 +67,25 @@ def apply_allocations(embeddings: Sequence[HybridEmbedding],
 
 def count_scan_features(allocations: Sequence[FeatureAllocation]) -> int:
     return sum(1 for a in allocations if a.technique == TECHNIQUE_SCAN)
+
+
+def allocation_latency(allocations: Sequence[FeatureAllocation],
+                       backend, dim: int, batch: int, threads: int = 1,
+                       varied: bool = True,
+                       overhead_seconds: float = 0.0) -> float:
+    """Batch latency of an allocation, resolved through an execution backend.
+
+    This is the *single* per-table scan/DHE latency accounting: features
+    execute sequentially (§IV-C1) so per-feature latencies add on top of
+    ``overhead_seconds`` (e.g. the dense MLP stack). ``backend`` is any
+    :class:`~repro.serving.backends.ExecutionBackend`; ``varied`` picks the
+    DHE sizing rule for DHE-allocated features.
+    """
+    dhe_technique = "dhe-varied" if varied else "dhe-uniform"
+    total = overhead_seconds
+    for allocation in allocations:
+        technique = (TECHNIQUE_SCAN if allocation.technique == TECHNIQUE_SCAN
+                     else dhe_technique)
+        total += backend.technique_latency(technique, allocation.table_size,
+                                           dim, batch, threads)
+    return total

@@ -8,12 +8,13 @@ are added, using the contention model in :mod:`repro.costmodel.colocation`.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Sequence, Tuple
 
 from repro.costmodel.colocation import (
     TenantDemand,
     colocated_latencies,
     dhe_demand,
+    replicated_latencies,
     scan_demand,
 )
 from repro.costmodel.latency import DheShape, dhe_varied_shape
@@ -77,8 +78,7 @@ def colocation_sweep(tenant: ModelTenant, max_copies: int, batch: int,
     check_positive("max_copies", max_copies)
     results = []
     for copies in range(1, max_copies + 1):
-        tenants = [tenant.demand] * copies
-        latencies = colocated_latencies(tenants, platform)
+        latencies = replicated_latencies(tenant.demand, copies, platform)
         latency = max(latencies)
         throughput = sum(batch / lat for lat in latencies)
         results.append((copies, latency, throughput))

@@ -4,33 +4,29 @@ The profiler sweeps table sizes for each technique under each execution
 configuration (batch size x thread count), producing the latency database
 from which the scan/DHE switching thresholds are extracted (Fig 6).
 
-Two backends:
+Latencies are resolved through the
+:class:`~repro.serving.backends.ExecutionBackend` protocol — the same seam
+the serving engine uses — so "modelled vs measured" is a backend choice,
+not profiler-private logic:
 
-* ``modelled`` (default) — the calibrated analytic platform model, standing
-  in for the paper's on-SGX measurements;
-* ``measured`` — wall-clock timing of this library's executable
+* ``"modelled"`` (default) — the calibrated analytic platform model,
+  standing in for the paper's on-SGX measurements;
+* ``"measured"`` — wall-clock timing of this library's executable
   implementations, used by ablations to check that modelled and measured
-  curves have the same shape.
+  curves have the same shape;
+* any :class:`~repro.serving.backends.ExecutionBackend` instance.
 """
 
 from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Sequence, Tuple
 
-import numpy as np
-
-from repro.costmodel.latency import (
-    DheShape,
-    dhe_latency,
-    dhe_varied_shape,
-    linear_scan_latency,
-    oram_latency,
-)
+from repro.costmodel.latency import DheShape
 from repro.costmodel.platform import DEFAULT_PLATFORM, PlatformModel
-from repro.utils.timing import time_callable
-from repro.utils.validation import check_in, check_positive
+from repro.serving.backends import BackendLike, resolve_backend
+from repro.utils.validation import check_positive
 
 TECHNIQUES = ("scan", "dhe-uniform", "dhe-varied", "path-oram", "circuit-oram")
 
@@ -87,60 +83,20 @@ class OfflineProfiler:
 
     def __init__(self, uniform_shape: DheShape,
                  platform: PlatformModel = DEFAULT_PLATFORM,
-                 backend: str = "modelled") -> None:
-        check_in("backend", backend, ("modelled", "measured"))
+                 backend: BackendLike = "modelled") -> None:
         self.uniform_shape = uniform_shape
         self.platform = platform
-        self.backend = backend
+        self._backend = resolve_backend(backend, uniform_shape, platform)
 
-    # ------------------------------------------------------------------
-    def _modelled_latency(self, technique: str, size: int, dim: int,
-                          batch: int, threads: int) -> float:
-        if technique == "scan":
-            return linear_scan_latency(size, dim, batch, threads, self.platform)
-        if technique == "dhe-uniform":
-            return dhe_latency(self.uniform_shape, batch, threads, self.platform)
-        if technique == "dhe-varied":
-            shape = dhe_varied_shape(size, self.uniform_shape)
-            return dhe_latency(shape, batch, threads, self.platform)
-        if technique == "path-oram":
-            return oram_latency("path", size, dim, batch, threads, self.platform)
-        if technique == "circuit-oram":
-            return oram_latency("circuit", size, dim, batch, threads, self.platform)
-        raise ValueError(f"unknown technique {technique!r}")
+    @property
+    def backend(self) -> str:
+        """Short backend identifier (``"modelled"`` / ``"measured"``)."""
+        return self._backend.name
 
-    def _measured_latency(self, technique: str, size: int, dim: int,
-                          batch: int, threads: int) -> float:
-        # Wall-clock backend: threads are ignored (this process is single-
-        # threaded); sizes are capped to keep profiling fast.
-        from repro.embedding import (
-            CircuitOramEmbedding,
-            DHEEmbedding,
-            LinearScanEmbedding,
-            PathOramEmbedding,
-        )
-
-        rng = np.random.default_rng(size)
-        indices = rng.integers(0, size, size=batch)
-        if technique == "scan":
-            generator = LinearScanEmbedding(size, dim, rng=0)
-        elif technique == "dhe-uniform":
-            generator = DHEEmbedding(size, dim, shape=DheShape(
-                self.uniform_shape.k, self.uniform_shape.fc_sizes, dim), rng=0)
-        elif technique == "dhe-varied":
-            generator = DHEEmbedding(size, dim,
-                                     shape=dhe_varied_shape(
-                                         size, DheShape(self.uniform_shape.k,
-                                                        self.uniform_shape.fc_sizes,
-                                                        dim)),
-                                     rng=0)
-        elif technique == "path-oram":
-            generator = PathOramEmbedding(size, dim, rng=0)
-        elif technique == "circuit-oram":
-            generator = CircuitOramEmbedding(size, dim, rng=0)
-        else:
-            raise ValueError(f"unknown technique {technique!r}")
-        return time_callable(lambda: generator.generate(indices), repeats=3)
+    @property
+    def execution_backend(self):
+        """The :class:`~repro.serving.backends.ExecutionBackend` in use."""
+        return self._backend
 
     # ------------------------------------------------------------------
     def profile(self, techniques: Iterable[str] = ("scan", "dhe-uniform"),
@@ -149,12 +105,11 @@ class OfflineProfiler:
                 batches: Sequence[int] = (32,),
                 threads_list: Sequence[int] = (1,)) -> ProfileDatabase:
         database = ProfileDatabase(platform=self.platform)
-        backend = (self._modelled_latency if self.backend == "modelled"
-                   else self._measured_latency)
         for technique, size, dim, batch, threads in itertools.product(
                 techniques, sizes, dims, batches, threads_list):
             check_positive("table size", size)
-            latency = backend(technique, size, dim, batch, threads)
+            latency = self._backend.technique_latency(technique, size, dim,
+                                                      batch, threads)
             database.record(ProfileKey(technique, size, dim, batch, threads),
                             latency)
         return database

@@ -13,7 +13,6 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.hybrid.profiler import ProfileDatabase
-from repro.utils.validation import check_positive
 
 
 def intersect_curves(sizes: Sequence[int], scan: Sequence[float],

@@ -8,10 +8,10 @@ hybrid (scan tables below the threshold, DHE above).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Sequence, Tuple
+from typing import Dict, Sequence
 
 from repro.costmodel.latency import DheShape, dhe_varied_shape
-from repro.costmodel.memory import dhe_bytes, mlp_bytes, table_bytes, tree_oram_bytes
+from repro.costmodel.memory import dhe_bytes, table_bytes, tree_oram_bytes
 from repro.utils.validation import check_positive
 
 MB = 1024 * 1024

@@ -20,7 +20,7 @@ sampling uses the oblivious cmov argmax.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional
 
 import numpy as np
 

@@ -8,8 +8,8 @@ test for data-obliviousness in our threat model. The companion
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence, Tuple
 
 from repro.oblivious.trace import AccessEvent, MemoryTracer, traces_equal
 

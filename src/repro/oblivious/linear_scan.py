@@ -7,12 +7,12 @@ pattern is the same full sweep for every index.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Sequence
 
 import numpy as np
 
 from repro.oblivious.primitives import ct_eq, oblivious_copy_row
-from repro.oblivious.trace import MemoryTracer, TracedArray
+from repro.oblivious.trace import TracedArray
 
 
 def linear_scan_lookup(table: TracedArray, index: int) -> np.ndarray:

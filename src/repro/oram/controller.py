@@ -16,7 +16,7 @@ import numpy as np
 from repro.oblivious.trace import MemoryTracer
 from repro.oram.position_map import FlatPositionMap, OramPositionMap, PositionMap
 from repro.oram.stash import Stash
-from repro.oram.tree import DUMMY, BucketTree
+from repro.oram.tree import BucketTree
 from repro.utils.rng import SeedLike, new_rng
 from repro.utils.validation import check_positive
 

@@ -13,7 +13,7 @@ sensitivity, and perfect round-trips) and an encrypting wrapper over
 from __future__ import annotations
 
 import hashlib
-from typing import Optional, Tuple
+from typing import Tuple
 
 import numpy as np
 

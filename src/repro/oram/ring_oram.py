@@ -18,7 +18,7 @@ against Path/Circuit in the ablation bench:
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Optional
 
 import numpy as np
 

@@ -1,0 +1,210 @@
+"""Execution backends: the one seam through which latencies are resolved.
+
+Everything that asks "how long does embedding generation take under this
+configuration?" — the serving engine, the offline profiler (Algorithm 2),
+DLRM's inference accounting, and the figure benches — goes through the
+:class:`ExecutionBackend` protocol. Two implementations answer:
+
+* :class:`ModelledBackend` — the calibrated analytic platform model
+  (:mod:`repro.costmodel.latency`), standing in for the paper's on-SGX
+  measurements;
+* :class:`MeasuredBackend` — wall-clock timing of this library's executable
+  :class:`~repro.embedding.base.EmbeddingGenerator` objects, driven through
+  their ``batched_forward`` seam.
+
+Before this seam existed the per-table latency logic was re-implemented by
+the server, the profiler, and the experiment scripts; now each of them asks
+a backend.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.costmodel.latency import (
+    DheShape,
+    dhe_latency,
+    dhe_varied_shape,
+    linear_scan_latency,
+    lookup_latency,
+    oram_latency,
+)
+from repro.costmodel.platform import DEFAULT_PLATFORM, PlatformModel
+from repro.utils.timing import time_callable
+from repro.utils.validation import check_positive
+
+#: technique identifiers every backend understands
+BACKEND_TECHNIQUES = ("lookup", "scan", "dhe-uniform", "dhe-varied",
+                      "path-oram", "circuit-oram")
+
+
+class ExecutionBackend:
+    """Protocol for resolving embedding-generation latency.
+
+    Implementations answer two kinds of question:
+
+    * :meth:`technique_latency` — latency of an abstract (technique, table)
+      pair under an execution configuration, used by the profiler and the
+      allocation accounting;
+    * :meth:`generator_latency` — latency of a *live*
+      :class:`~repro.embedding.base.EmbeddingGenerator` object, used by the
+      DLRM inference path.
+
+    Any object with these two methods satisfies the protocol; subclassing
+    is optional.
+    """
+
+    #: short identifier reported by profilers and engines
+    name: str = "abstract"
+
+    def technique_latency(self, technique: str, table_size: int, dim: int,
+                          batch: int, threads: int = 1) -> float:
+        """Seconds for one batch of lookups against one table."""
+        raise NotImplementedError
+
+    def generator_latency(self, generator, batch: int,
+                          threads: int = 1) -> float:
+        """Seconds for one batch through a live embedding generator."""
+        raise NotImplementedError
+
+
+class ModelledBackend(ExecutionBackend):
+    """Analytic latency resolution via the calibrated platform model."""
+
+    name = "modelled"
+
+    def __init__(self, uniform_shape: Optional[DheShape] = None,
+                 platform: PlatformModel = DEFAULT_PLATFORM) -> None:
+        self.uniform_shape = uniform_shape
+        self.platform = platform
+
+    def _uniform(self) -> DheShape:
+        if self.uniform_shape is None:
+            raise ValueError("backend was built without a DHE uniform shape; "
+                             "DHE techniques are unavailable")
+        return self.uniform_shape
+
+    def technique_latency(self, technique: str, table_size: int, dim: int,
+                          batch: int, threads: int = 1) -> float:
+        check_positive("table_size", table_size)
+        if technique == "lookup":
+            return lookup_latency(table_size, dim, batch, threads,
+                                  self.platform)
+        if technique == "scan":
+            return linear_scan_latency(table_size, dim, batch, threads,
+                                       self.platform)
+        if technique == "dhe-uniform":
+            return dhe_latency(self._uniform(), batch, threads, self.platform)
+        if technique == "dhe-varied":
+            shape = dhe_varied_shape(table_size, self._uniform())
+            return dhe_latency(shape, batch, threads, self.platform)
+        if technique == "path-oram":
+            return oram_latency("path", table_size, dim, batch, threads,
+                                self.platform)
+        if technique == "circuit-oram":
+            return oram_latency("circuit", table_size, dim, batch, threads,
+                                self.platform)
+        raise ValueError(f"unknown technique {technique!r}")
+
+    def generator_latency(self, generator, batch: int,
+                          threads: int = 1) -> float:
+        return generator.modelled_latency(batch, threads, self.platform)
+
+
+class MeasuredBackend(ExecutionBackend):
+    """Wall-clock latency of the executable generators.
+
+    Threads are ignored (this process is single-threaded); generators are
+    cached per (technique, table size, dim) so repeated queries — a profiling
+    sweep, a serving run — pay construction once.
+    """
+
+    name = "measured"
+
+    def __init__(self, uniform_shape: Optional[DheShape] = None,
+                 repeats: int = 3) -> None:
+        check_positive("repeats", repeats)
+        self.uniform_shape = uniform_shape
+        self.repeats = repeats
+        self._generators: Dict[Tuple[str, int, int], object] = {}
+
+    def _uniform(self) -> DheShape:
+        if self.uniform_shape is None:
+            raise ValueError("backend was built without a DHE uniform shape; "
+                             "DHE techniques are unavailable")
+        return self.uniform_shape
+
+    def _build(self, technique: str, size: int, dim: int):
+        from repro.embedding import (
+            CircuitOramEmbedding,
+            DHEEmbedding,
+            LinearScanEmbedding,
+            PathOramEmbedding,
+            TableEmbedding,
+        )
+
+        if technique == "lookup":
+            return TableEmbedding(size, dim, rng=0)
+        if technique == "scan":
+            return LinearScanEmbedding(size, dim, rng=0)
+        if technique == "dhe-uniform":
+            uniform = self._uniform()
+            return DHEEmbedding(size, dim, shape=DheShape(
+                uniform.k, uniform.fc_sizes, dim), rng=0)
+        if technique == "dhe-varied":
+            uniform = self._uniform()
+            shape = dhe_varied_shape(size, DheShape(uniform.k,
+                                                    uniform.fc_sizes, dim))
+            return DHEEmbedding(size, dim, shape=shape, rng=0)
+        if technique == "path-oram":
+            return PathOramEmbedding(size, dim, rng=0)
+        if technique == "circuit-oram":
+            return CircuitOramEmbedding(size, dim, rng=0)
+        raise ValueError(f"unknown technique {technique!r}")
+
+    def _generator(self, technique: str, size: int, dim: int):
+        key = (technique, size, dim)
+        if key not in self._generators:
+            self._generators[key] = self._build(technique, size, dim)
+        return self._generators[key]
+
+    def technique_latency(self, technique: str, table_size: int, dim: int,
+                          batch: int, threads: int = 1) -> float:
+        check_positive("table_size", table_size)
+        generator = self._generator(technique, table_size, dim)
+        return self.generator_latency(generator, batch, threads)
+
+    def generator_latency(self, generator, batch: int,
+                          threads: int = 1) -> float:
+        check_positive("batch", batch)
+        rng = np.random.default_rng(generator.num_embeddings)
+        indices = rng.integers(0, generator.num_embeddings, size=batch)
+        return time_callable(lambda: generator.batched_forward(indices),
+                             repeats=self.repeats)
+
+
+BackendLike = Union[str, ExecutionBackend]
+
+
+def resolve_backend(backend: BackendLike,
+                    uniform_shape: Optional[DheShape] = None,
+                    platform: PlatformModel = DEFAULT_PLATFORM
+                    ) -> ExecutionBackend:
+    """Turn ``"modelled"``/``"measured"`` or a backend instance into a backend.
+
+    Any duck-typed object with ``technique_latency``/``generator_latency``
+    passes through unchanged.
+    """
+    if isinstance(backend, str):
+        if backend == "modelled":
+            return ModelledBackend(uniform_shape, platform)
+        if backend == "measured":
+            return MeasuredBackend(uniform_shape)
+        raise ValueError(f"unknown backend {backend!r}; "
+                         f"known: 'modelled', 'measured'")
+    if hasattr(backend, "technique_latency") and \
+            hasattr(backend, "generator_latency"):
+        return backend
+    raise TypeError(f"not an execution backend: {backend!r}")

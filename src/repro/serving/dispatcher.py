@@ -1,0 +1,59 @@
+"""Multi-replica dispatch under co-location interference (Fig 13).
+
+A :class:`Dispatcher` places homogeneous replicas of one model on a host
+and accounts their contention through the shared-resource model in
+:mod:`repro.costmodel.colocation` — the same interference math Figs 8/9/13
+use, not a private copy.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.costmodel.colocation import TenantDemand, replicated_latencies
+from repro.costmodel.platform import DEFAULT_PLATFORM, PlatformModel
+from repro.utils.validation import check_positive
+
+
+class Dispatcher:
+    """Evaluates a replica fleet built from one tenant demand description."""
+
+    def __init__(self, demand: TenantDemand, batch_size: int,
+                 platform: PlatformModel = DEFAULT_PLATFORM) -> None:
+        check_positive("batch_size", batch_size)
+        self.demand = demand
+        self.batch_size = batch_size
+        self.platform = platform
+
+    # ------------------------------------------------------------------
+    def replica_latencies(self, replicas: int) -> List[float]:
+        """Per-replica batch latency with ``replicas`` co-located copies."""
+        return replicated_latencies(self.demand, replicas, self.platform)
+
+    def batch_latency(self, replicas: int = 1) -> float:
+        """Worst-replica batch latency (what an SLA sees)."""
+        return max(self.replica_latencies(replicas))
+
+    def throughput(self, replicas: int) -> float:
+        """Aggregate inferences/second across the fleet."""
+        return sum(self.batch_size / latency
+                   for latency in self.replica_latencies(replicas))
+
+    # ------------------------------------------------------------------
+    def sweep(self, max_replicas: int) -> List[Tuple[int, float, float]]:
+        """(copies, worst latency, aggregate throughput) as replicas grow."""
+        check_positive("max_replicas", max_replicas)
+        results = []
+        for copies in range(1, max_replicas + 1):
+            latencies = self.replica_latencies(copies)
+            results.append((copies, max(latencies),
+                            sum(self.batch_size / lat for lat in latencies)))
+        return results
+
+    def sla_bounded_throughput(self, sla_seconds: float,
+                               max_replicas: int) -> float:
+        """Best throughput among replica counts meeting the SLA."""
+        check_positive("sla_seconds", sla_seconds)
+        feasible = [throughput for _, latency, throughput
+                    in self.sweep(max_replicas) if latency <= sla_seconds]
+        return max(feasible) if feasible else 0.0

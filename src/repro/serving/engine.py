@@ -1,0 +1,217 @@
+"""The backend-agnostic execution engine behind every serving question.
+
+One object owns the pipeline the paper's deployment story needs (§VI-B3,
+Fig 13): resolve the live configuration's allocation (Algorithm 3), price a
+batch through an :class:`~repro.serving.backends.ExecutionBackend`, run an
+arrival trace through the :class:`~repro.serving.batcher.DynamicBatcher`,
+and report per-request queueing + service latency. The closed-loop path
+(:meth:`serve_closed`) reproduces the seed simulator's numbers bit-for-bit;
+the open paths (:meth:`serve_poisson`, arbitrary traces) model the queueing
+the seed assumed away.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.costmodel.latency import MLP_OVERHEAD_SECONDS, DheShape
+from repro.costmodel.platform import DEFAULT_PLATFORM, PlatformModel
+from repro.serving.backends import BackendLike, resolve_backend
+from repro.serving.batcher import BatchingPolicy, DynamicBatcher
+from repro.serving.dispatcher import Dispatcher
+from repro.serving.report import ServingReport
+from repro.serving.requests import RequestQueue, batch_boundary_arrivals
+from repro.utils.rng import SeedLike
+from repro.utils.validation import check_positive
+
+if TYPE_CHECKING:  # runtime imports are deferred: hybrid imports serving
+    from repro.hybrid.allocator import FeatureAllocation
+    from repro.hybrid.thresholds import ThresholdDatabase
+
+
+@dataclass(frozen=True)
+class ServingConfig:
+    """Execution configuration of one serving replica."""
+
+    batch_size: int = 32
+    threads: int = 1
+    sla_seconds: float = 0.020  # the paper's 20 ms target
+
+    def __post_init__(self) -> None:
+        check_positive("batch_size", self.batch_size)
+        check_positive("threads", self.threads)
+        check_positive("sla_seconds", self.sla_seconds)
+
+
+ArrivalsLike = Union[RequestQueue, Sequence[float], np.ndarray]
+
+
+class ExecutionEngine:
+    """Backend-agnostic serving pipeline for a hybrid-protected DLRM."""
+
+    def __init__(self, table_sizes: Sequence[int], embedding_dim: int,
+                 uniform_shape: Optional[DheShape],
+                 thresholds: ThresholdDatabase,
+                 varied: bool = True,
+                 backend: BackendLike = "modelled",
+                 platform: PlatformModel = DEFAULT_PLATFORM,
+                 mlp_overhead_seconds: float = MLP_OVERHEAD_SECONDS) -> None:
+        if not table_sizes:
+            raise ValueError("engine needs at least one sparse feature")
+        check_positive("embedding_dim", embedding_dim)
+        self.table_sizes = tuple(table_sizes)
+        self.embedding_dim = embedding_dim
+        self.uniform_shape = uniform_shape
+        self.thresholds = thresholds
+        self.varied = varied
+        self.platform = platform
+        self.mlp_overhead_seconds = mlp_overhead_seconds
+        self.backend = resolve_backend(backend, uniform_shape, platform)
+
+    # ------------------------------------------------------------------
+    # Allocation (Algorithm 3) for the live configuration
+    # ------------------------------------------------------------------
+    def allocations(self, config: ServingConfig) -> List[FeatureAllocation]:
+        """Per-feature scan/DHE decision for a configuration."""
+        from repro.hybrid.allocator import allocate_for_configuration
+
+        return allocate_for_configuration(self.table_sizes, self.thresholds,
+                                          self.embedding_dim,
+                                          config.batch_size, config.threads)
+
+    def allocation_counts(self, config: ServingConfig) -> Tuple[int, int]:
+        """(scan features, DHE features) for a configuration."""
+        from repro.hybrid.allocator import count_scan_features
+
+        allocations = self.allocations(config)
+        scans = count_scan_features(allocations)
+        return scans, len(allocations) - scans
+
+    # ------------------------------------------------------------------
+    # Latency resolution — everything goes through the backend
+    # ------------------------------------------------------------------
+    def embedding_latency(self, config: ServingConfig) -> float:
+        """Embedding-generation latency of one batch (features sequential)."""
+        from repro.hybrid.allocator import allocation_latency
+
+        return allocation_latency(self.allocations(config), self.backend,
+                                  self.embedding_dim, config.batch_size,
+                                  config.threads, varied=self.varied)
+
+    def batch_latency(self, config: ServingConfig) -> float:
+        """End-to-end latency of one batch (MLP overhead + embeddings)."""
+        from repro.hybrid.allocator import allocation_latency
+
+        return allocation_latency(self.allocations(config), self.backend,
+                                  self.embedding_dim, config.batch_size,
+                                  config.threads, varied=self.varied,
+                                  overhead_seconds=self.mlp_overhead_seconds)
+
+    # ------------------------------------------------------------------
+    # The request pipeline: queue -> dynamic batcher -> report
+    # ------------------------------------------------------------------
+    def serve(self, config: ServingConfig, arrivals: ArrivalsLike,
+              policy: Optional[BatchingPolicy] = None) -> ServingReport:
+        """Run an arrival trace through the dynamic batcher.
+
+        Partial batches execute at the configured batch shape (the replica
+        pads), so every non-empty batch costs ``batch_latency(config)``.
+        Per-request latency = queueing delay (batch start − arrival) +
+        batch service time.
+        """
+        queue = (arrivals if isinstance(arrivals, RequestQueue)
+                 else RequestQueue(arrivals))
+        if policy is None:
+            policy = BatchingPolicy(max_batch_size=config.batch_size,
+                                    max_wait_seconds=0.0)
+        service = self.batch_latency(config)
+        batches = DynamicBatcher(policy).schedule(queue.arrivals,
+                                                  lambda size: service)
+        queue_delays = np.empty(len(queue), dtype=np.float64)
+        service_latencies = np.empty(len(queue), dtype=np.float64)
+        for batch in batches:
+            window = slice(batch.first, batch.last)
+            queue_delays[window] = (batch.start_seconds
+                                    - queue.arrivals[window])
+            service_latencies[window] = batch.service_seconds
+        scans, dhes = self.allocation_counts(config)
+        busy_time = math.fsum(batch.service_seconds for batch in batches)
+        return ServingReport.from_components(
+            queue_delays=queue_delays, service_latencies=service_latencies,
+            num_batches=len(batches), scan_features=scans,
+            dhe_features=dhes, batch_time_total=busy_time)
+
+    def serve_closed(self, num_requests: int,
+                     config: ServingConfig) -> ServingReport:
+        """The seed simulator's setting: back-to-back full batches.
+
+        Deterministic batch-boundary arrivals + the zero-wait policy make
+        queueing delay identically zero, so per-request latency equals the
+        batch service time — bit-for-bit the seed ``serve()`` output.
+        """
+        check_positive("num_requests", num_requests)
+        per_batch = self.batch_latency(config)
+        arrivals = batch_boundary_arrivals(num_requests, config.batch_size,
+                                           per_batch)
+        return self.serve(config, arrivals,
+                          BatchingPolicy(max_batch_size=config.batch_size,
+                                         max_wait_seconds=0.0))
+
+    def serve_poisson(self, num_requests: int, rate_rps: float,
+                      config: ServingConfig,
+                      policy: Optional[BatchingPolicy] = None,
+                      rng: SeedLike = None) -> ServingReport:
+        """Open-system serving: Poisson arrivals through the batcher."""
+        queue = RequestQueue.poisson(num_requests, rate_rps, rng)
+        return self.serve(config, queue, policy)
+
+    # ------------------------------------------------------------------
+    # Configuration search and multi-replica dispatch
+    # ------------------------------------------------------------------
+    def best_configuration(self, configs: Sequence[ServingConfig],
+                           num_requests: int = 1024
+                           ) -> Tuple[ServingConfig, ServingReport]:
+        """Highest-throughput configuration that meets its own SLA.
+
+        Candidates are evaluated closed-loop; among SLA-meeting candidates
+        the tie-break is throughput (strictly greater wins, so the earliest
+        of equal-throughput candidates is kept).
+        """
+        if not configs:
+            raise ValueError("need at least one candidate configuration")
+        best: Optional[Tuple[ServingConfig, ServingReport]] = None
+        for config in configs:
+            report = self.serve_closed(num_requests, config)
+            if report.sla_attainment(config.sla_seconds) < 1.0:
+                continue
+            if best is None or report.throughput() > best[1].throughput():
+                best = (config, report)
+        if best is None:
+            raise RuntimeError("no candidate configuration meets its SLA")
+        return best
+
+    def dispatcher(self, config: ServingConfig,
+                   allocations: Optional[Sequence[FeatureAllocation]] = None
+                   ) -> Dispatcher:
+        """Multi-replica dispatcher for this model under ``config``.
+
+        Folds the per-feature demands into one tenant description
+        (:func:`repro.hybrid.colocation_planner.dlrm_tenant`) and prices
+        replica interference through :mod:`repro.costmodel.colocation`.
+        """
+        from repro.hybrid.colocation_planner import dlrm_tenant
+
+        if self.uniform_shape is None:
+            raise ValueError("dispatcher needs the DHE uniform shape")
+        if allocations is None:
+            allocations = self.allocations(config)
+        tenant = dlrm_tenant(self.table_sizes, self.embedding_dim,
+                             allocations, self.uniform_shape,
+                             config.batch_size, varied=self.varied,
+                             platform=self.platform)
+        return Dispatcher(tenant.demand, config.batch_size,
+                          platform=self.platform)

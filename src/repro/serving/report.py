@@ -1,0 +1,84 @@
+"""Per-request serving statistics: queueing delay + service latency.
+
+The seed report carried one latency array and a pseudo-private batch-time
+field mutated after construction; this report is built from its components
+— per-request queueing delay and service latency — so percentiles and SLA
+attainment reflect queueing for the first time, and ``batch_time_total`` is
+a proper constructor argument (``throughput()`` can no longer silently
+return 0.0 on a hand-built report).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.utils.validation import check_positive
+
+
+@dataclass
+class ServingReport:
+    """Latency statistics of one simulated serving run."""
+
+    num_requests: int
+    num_batches: int
+    latencies: np.ndarray            # per-request seconds (queueing + service)
+    scan_features: int
+    dhe_features: int
+    batch_time_total: float          # replica busy time (sum of batch service)
+    queue_delays: Optional[np.ndarray] = None      # per-request seconds
+    service_latencies: Optional[np.ndarray] = None  # per-request seconds
+
+    @classmethod
+    def from_components(cls, queue_delays: np.ndarray,
+                        service_latencies: np.ndarray, num_batches: int,
+                        scan_features: int, dhe_features: int,
+                        batch_time_total: float) -> "ServingReport":
+        """Build a report from per-request queueing + service arrays."""
+        queue_delays = np.asarray(queue_delays, dtype=np.float64)
+        service_latencies = np.asarray(service_latencies, dtype=np.float64)
+        if queue_delays.shape != service_latencies.shape:
+            raise ValueError(
+                f"queue/service shapes differ: {queue_delays.shape} vs "
+                f"{service_latencies.shape}")
+        return cls(num_requests=int(queue_delays.size),
+                   num_batches=num_batches,
+                   latencies=queue_delays + service_latencies,
+                   scan_features=scan_features, dhe_features=dhe_features,
+                   batch_time_total=batch_time_total,
+                   queue_delays=queue_delays,
+                   service_latencies=service_latencies)
+
+    # ------------------------------------------------------------------
+    @property
+    def p50(self) -> float:
+        return float(np.percentile(self.latencies, 50))
+
+    @property
+    def p95(self) -> float:
+        return float(np.percentile(self.latencies, 95))
+
+    @property
+    def mean_queue_delay(self) -> float:
+        """Mean per-request queueing delay (0.0 when not tracked)."""
+        if self.queue_delays is None:
+            return 0.0
+        return float(self.queue_delays.mean())
+
+    @property
+    def p95_queue_delay(self) -> float:
+        if self.queue_delays is None:
+            return 0.0
+        return float(np.percentile(self.queue_delays, 95))
+
+    def sla_attainment(self, sla_seconds: float) -> float:
+        check_positive("sla_seconds", sla_seconds)
+        return float((self.latencies <= sla_seconds).mean())
+
+    def throughput(self) -> float:
+        """Requests/second at full utilisation (replica busy time)."""
+        if self.batch_time_total <= 0:
+            return 0.0
+        return self.num_requests / self.batch_time_total

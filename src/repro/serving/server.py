@@ -1,0 +1,75 @@
+"""The secure-DLRM server: a thin facade over the execution engine.
+
+Keeps the seed module's public surface (`SecureDlrmServer`, its
+constructor, ``allocation``/``batch_latency``/``serve``/
+``best_configuration``) while all latency accounting and scheduling lives
+in :class:`~repro.serving.engine.ExecutionEngine` — the old hand-rolled
+per-table scan/DHE loop is gone.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional, Sequence, Tuple
+
+from repro.costmodel.latency import DheShape
+from repro.costmodel.platform import DEFAULT_PLATFORM, PlatformModel
+from repro.serving.backends import BackendLike
+from repro.serving.batcher import BatchingPolicy
+from repro.serving.engine import ExecutionEngine, ServingConfig
+from repro.serving.report import ServingReport
+from repro.utils.rng import SeedLike
+
+if TYPE_CHECKING:  # runtime import deferred: hybrid imports serving
+    from repro.hybrid.thresholds import ThresholdDatabase
+
+
+class SecureDlrmServer:
+    """Simulated single-replica server for a hybrid-protected DLRM."""
+
+    def __init__(self, table_sizes: Sequence[int], embedding_dim: int,
+                 uniform_shape: DheShape,
+                 thresholds: ThresholdDatabase,
+                 varied: bool = True,
+                 platform: PlatformModel = DEFAULT_PLATFORM,
+                 backend: BackendLike = "modelled") -> None:
+        if not table_sizes:
+            raise ValueError("server needs at least one sparse feature")
+        self.engine = ExecutionEngine(table_sizes, embedding_dim,
+                                      uniform_shape, thresholds,
+                                      varied=varied, backend=backend,
+                                      platform=platform)
+        self.table_sizes = self.engine.table_sizes
+        self.embedding_dim = embedding_dim
+        self.uniform_shape = uniform_shape
+        self.thresholds = thresholds
+        self.varied = varied
+        self.platform = platform
+
+    # ------------------------------------------------------------------
+    def allocation(self, config: ServingConfig) -> Tuple[int, int]:
+        """(scan features, DHE features) for a configuration."""
+        return self.engine.allocation_counts(config)
+
+    def batch_latency(self, config: ServingConfig) -> float:
+        """End-to-end latency of one full batch, via the backend."""
+        return self.engine.batch_latency(config)
+
+    # ------------------------------------------------------------------
+    def serve(self, num_requests: int, config: ServingConfig) -> ServingReport:
+        """Simulate serving ``num_requests`` in back-to-back full batches
+        (the paper's throughput setting; queueing-free by construction)."""
+        return self.engine.serve_closed(num_requests, config)
+
+    def serve_poisson(self, num_requests: int, rate_rps: float,
+                      config: ServingConfig,
+                      policy: Optional[BatchingPolicy] = None,
+                      rng: SeedLike = None) -> ServingReport:
+        """Open-system serving: Poisson arrivals + the dynamic batcher."""
+        return self.engine.serve_poisson(num_requests, rate_rps, config,
+                                         policy=policy, rng=rng)
+
+    def best_configuration(self, configs: Sequence[ServingConfig],
+                           num_requests: int = 1024
+                           ) -> Tuple[ServingConfig, ServingReport]:
+        """Highest-throughput configuration that meets its own SLA."""
+        return self.engine.best_configuration(configs, num_requests)

@@ -15,7 +15,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence
 
-import numpy as np
 
 from repro.sidechannel.cache import SetAssociativeCache
 from repro.sidechannel.victim import EmbeddingLookupVictim

@@ -9,7 +9,7 @@ lookup indices.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import List, Optional
 
 from repro.utils.validation import check_positive, check_power_of_two
 

@@ -10,9 +10,8 @@ within it). Both steps are modelled here.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Set, Tuple
+from typing import List, Sequence, Set, Tuple
 
-from repro.sidechannel.victim import EmbeddingLookupVictim
 from repro.utils.validation import check_positive
 
 PAGE_SIZE = 4096

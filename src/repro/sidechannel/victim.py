@@ -7,9 +7,7 @@ linear-scan variant is provided to show the defence removes the signal.
 
 from __future__ import annotations
 
-from typing import Sequence
 
-import numpy as np
 
 from repro.sidechannel.cache import SetAssociativeCache
 from repro.utils.validation import check_positive

@@ -1,6 +1,5 @@
 """Latency-model tests: asymptotics, calibration anchors, DHE shapes."""
 
-import math
 
 import pytest
 

@@ -4,7 +4,6 @@ import pytest
 
 from repro.costmodel.llm import (
     GPT2_MEDIUM,
-    LlmShape,
     decode_step_latency,
     embedding_stage_latency,
     generation_latency,

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.costmodel.platform import DEFAULT_PLATFORM, PlatformModel
+from repro.costmodel.platform import DEFAULT_PLATFORM
 
 
 class TestFlopRate:

@@ -1,7 +1,6 @@
 """Ring ORAM entries in the cost model + the RingOramEmbedding generator."""
 
 import numpy as np
-import pytest
 
 from repro.costmodel.latency import oram_access_bytes, oram_latency
 from repro.costmodel.memory import tree_oram_bytes

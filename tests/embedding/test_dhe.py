@@ -6,11 +6,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.costmodel.latency import DheShape
-from repro.embedding.dhe import (
-    DEFAULT_BUCKETS,
-    DHEEmbedding,
-    UniversalHashEncoder,
-)
+from repro.embedding.dhe import DHEEmbedding, UniversalHashEncoder
 
 
 class TestUniversalHashEncoder:

@@ -5,8 +5,6 @@ import pytest
 
 from repro.embedding import (
     CircuitOramEmbedding,
-    DHEEmbedding,
-    HybridEmbedding,
     LinearScanEmbedding,
     PathOramEmbedding,
     RingOramEmbedding,
@@ -66,7 +64,6 @@ class TestStorageGeneratorsAgree:
 
 class TestLinearScanEmbedding:
     def test_trainable(self, weights):
-        from repro.nn.optim import SGD
 
         scan = LinearScanEmbedding(N, D, weight=weights)
         out = scan(np.array([3]))

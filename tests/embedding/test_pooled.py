@@ -63,6 +63,81 @@ class TestPooledSemantics:
             scan.forward_pooled(np.array([[1, 2]]), mode="max")
 
 
+class TestPooledLengths:
+    def test_masked_sum_ignores_padding(self, weights):
+        scan = LinearScanEmbedding(N, D, weight=weights)
+        bags = np.array([[1, 2, 0], [4, 5, 6]])
+        lengths = np.array([2, 3])
+        pooled = scan.generate_pooled(bags, lengths=lengths)
+        np.testing.assert_allclose(pooled[0], weights[[1, 2]].sum(axis=0),
+                                   atol=1e-12)
+        np.testing.assert_allclose(pooled[1], weights[[4, 5, 6]].sum(axis=0),
+                                   atol=1e-12)
+
+    def test_mean_divides_by_true_length(self, weights):
+        scan = LinearScanEmbedding(N, D, weight=weights)
+        bags = np.array([[7, 8, 0, 0]])  # two real ids, two pads
+        pooled = scan.generate_pooled(bags, mode="mean",
+                                      lengths=np.array([2]))
+        np.testing.assert_allclose(pooled[0], weights[[7, 8]].mean(axis=0),
+                                   atol=1e-12)
+
+    def test_full_lengths_match_unmasked(self, weights):
+        scan = LinearScanEmbedding(N, D, weight=weights)
+        bags = np.array([[1, 2], [3, 4]])
+        full = scan.generate_pooled(bags, mode="mean",
+                                    lengths=np.array([2, 2]))
+        np.testing.assert_allclose(full,
+                                   scan.generate_pooled(bags, mode="mean"),
+                                   atol=1e-12)
+
+    def test_masked_gradients_skip_padding(self, weights):
+        scan = LinearScanEmbedding(N, D, weight=weights)
+        pooled = scan.forward_pooled(np.array([[3, 9]]),
+                                     lengths=np.array([1]))
+        pooled.sum().backward()
+        np.testing.assert_allclose(scan.weight.grad[3], np.ones(D))
+        np.testing.assert_allclose(scan.weight.grad[9], np.zeros(D))
+
+    def test_length_validation(self, weights):
+        scan = LinearScanEmbedding(N, D, weight=weights)
+        bags = np.array([[1, 2], [3, 4]])
+        with pytest.raises(ValueError):
+            scan.forward_pooled(bags, lengths=np.array([1]))  # wrong shape
+        with pytest.raises(ValueError):
+            scan.forward_pooled(bags, lengths=np.array([0, 2]))  # < 1
+        with pytest.raises(ValueError):
+            scan.forward_pooled(bags, lengths=np.array([2, 3]))  # > bag
+
+
+class TestBatchedForward:
+    def test_chunked_matches_single_shot(self, weights):
+        scan = LinearScanEmbedding(N, D, weight=weights)
+        indices = np.arange(10)
+        np.testing.assert_allclose(scan.batched_forward(indices, batch_size=3),
+                                   scan.batched_forward(indices),
+                                   atol=1e-12)
+
+    def test_invalid_batch_size(self, weights):
+        scan = LinearScanEmbedding(N, D, weight=weights)
+        with pytest.raises(ValueError):
+            scan.batched_forward(np.arange(4), batch_size=0)
+
+
+class TestIndexErrorMessages:
+    def test_reports_value_and_position(self, weights):
+        scan = LinearScanEmbedding(N, D, weight=weights)
+        with pytest.raises(IndexError, match=rf"index {N} at position "
+                                             rf"\(1, 2\) is out of range "
+                                             rf"for table of {N} rows"):
+            scan.forward(np.array([[0, 1, 2], [3, 4, N]]))
+
+    def test_reports_negative_index(self, weights):
+        scan = LinearScanEmbedding(N, D, weight=weights)
+        with pytest.raises(IndexError, match=r"index -1 at position \(0,\)"):
+            scan.forward(np.array([-1, 3]))
+
+
 class TestPooledObliviousness:
     def test_scan_pooled_trace_independent_of_bag_content(self, weights):
         def fn(tracer: MemoryTracer, secret_bag):

@@ -1,6 +1,5 @@
 """Unit tests for experiment-module internals and the CLI."""
 
-import numpy as np
 import pytest
 
 from repro.experiments.fig05_llm_latency import GPT2_VOCAB, llm_dhe_shape

@@ -3,11 +3,7 @@
 import pytest
 
 from repro.costmodel.latency import DLRM_DHE_UNIFORM_64
-from repro.hybrid.profiler import (
-    DEFAULT_SIZE_GRID,
-    OfflineProfiler,
-    ProfileKey,
-)
+from repro.hybrid.profiler import DEFAULT_SIZE_GRID, OfflineProfiler
 
 
 @pytest.fixture(scope="module")
@@ -76,6 +72,24 @@ class TestBackends:
         # (tiny sizes are dispatch-noise dominated, so compare far apart).
         assert profile.latency("scan", 65_536, 8, 4, 1) > \
             profile.latency("scan", 64, 8, 4, 1)
+
+    def test_backend_instance_passthrough(self):
+        from repro.serving.backends import ModelledBackend
+
+        backend = ModelledBackend(DLRM_DHE_UNIFORM_64)
+        profiler = OfflineProfiler(DLRM_DHE_UNIFORM_64, backend=backend)
+        assert profiler.execution_backend is backend
+        assert profiler.backend == "modelled"
+
+    def test_shares_engine_latency_seam(self):
+        """Profiler entries equal the backend's answers — one accounting."""
+        profiler = OfflineProfiler(DLRM_DHE_UNIFORM_64)
+        profile = profiler.profile(techniques=("scan",), sizes=(10_000,),
+                                   dims=(64,), batches=(32,),
+                                   threads_list=(1,))
+        assert profile.latency("scan", 10_000, 64, 32, 1) == \
+            profiler.execution_backend.technique_latency("scan", 10_000, 64,
+                                                         32, 1)
 
     def test_default_grid_spans_dlrm_range(self):
         assert min(DEFAULT_SIZE_GRID) == 100

@@ -1,13 +1,11 @@
 """Threshold extraction tests (Fig 6 trends, curve intersection)."""
 
-import math
 
 import pytest
 
 from repro.costmodel.latency import DLRM_DHE_UNIFORM_64
 from repro.hybrid.profiler import OfflineProfiler
 from repro.hybrid.thresholds import (
-    ThresholdKey,
     build_threshold_database,
     hybrid_eligible_range,
     intersect_curves,

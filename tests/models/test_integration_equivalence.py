@@ -8,14 +8,12 @@ and is covered by the parity training tests instead.
 """
 
 import numpy as np
-import pytest
 
 from repro.data.criteo import DlrmDatasetSpec, SyntheticCtrDataset
 from repro.embedding import (
     CircuitOramEmbedding,
     LinearScanEmbedding,
     PathOramEmbedding,
-    TableEmbedding,
 )
 from repro.models.dlrm import DLRM, table_factory
 from repro.models.gpt import GPT, tiny_config

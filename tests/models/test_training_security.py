@@ -17,7 +17,6 @@ separation.
 from contextlib import contextmanager
 
 import numpy as np
-import pytest
 
 from repro.data.criteo import DlrmDatasetSpec, SyntheticCtrDataset
 from repro.models.dlrm import DLRM, dhe_factory, table_factory

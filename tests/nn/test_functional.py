@@ -1,6 +1,5 @@
 """Tests for functional ops: softmax, gelu, layer_norm, dropout, masks."""
 
-import math
 
 import numpy as np
 import pytest

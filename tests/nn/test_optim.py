@@ -1,6 +1,5 @@
 """Optimizer tests: convergence, momentum, Adam bias correction, schedules."""
 
-import math
 
 import numpy as np
 import pytest

@@ -3,12 +3,8 @@
 import numpy as np
 import pytest
 
-from repro.oblivious.analysis import (
-    TraceComparison,
-    assert_trace_oblivious,
-    compare_traces,
-)
-from repro.oblivious.trace import READ, MemoryTracer, TracedArray
+from repro.oblivious.analysis import assert_trace_oblivious, compare_traces
+from repro.oblivious.trace import TracedArray
 
 
 def oblivious_fn(tracer, secret):

@@ -5,8 +5,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.oblivious.trace import MemoryTracer
-from repro.oram import CircuitORAM, PathORAM, RingORAM
+from repro.oram import PathORAM, RingORAM
 from repro.oram.tree import DUMMY
 
 

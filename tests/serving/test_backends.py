@@ -1,0 +1,105 @@
+"""Execution backends: modelled/measured resolution through the one seam."""
+
+import pytest
+
+from repro.costmodel.latency import (
+    DLRM_DHE_UNIFORM_16,
+    dhe_latency,
+    dhe_varied_shape,
+    linear_scan_latency,
+    lookup_latency,
+    oram_latency,
+)
+from repro.serving.backends import (
+    BACKEND_TECHNIQUES,
+    MeasuredBackend,
+    ModelledBackend,
+    resolve_backend,
+)
+
+
+class TestModelledBackend:
+    def test_matches_cost_model_directly(self):
+        backend = ModelledBackend(DLRM_DHE_UNIFORM_16)
+        size, dim, batch, threads = 5000, 16, 32, 2
+        assert backend.technique_latency("lookup", size, dim, batch, threads) \
+            == lookup_latency(size, dim, batch, threads)
+        assert backend.technique_latency("scan", size, dim, batch, threads) \
+            == linear_scan_latency(size, dim, batch, threads)
+        assert backend.technique_latency("dhe-uniform", size, dim, batch,
+                                         threads) \
+            == dhe_latency(DLRM_DHE_UNIFORM_16, batch, threads)
+        assert backend.technique_latency("dhe-varied", size, dim, batch,
+                                         threads) \
+            == dhe_latency(dhe_varied_shape(size, DLRM_DHE_UNIFORM_16),
+                           batch, threads)
+        assert backend.technique_latency("path-oram", size, dim, batch,
+                                         threads) \
+            == oram_latency("path", size, dim, batch, threads)
+        assert backend.technique_latency("circuit-oram", size, dim, batch,
+                                         threads) \
+            == oram_latency("circuit", size, dim, batch, threads)
+
+    def test_all_declared_techniques_resolve(self):
+        backend = ModelledBackend(DLRM_DHE_UNIFORM_16)
+        for technique in BACKEND_TECHNIQUES:
+            assert backend.technique_latency(technique, 1000, 16, 32) > 0
+
+    def test_unknown_technique(self):
+        with pytest.raises(ValueError, match="unknown technique"):
+            ModelledBackend(DLRM_DHE_UNIFORM_16).technique_latency(
+                "quantum", 1000, 16, 32)
+
+    def test_dhe_needs_uniform_shape(self):
+        backend = ModelledBackend()  # no shape
+        assert backend.technique_latency("scan", 1000, 16, 32) > 0
+        with pytest.raises(ValueError, match="uniform shape"):
+            backend.technique_latency("dhe-uniform", 1000, 16, 32)
+
+
+class TestMeasuredBackend:
+    def test_times_real_generators(self):
+        backend = MeasuredBackend(DLRM_DHE_UNIFORM_16, repeats=1)
+        for technique in ("lookup", "scan"):
+            assert backend.technique_latency(technique, 64, 8, 4) > 0
+
+    def test_generator_cache_reuses_objects(self):
+        backend = MeasuredBackend(DLRM_DHE_UNIFORM_16, repeats=1)
+        backend.technique_latency("scan", 64, 8, 4)
+        first = backend._generators[("scan", 64, 8)]
+        backend.technique_latency("scan", 64, 8, 8)
+        assert backend._generators[("scan", 64, 8)] is first
+
+    def test_unknown_technique(self):
+        with pytest.raises(ValueError, match="unknown technique"):
+            MeasuredBackend(DLRM_DHE_UNIFORM_16).technique_latency(
+                "quantum", 64, 8, 4)
+
+
+class TestResolveBackend:
+    def test_names(self):
+        assert isinstance(resolve_backend("modelled"), ModelledBackend)
+        assert isinstance(resolve_backend("measured"), MeasuredBackend)
+
+    def test_instance_passthrough(self):
+        backend = ModelledBackend(DLRM_DHE_UNIFORM_16)
+        assert resolve_backend(backend) is backend
+
+    def test_duck_typed_passthrough(self):
+        class Fake:
+            def technique_latency(self, *args):
+                return 1.0
+
+            def generator_latency(self, *args):
+                return 1.0
+
+        fake = Fake()
+        assert resolve_backend(fake) is fake
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown backend"):
+            resolve_backend("guess")
+
+    def test_not_a_backend(self):
+        with pytest.raises(TypeError):
+            resolve_backend(42)

@@ -1,0 +1,65 @@
+"""Dynamic batching: size-triggered and timeout-triggered launches."""
+
+import numpy as np
+import pytest
+
+from repro.serving.batcher import BatchingPolicy, DynamicBatcher
+
+
+class TestBatchingPolicy:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BatchingPolicy(max_batch_size=0)
+        with pytest.raises(ValueError):
+            BatchingPolicy(max_batch_size=4, max_wait_seconds=-1.0)
+
+
+class TestDynamicBatcher:
+    def test_greedy_zero_wait_batches_whatever_arrived(self):
+        # Everything arrives at t=0; service 1s; max batch 4.
+        batcher = DynamicBatcher(BatchingPolicy(4, 0.0))
+        batches = batcher.schedule(np.zeros(10), lambda n: 1.0)
+        assert [b.size for b in batches] == [4, 4, 2]
+        # Back-to-back execution: each batch starts when the replica frees.
+        assert [b.start_seconds for b in batches] == [0.0, 1.0, 2.0]
+
+    def test_full_batch_launches_before_timeout(self):
+        # Four requests in quick succession fill the batch long before the
+        # 10s deadline; launch happens at the last admission, not at timeout.
+        batcher = DynamicBatcher(BatchingPolicy(4, 10.0))
+        batches = batcher.schedule([0.0, 0.1, 0.2, 0.3], lambda n: 1.0)
+        assert len(batches) == 1
+        assert batches[0].start_seconds == pytest.approx(0.3)
+
+    def test_timeout_fires_partial_batch(self):
+        # Second request arrives after the first's wait deadline: two
+        # singleton batches, the first launching exactly at its deadline.
+        batcher = DynamicBatcher(BatchingPolicy(4, 0.5))
+        batches = batcher.schedule([0.0, 2.0], lambda n: 0.1)
+        assert [b.size for b in batches] == [1, 1]
+        assert batches[0].start_seconds == pytest.approx(0.5)
+        assert batches[1].start_seconds == pytest.approx(2.5)
+
+    def test_wait_window_accumulates_stragglers(self):
+        # Requests trickling in within the window ride the first batch.
+        batcher = DynamicBatcher(BatchingPolicy(8, 1.0))
+        batches = batcher.schedule([0.0, 0.4, 0.9, 5.0], lambda n: 0.1)
+        assert [b.size for b in batches] == [3, 1]
+
+    def test_finish_seconds(self):
+        batcher = DynamicBatcher(BatchingPolicy(2, 0.0))
+        (batch,) = batcher.schedule([0.0, 0.0], lambda n: 0.25)
+        assert batch.finish_seconds == pytest.approx(0.25)
+
+    def test_unsorted_arrivals_raise(self):
+        with pytest.raises(ValueError, match="sorted"):
+            DynamicBatcher(BatchingPolicy(4)).schedule([0.2, 0.1],
+                                                       lambda n: 1.0)
+
+    def test_empty_arrivals_raise(self):
+        with pytest.raises(ValueError):
+            DynamicBatcher(BatchingPolicy(4)).schedule([], lambda n: 1.0)
+
+    def test_non_positive_service_raises(self):
+        with pytest.raises(ValueError, match="service_time"):
+            DynamicBatcher(BatchingPolicy(4)).schedule([0.0], lambda n: 0.0)

@@ -1,0 +1,187 @@
+"""ExecutionEngine: seed-parity regression, open-system queueing, search."""
+
+import numpy as np
+import pytest
+
+from repro.costmodel.latency import (
+    DLRM_DHE_UNIFORM_64,
+    MLP_OVERHEAD_SECONDS,
+    dhe_latency,
+    dhe_varied_shape,
+    linear_scan_latency,
+)
+from repro.data import TERABYTE_SPEC
+from repro.hybrid import (
+    OfflineProfiler,
+    allocate_by_threshold,
+    build_threshold_database,
+    colocation_sweep,
+    dlrm_tenant,
+)
+from repro.serving import (
+    BatchingPolicy,
+    ExecutionEngine,
+    SecureDlrmServer,
+    ServingConfig,
+)
+
+BATCHES = (1, 32, 128)
+THREADS = (1, 8)
+DIM = 64
+
+
+@pytest.fixture(scope="module")
+def thresholds():
+    profiler = OfflineProfiler(DLRM_DHE_UNIFORM_64)
+    profile = profiler.profile(techniques=("scan", "dhe-varied"),
+                               dims=(DIM,), batches=BATCHES,
+                               threads_list=THREADS)
+    return build_threshold_database(profile, dhe_technique="dhe-varied",
+                                    dims=(DIM,), batches=BATCHES,
+                                    threads_list=THREADS)
+
+
+@pytest.fixture(scope="module")
+def engine(thresholds):
+    return ExecutionEngine(TERABYTE_SPEC.table_sizes, DIM,
+                           DLRM_DHE_UNIFORM_64, thresholds, varied=True)
+
+
+def seed_serve_expectation(thresholds, config, num_requests):
+    """The retired simulator's serve() numbers, recomputed its way:
+    a hand-rolled per-table loop seeded with the MLP overhead, then
+    ``latencies = np.full(n, per_batch)`` and ``batches * per_batch``."""
+    threshold = thresholds.threshold(DIM, config.batch_size, config.threads)
+    total = MLP_OVERHEAD_SECONDS
+    for size in TERABYTE_SPEC.table_sizes:
+        if size <= threshold:
+            total += linear_scan_latency(size, DIM, config.batch_size,
+                                         config.threads)
+        else:
+            total += dhe_latency(dhe_varied_shape(size, DLRM_DHE_UNIFORM_64),
+                                 config.batch_size, config.threads)
+    batches = (num_requests + config.batch_size - 1) // config.batch_size
+    return np.full(num_requests, total), batches, batches * total
+
+
+class TestSeedParity:
+    """serve_closed must reproduce the seed serve() output bit-for-bit."""
+
+    @pytest.mark.parametrize("batch,threads,num_requests",
+                             [(1, 1, 10), (32, 1, 100), (32, 8, 257),
+                              (128, 1, 1024)])
+    def test_bit_for_bit(self, engine, thresholds, batch, threads,
+                         num_requests):
+        config = ServingConfig(batch_size=batch, threads=threads)
+        report = engine.serve_closed(num_requests, config)
+        latencies, batches, busy = seed_serve_expectation(
+            thresholds, config, num_requests)
+        assert np.array_equal(report.latencies, latencies)  # exact floats
+        assert report.num_batches == batches
+        assert report.batch_time_total == busy
+        assert report.throughput() == num_requests / busy
+
+    def test_queue_delays_identically_zero(self, engine):
+        report = engine.serve_closed(100, ServingConfig(batch_size=32))
+        assert np.all(report.queue_delays == 0.0)
+
+    def test_facade_matches_engine(self, engine, thresholds):
+        server = SecureDlrmServer(TERABYTE_SPEC.table_sizes, DIM,
+                                  DLRM_DHE_UNIFORM_64, thresholds)
+        config = ServingConfig(batch_size=32, threads=1)
+        via_server = server.serve(100, config)
+        via_engine = engine.serve_closed(100, config)
+        assert np.array_equal(via_server.latencies, via_engine.latencies)
+        assert via_server.throughput() == via_engine.throughput()
+
+
+class TestOpenSystem:
+    def test_poisson_with_timeout_spreads_percentiles(self, engine):
+        config = ServingConfig(batch_size=32, threads=1)
+        service = engine.batch_latency(config)
+        # Offer ~80% of the replica's saturation rate so queues form and
+        # drain; the wait timeout admits partial batches.
+        rate = 0.8 * config.batch_size / service
+        report = engine.serve_poisson(
+            512, rate, config,
+            policy=BatchingPolicy(config.batch_size,
+                                  max_wait_seconds=service / 2),
+            rng=0)
+        assert report.p95 > report.p50
+        assert report.mean_queue_delay > 0.0
+        assert report.num_batches >= 512 // config.batch_size
+
+    def test_overload_builds_queue(self, engine):
+        config = ServingConfig(batch_size=32, threads=1)
+        service = engine.batch_latency(config)
+        # 4x saturation: later requests should wait much longer.
+        report = engine.serve_poisson(256, 4 * 32 / service, config, rng=1)
+        delays = report.queue_delays
+        assert delays[-32:].mean() > delays[:32].mean()
+
+
+class TestBestConfiguration:
+    def test_highest_throughput_wins(self, engine):
+        candidates = [ServingConfig(batch_size=b, threads=1,
+                                    sla_seconds=0.250)
+                      for b in BATCHES]
+        config, report = engine.best_configuration(candidates,
+                                                   num_requests=64)
+        throughputs = {c.batch_size:
+                       engine.serve_closed(64, c).throughput()
+                       for c in candidates}
+        assert throughputs[config.batch_size] == max(throughputs.values())
+
+    def test_equal_throughput_keeps_first(self, engine):
+        first = ServingConfig(batch_size=32, threads=1, sla_seconds=0.250)
+        duplicate = ServingConfig(batch_size=32, threads=1,
+                                  sla_seconds=0.250)
+        config, _ = engine.best_configuration([first, duplicate],
+                                              num_requests=64)
+        assert config is first
+
+    def test_raises_when_no_sla_met(self, engine):
+        with pytest.raises(RuntimeError, match="meets its SLA"):
+            engine.best_configuration(
+                [ServingConfig(batch_size=128, sla_seconds=1e-6)],
+                num_requests=64)
+
+    def test_empty_candidates(self, engine):
+        with pytest.raises(ValueError):
+            engine.best_configuration([])
+
+
+class TestDispatcherIntegration:
+    def test_sweep_matches_colocation_planner(self, engine, thresholds):
+        config = ServingConfig(batch_size=32, threads=1)
+        allocations = engine.allocations(config)
+        dispatcher = engine.dispatcher(config)
+        tenant = dlrm_tenant(TERABYTE_SPEC.table_sizes, DIM, allocations,
+                             DLRM_DHE_UNIFORM_64, config.batch_size,
+                             varied=True)
+        assert dispatcher.sweep(6) == colocation_sweep(tenant, 6,
+                                                       config.batch_size)
+
+    def test_explicit_allocation_override(self, engine):
+        config = ServingConfig(batch_size=32, threads=1)
+        all_dhe = allocate_by_threshold(TERABYTE_SPEC.table_sizes, 0.0)
+        baseline = engine.dispatcher(config)
+        override = engine.dispatcher(config, all_dhe)
+        assert override.demand.solo_latency != baseline.demand.solo_latency
+
+    def test_dispatcher_needs_uniform_shape(self, thresholds):
+        engine = ExecutionEngine(TERABYTE_SPEC.table_sizes, DIM, None,
+                                 thresholds, varied=False)
+        with pytest.raises(ValueError, match="uniform shape"):
+            engine.dispatcher(ServingConfig(batch_size=32))
+
+
+class TestEngineConstruction:
+    def test_needs_features(self, thresholds):
+        with pytest.raises(ValueError, match="sparse feature"):
+            ExecutionEngine((), DIM, DLRM_DHE_UNIFORM_64, thresholds)
+
+    def test_allocation_counts_cover_features(self, engine):
+        scans, dhes = engine.allocation_counts(ServingConfig(batch_size=32))
+        assert scans + dhes == len(TERABYTE_SPEC.table_sizes)
+        assert scans > 0 and dhes > 0

@@ -1,0 +1,65 @@
+"""ServingReport: constructor contract and queueing-aware statistics."""
+
+import numpy as np
+import pytest
+
+from repro.serving.report import ServingReport
+
+
+def make_report(**overrides):
+    defaults = dict(num_requests=4, num_batches=2,
+                    latencies=np.array([0.01, 0.01, 0.02, 0.02]),
+                    scan_features=3, dhe_features=5, batch_time_total=0.04)
+    defaults.update(overrides)
+    return ServingReport(**defaults)
+
+
+class TestConstructor:
+    def test_batch_time_total_is_required(self):
+        # The seed mutated a pseudo-private field after construction; the
+        # busy time is now part of the constructor contract.
+        with pytest.raises(TypeError):
+            ServingReport(num_requests=4, num_batches=2,
+                          latencies=np.zeros(4), scan_features=3,
+                          dhe_features=5)
+
+    def test_hand_built_report_has_throughput(self):
+        assert make_report().throughput() == pytest.approx(4 / 0.04)
+
+    def test_zero_busy_time_guard(self):
+        assert make_report(batch_time_total=0.0).throughput() == 0.0
+
+
+class TestFromComponents:
+    def test_latencies_are_queue_plus_service(self):
+        report = ServingReport.from_components(
+            queue_delays=np.array([0.0, 0.5]),
+            service_latencies=np.array([1.0, 1.0]),
+            num_batches=2, scan_features=1, dhe_features=1,
+            batch_time_total=2.0)
+        np.testing.assert_allclose(report.latencies, [1.0, 1.5])
+        assert report.num_requests == 2
+        assert report.mean_queue_delay == pytest.approx(0.25)
+        assert report.p95_queue_delay == pytest.approx(0.475)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError, match="shapes differ"):
+            ServingReport.from_components(
+                queue_delays=np.zeros(3), service_latencies=np.zeros(2),
+                num_batches=1, scan_features=0, dhe_features=0,
+                batch_time_total=1.0)
+
+
+class TestStatistics:
+    def test_percentiles_and_sla(self):
+        report = make_report()
+        assert report.p50 == pytest.approx(0.015)
+        assert report.p95 >= report.p50
+        assert report.sla_attainment(0.015) == pytest.approx(0.5)
+        with pytest.raises(ValueError):
+            report.sla_attainment(0.0)
+
+    def test_queue_stats_default_to_zero(self):
+        report = make_report()
+        assert report.mean_queue_delay == 0.0
+        assert report.p95_queue_delay == 0.0

@@ -1,6 +1,5 @@
 """PRIME+PROBE attack tests — the Fig 3 reproduction, as unit tests."""
 
-import numpy as np
 import pytest
 
 from repro.sidechannel.attacker import PrimeProbeAttacker

@@ -1,6 +1,5 @@
 """Controlled-channel (page-fault) attack tests."""
 
-import numpy as np
 import pytest
 
 from repro.sidechannel.pagefault import (

@@ -30,7 +30,6 @@ def test_package_imports(package):
 
 @pytest.mark.parametrize("package", [p for p in PACKAGES
                                      if p not in ("repro",
-                                                  "repro.serving",
                                                   "repro.experiments.registry")])
 def test_all_names_resolve(package):
     module = importlib.import_module(package)

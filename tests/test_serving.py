@@ -1,6 +1,5 @@
 """Serving-simulator tests: SLA accounting and configuration choice."""
 
-import numpy as np
 import pytest
 
 from repro.costmodel.latency import DLRM_DHE_UNIFORM_64
