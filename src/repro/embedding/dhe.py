@@ -26,6 +26,8 @@ from repro.costmodel.platform import DEFAULT_PLATFORM, PlatformModel
 from repro.embedding.base import EmbeddingGenerator
 from repro.nn.layers import MLP
 from repro.nn.tensor import Tensor
+from repro.oblivious.trace import MemoryTracer, TracedArray
+from repro.telemetry.runtime import get_registry
 from repro.utils.rng import SeedLike, new_rng
 
 #: Algorithm 1: hash bucket size m = 1e6.
@@ -105,9 +107,29 @@ class DHEEmbedding(EmbeddingGenerator):
     # ------------------------------------------------------------------
     def forward(self, indices) -> Tensor:
         indices = self._check_indices(indices)
-        encoded = self.encoder.encode(indices.reshape(-1))
-        decoded = self.decoder(Tensor(encoded))
+        registry = get_registry()
+        flat = indices.reshape(-1)
+        with registry.span("embedding.dhe.forward", batch=int(flat.size),
+                           k=self.shape.k):
+            encoded = self.encoder.encode(flat)
+            decoded = self.decoder(Tensor(encoded))
+        registry.counter("embedding.dhe.queries_total").inc(int(flat.size))
         return decoded.reshape(*indices.shape, self.embedding_dim)
+
+    def generate_traced(self, indices, tracer: MemoryTracer) -> np.ndarray:
+        """DHE generation with its (shape-fixed) weight sweeps recorded.
+
+        The hash step is pure arithmetic over registers; the decoder's dense
+        matmuls read every weight row of every layer in an order fixed by
+        the shapes alone. Recording those sweeps against the tracer makes
+        DHE auditable by the same trace-equivalence machinery as the scan.
+        """
+        indices = self._check_indices(indices).reshape(-1)
+        out = self.forward(indices).data
+        for name, param in self.decoder.named_parameters():
+            TracedArray(param.data, name=f"dhe.{name}",
+                        tracer=tracer).read_all()
+        return out
 
     def materialize_table(self, batch_size: int = 4096) -> np.ndarray:
         """Emit the full (n, dim) table of DHE outputs.

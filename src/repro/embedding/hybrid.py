@@ -17,6 +17,7 @@ from repro.embedding.base import EmbeddingGenerator
 from repro.embedding.dhe import DHEEmbedding
 from repro.embedding.scan import LinearScanEmbedding
 from repro.nn.tensor import Tensor
+from repro.telemetry.runtime import get_registry
 
 TECHNIQUE_SCAN = "scan"
 TECHNIQUE_DHE = "dhe"
@@ -56,11 +57,17 @@ class HybridEmbedding(EmbeddingGenerator):
         if technique == TECHNIQUE_SCAN:
             self._ensure_table()
         self._active = technique
+        get_registry().counter(
+            f"embedding.hybrid.select_{technique}_total").inc()
         return self
 
     def _ensure_table(self) -> LinearScanEmbedding:
         if self._scan is None:
-            weight = self.dhe.materialize_table()
+            registry = get_registry()
+            with registry.span("embedding.hybrid.materialize_table",
+                               rows=self.num_embeddings):
+                weight = self.dhe.materialize_table()
+            registry.counter("embedding.hybrid.tables_materialized_total").inc()
             self._scan = LinearScanEmbedding(self.num_embeddings,
                                              self.embedding_dim, weight=weight)
         return self._scan

@@ -25,6 +25,7 @@ from repro.nn.module import Parameter
 from repro.nn.tensor import Tensor
 from repro.oblivious.linear_scan import linear_scan_batch
 from repro.oblivious.trace import MemoryTracer, TracedArray
+from repro.telemetry.runtime import get_registry
 from repro.utils.rng import SeedLike, new_rng
 
 
@@ -52,10 +53,16 @@ class LinearScanEmbedding(EmbeddingGenerator):
 
     def forward(self, indices) -> Tensor:
         indices = self._check_indices(indices)
+        registry = get_registry()
         flat = indices.reshape(-1)
-        onehot = np.zeros((flat.size, self.num_embeddings))
-        onehot[np.arange(flat.size), flat] = 1.0
-        out = Tensor(onehot) @ self.weight
+        with registry.span("embedding.scan.forward", batch=int(flat.size),
+                           rows=self.num_embeddings):
+            onehot = np.zeros((flat.size, self.num_embeddings))
+            onehot[np.arange(flat.size), flat] = 1.0
+            out = Tensor(onehot) @ self.weight
+        registry.counter("embedding.scan.queries_total").inc(int(flat.size))
+        registry.counter("embedding.scan.rows_swept_total").inc(
+            int(flat.size) * self.num_embeddings)
         return out.reshape(*indices.shape, self.embedding_dim)
 
     def generate_traced(self, indices, tracer: MemoryTracer) -> np.ndarray:

@@ -55,11 +55,18 @@ EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
 
 
 def run_experiment(experiment_id: str, **kwargs) -> ExperimentResult:
-    """Run one registered experiment by id."""
+    """Run one registered experiment by id (tagged in the telemetry stream)."""
     if experiment_id not in EXPERIMENTS:
         raise KeyError(f"unknown experiment {experiment_id!r}; "
                        f"known: {sorted(EXPERIMENTS)}")
-    return EXPERIMENTS[experiment_id](**kwargs)
+    from repro.telemetry.runtime import get_registry
+
+    registry = get_registry()
+    with registry.span("experiment.run", experiment=experiment_id):
+        result = EXPERIMENTS[experiment_id](**kwargs)
+    registry.counter("experiments.runs_total").inc()
+    registry.counter(f"experiments.{experiment_id}.runs_total").inc()
+    return result
 
 
 def list_experiments() -> List[str]:
@@ -67,19 +74,39 @@ def list_experiments() -> List[str]:
 
 
 def main(argv=None) -> int:
-    """CLI: ``python -m repro.experiments.registry [id ...]``."""
+    """CLI: ``python -m repro.experiments.registry [id ...] [--json PATH]``.
+
+    ``--json`` dumps every result plus the run's telemetry snapshot — the
+    CI smoke job archives this file as a workflow artifact.
+    """
     import argparse
+
+    from repro.telemetry.export import write_json
+    from repro.telemetry.metrics import MetricsRegistry
+    from repro.telemetry.runtime import set_registry
 
     parser = argparse.ArgumentParser(
         description="Reproduce the paper's tables and figures.")
     parser.add_argument("ids", nargs="*",
                         help="experiment ids (default: all)")
+    parser.add_argument("--json", metavar="PATH",
+                        help="dump results + telemetry snapshot as JSON")
     args = parser.parse_args(argv)
     ids = args.ids or list_experiments()
-    for experiment_id in ids:
-        result = run_experiment(experiment_id)
-        print(result.render())
-        print()
+    registry = MetricsRegistry()
+    previous = set_registry(registry)
+    try:
+        results = []
+        for experiment_id in ids:
+            result = run_experiment(experiment_id)
+            print(result.render())
+            print()
+            results.append(result.to_dict())
+        if args.json:
+            write_json(registry, args.json,
+                       extra={"results": results})
+    finally:
+        set_registry(previous)
     return 0
 
 

@@ -28,6 +28,16 @@ class ExperimentResult:
         index = list(self.headers).index(header)
         return [row[index] for row in self.rows]
 
+    def to_dict(self) -> dict:
+        """JSON-ready view (used by the registry CLI's ``--json`` dump)."""
+        return {
+            "experiment_id": self.experiment_id,
+            "title": self.title,
+            "headers": list(self.headers),
+            "rows": [list(row) for row in self.rows],
+            "notes": self.notes,
+        }
+
     def render(self) -> str:
         """Aligned plain-text rendering."""
         cells = [[str(h) for h in self.headers]]

@@ -17,6 +17,7 @@ from repro.oblivious.trace import MemoryTracer
 from repro.oram.position_map import FlatPositionMap, OramPositionMap, PositionMap
 from repro.oram.stash import Stash
 from repro.oram.tree import BucketTree
+from repro.telemetry.runtime import get_registry
 from repro.utils.rng import SeedLike, new_rng
 from repro.utils.validation import check_positive
 
@@ -156,11 +157,28 @@ class OramController:
         if not 0 <= block_id < self.num_blocks:
             raise IndexError(
                 f"block {block_id} out of range for ORAM of {self.num_blocks} blocks")
-        new_leaf = int(self.rng.integers(0, self.tree.num_leaves))
-        old_leaf = self.position_map.lookup_and_update(block_id, new_leaf)
-        self.stats.accesses += 1
-        self.stats.revealed_leaves.append(old_leaf)
-        return self._access_impl(block_id, old_leaf, new_leaf, update_fn)
+        registry = get_registry()
+        reads_before = self.stats.bucket_reads
+        writes_before = self.stats.bucket_writes
+        evictions_before = self.stats.eviction_passes
+        with registry.span("oram.access", scheme=type(self).__name__,
+                           level=self._recursion_level):
+            new_leaf = int(self.rng.integers(0, self.tree.num_leaves))
+            old_leaf = self.position_map.lookup_and_update(block_id, new_leaf)
+            self.stats.accesses += 1
+            self.stats.revealed_leaves.append(old_leaf)
+            result = self._access_impl(block_id, old_leaf, new_leaf, update_fn)
+        registry.counter("oram.accesses_total").inc()
+        registry.counter("oram.bucket_reads_total").inc(
+            self.stats.bucket_reads - reads_before)
+        registry.counter("oram.bucket_writes_total").inc(
+            self.stats.bucket_writes - writes_before)
+        registry.counter("oram.eviction_passes_total").inc(
+            self.stats.eviction_passes - evictions_before)
+        registry.gauge("oram.stash_occupancy").set(self.stash.occupancy)
+        registry.gauge("oram.stash_peak_occupancy").set_max(
+            self.stash.peak_occupancy)
+        return result
 
     def read(self, block_id: int) -> np.ndarray:
         return self.access(block_id)

@@ -14,6 +14,8 @@ from typing import Callable, List, Sequence
 
 import numpy as np
 
+from repro.telemetry.metrics import power_of_two_buckets
+from repro.telemetry.runtime import get_registry
 from repro.utils.validation import check_non_negative, check_positive
 
 
@@ -76,6 +78,7 @@ class DynamicBatcher:
         max_wait = self.policy.max_wait_seconds
 
         batches: List[ScheduledBatch] = []
+        full_launches = 0
         free_at = 0.0
         i, n = 0, int(arrivals.size)
         while i < n:
@@ -89,6 +92,7 @@ class DynamicBatcher:
                 # Filled before the deadline: launch as soon as the last
                 # admitted request is in (and the replica is free).
                 start = max(open_time, float(arrivals[j - 1]))
+                full_launches += 1
             else:
                 # Timeout fired (or the trace ran dry inside the window).
                 start = close_time
@@ -101,4 +105,20 @@ class DynamicBatcher:
                                           service_seconds=service))
             free_at = start + service
             i = j
+        self._report(batches, full_launches)
         return batches
+
+    def _report(self, batches: List[ScheduledBatch],
+                full_launches: int) -> None:
+        registry = get_registry()
+        if not registry.enabled:
+            return
+        registry.counter("batcher.batches_total").inc(len(batches))
+        registry.counter("batcher.full_launches_total").inc(full_launches)
+        registry.counter("batcher.timeout_launches_total").inc(
+            len(batches) - full_launches)
+        registry.histogram("batcher.batch_size",
+                           buckets=power_of_two_buckets()).observe_many(
+            [batch.size for batch in batches])
+        registry.histogram("batcher.service_seconds").observe_many(
+            [batch.service_seconds for batch in batches])

@@ -8,10 +8,11 @@ use, not a private copy.
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
 from repro.costmodel.colocation import TenantDemand, replicated_latencies
 from repro.costmodel.platform import DEFAULT_PLATFORM, PlatformModel
+from repro.telemetry.runtime import get_registry
 from repro.utils.validation import check_positive
 
 
@@ -27,7 +28,11 @@ class Dispatcher:
 
     # ------------------------------------------------------------------
     def replica_latencies(self, replicas: int) -> List[float]:
-        """Per-replica batch latency with ``replicas`` co-located copies."""
+        """Per-replica batch latency with ``replicas`` co-located copies.
+
+        Pure compute — ``sweep`` reports telemetry once per sweep rather
+        than per evaluation, keeping this inner loop cheap.
+        """
         return replicated_latencies(self.demand, replicas, self.platform)
 
     def batch_latency(self, replicas: int = 1) -> float:
@@ -43,12 +48,42 @@ class Dispatcher:
     def sweep(self, max_replicas: int) -> List[Tuple[int, float, float]]:
         """(copies, worst latency, aggregate throughput) as replicas grow."""
         check_positive("max_replicas", max_replicas)
-        results = []
-        for copies in range(1, max_replicas + 1):
-            latencies = self.replica_latencies(copies)
-            results.append((copies, max(latencies),
-                            sum(self.batch_size / lat for lat in latencies)))
+        registry = get_registry()
+        with registry.span("dispatcher.sweep", max_replicas=max_replicas):
+            results = []
+            worst: List[float] = []
+            for copies in range(1, max_replicas + 1):
+                latencies = self.replica_latencies(copies)
+                results.append((copies, max(latencies),
+                                sum(self.batch_size / lat
+                                    for lat in latencies)))
+                worst.append(results[-1][1])
+        if registry.enabled:
+            registry.counter("dispatcher.evaluations_total").inc(max_replicas)
+            registry.histogram(
+                "dispatcher.replica_latency_seconds").observe_many(worst)
         return results
+
+    def min_replicas(self, rate_rps: float, sla_seconds: float,
+                     max_replicas: int) -> Optional[int]:
+        """Smallest fleet that sustains ``rate_rps`` within the SLA.
+
+        Replica selection for an offered load: walk the fleet sizes upward
+        and return the first whose aggregate throughput covers the rate
+        while the worst replica still meets the latency SLA. Returns None
+        when no fleet up to ``max_replicas`` qualifies (co-location
+        interference can make throughput non-monotonic, so infeasibility at
+        ``max_replicas`` does not imply a larger fleet would fail too —
+        but within the searched range nothing works).
+        """
+        check_positive("rate_rps", rate_rps)
+        check_positive("sla_seconds", sla_seconds)
+        for copies, latency, throughput in self.sweep(max_replicas):
+            if latency <= sla_seconds and throughput >= rate_rps:
+                get_registry().gauge("dispatcher.selected_replicas").set(
+                    copies)
+                return copies
+        return None
 
     def sla_bounded_throughput(self, sla_seconds: float,
                                max_replicas: int) -> float:

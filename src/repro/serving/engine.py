@@ -25,6 +25,7 @@ from repro.serving.batcher import BatchingPolicy, DynamicBatcher
 from repro.serving.dispatcher import Dispatcher
 from repro.serving.report import ServingReport
 from repro.serving.requests import RequestQueue, batch_boundary_arrivals
+from repro.telemetry.runtime import get_registry
 from repro.utils.rng import SeedLike
 from repro.utils.validation import check_positive
 
@@ -128,22 +129,44 @@ class ExecutionEngine:
         if policy is None:
             policy = BatchingPolicy(max_batch_size=config.batch_size,
                                     max_wait_seconds=0.0)
-        service = self.batch_latency(config)
-        batches = DynamicBatcher(policy).schedule(queue.arrivals,
-                                                  lambda size: service)
-        queue_delays = np.empty(len(queue), dtype=np.float64)
-        service_latencies = np.empty(len(queue), dtype=np.float64)
-        for batch in batches:
-            window = slice(batch.first, batch.last)
-            queue_delays[window] = (batch.start_seconds
-                                    - queue.arrivals[window])
-            service_latencies[window] = batch.service_seconds
-        scans, dhes = self.allocation_counts(config)
-        busy_time = math.fsum(batch.service_seconds for batch in batches)
-        return ServingReport.from_components(
+        registry = get_registry()
+        with registry.span("serve", requests=len(queue),
+                           batch_size=config.batch_size,
+                           threads=config.threads):
+            with registry.span("serve.price_batch"):
+                service = self.batch_latency(config)
+            with registry.span("serve.schedule"):
+                batches = DynamicBatcher(policy).schedule(
+                    queue.arrivals, lambda size: service)
+            queue_delays = np.empty(len(queue), dtype=np.float64)
+            service_latencies = np.empty(len(queue), dtype=np.float64)
+            for batch in batches:
+                window = slice(batch.first, batch.last)
+                queue_delays[window] = (batch.start_seconds
+                                        - queue.arrivals[window])
+                service_latencies[window] = batch.service_seconds
+            with registry.span("serve.allocate"):
+                scans, dhes = self.allocation_counts(config)
+            busy_time = math.fsum(batch.service_seconds for batch in batches)
+        report = ServingReport.from_components(
             queue_delays=queue_delays, service_latencies=service_latencies,
             num_batches=len(batches), scan_features=scans,
             dhe_features=dhes, batch_time_total=busy_time)
+        self._report_serve(registry, report)
+        return report
+
+    def _report_serve(self, registry, report: ServingReport) -> None:
+        """Fold one serving run into the engine's metrics."""
+        if not registry.enabled:
+            return
+        registry.counter("serving.requests_total").inc(report.num_requests)
+        registry.counter("serving.batches_total").inc(report.num_batches)
+        registry.histogram("serving.queue_delay_seconds").observe_many(
+            report.queue_delays)
+        registry.histogram("serving.request_latency_seconds").observe_many(
+            report.latencies)
+        registry.gauge("serving.scan_features").set(report.scan_features)
+        registry.gauge("serving.dhe_features").set(report.dhe_features)
 
     def serve_closed(self, num_requests: int,
                      config: ServingConfig) -> ServingReport:

@@ -17,6 +17,7 @@ from repro.serving.backends import BackendLike
 from repro.serving.batcher import BatchingPolicy
 from repro.serving.engine import ExecutionEngine, ServingConfig
 from repro.serving.report import ServingReport
+from repro.telemetry.runtime import get_registry
 from repro.utils.rng import SeedLike
 
 if TYPE_CHECKING:  # runtime import deferred: hybrid imports serving
@@ -58,15 +59,19 @@ class SecureDlrmServer:
     def serve(self, num_requests: int, config: ServingConfig) -> ServingReport:
         """Simulate serving ``num_requests`` in back-to-back full batches
         (the paper's throughput setting; queueing-free by construction)."""
-        return self.engine.serve_closed(num_requests, config)
+        with get_registry().span("server.serve", mode="closed",
+                                 requests=num_requests):
+            return self.engine.serve_closed(num_requests, config)
 
     def serve_poisson(self, num_requests: int, rate_rps: float,
                       config: ServingConfig,
                       policy: Optional[BatchingPolicy] = None,
                       rng: SeedLike = None) -> ServingReport:
         """Open-system serving: Poisson arrivals + the dynamic batcher."""
-        return self.engine.serve_poisson(num_requests, rate_rps, config,
-                                         policy=policy, rng=rng)
+        with get_registry().span("server.serve", mode="poisson",
+                                 requests=num_requests, rate_rps=rate_rps):
+            return self.engine.serve_poisson(num_requests, rate_rps, config,
+                                             policy=policy, rng=rng)
 
     def best_configuration(self, configs: Sequence[ServingConfig],
                            num_requests: int = 1024

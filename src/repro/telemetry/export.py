@@ -1,0 +1,126 @@
+"""Exporters: JSON, Prometheus text exposition, and a console summary.
+
+All three read the same :class:`~repro.telemetry.metrics.MetricsRegistry`
+snapshot, so a run can be scraped (Prometheus), archived (JSON artifact in
+CI), and eyeballed (summary table) without re-instrumenting anything.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from typing import Dict, Optional
+
+from repro.telemetry.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+
+_INVALID_CHARS = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def sanitize_metric_name(name: str, prefix: str = "") -> str:
+    """Map a dotted metric name onto the Prometheus grammar."""
+    flat = _INVALID_CHARS.sub("_", name)
+    if prefix:
+        flat = f"{prefix}_{flat}"
+    if flat and flat[0].isdigit():
+        flat = f"_{flat}"
+    return flat
+
+
+def to_json(registry: MetricsRegistry, include_spans: bool = False,
+            extra: Optional[Dict[str, object]] = None,
+            indent: int = 2) -> str:
+    """Serialise the registry snapshot (plus optional extra payload)."""
+    payload = registry.snapshot(include_spans=include_spans)
+    if extra:
+        payload = {**payload, **extra}
+    return json.dumps(payload, indent=indent, sort_keys=True, default=str)
+
+
+def write_json(registry: MetricsRegistry, path: str,
+               include_spans: bool = False,
+               extra: Optional[Dict[str, object]] = None) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(to_json(registry, include_spans=include_spans,
+                             extra=extra))
+        handle.write("\n")
+
+
+def _prometheus_value(value: float) -> str:
+    if value == int(value):
+        return str(int(value))
+    return repr(float(value))
+
+
+def to_prometheus(registry: MetricsRegistry, prefix: str = "repro") -> str:
+    """Render every instrument in the Prometheus text exposition format."""
+    lines = []
+    for name, metric in sorted(registry.metrics().items()):
+        flat = sanitize_metric_name(name, prefix)
+        if isinstance(metric, Counter):
+            if metric.description:
+                lines.append(f"# HELP {flat} {metric.description}")
+            lines.append(f"# TYPE {flat} counter")
+            lines.append(f"{flat} {_prometheus_value(metric.value)}")
+        elif isinstance(metric, Gauge):
+            if metric.description:
+                lines.append(f"# HELP {flat} {metric.description}")
+            lines.append(f"# TYPE {flat} gauge")
+            lines.append(f"{flat} {_prometheus_value(metric.value)}")
+        elif isinstance(metric, Histogram):
+            if metric.description:
+                lines.append(f"# HELP {flat} {metric.description}")
+            lines.append(f"# TYPE {flat} histogram")
+            cumulative = 0
+            for bound, count in zip(metric.bounds,
+                                    metric.bucket_counts[:-1]):
+                cumulative += int(count)
+                lines.append(f'{flat}_bucket{{le="{bound:g}"}} {cumulative}')
+            cumulative += int(metric.bucket_counts[-1])
+            lines.append(f'{flat}_bucket{{le="+Inf"}} {cumulative}')
+            lines.append(f"{flat}_sum {_prometheus_value(metric.total)}")
+            lines.append(f"{flat}_count {metric.count}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def summary_table(registry: MetricsRegistry) -> str:
+    """Aligned console summary of every instrument, one row per metric."""
+    rows = [("metric", "type", "count", "value/mean", "p50", "p95", "p99")]
+    for name, metric in sorted(registry.metrics().items()):
+        if isinstance(metric, Counter):
+            rows.append((name, "counter", "-",
+                         _fmt(metric.value), "-", "-", "-"))
+        elif isinstance(metric, Gauge):
+            rows.append((name, "gauge", "-",
+                         _fmt(metric.value), "-", "-", "-"))
+        elif isinstance(metric, Histogram):
+            if metric.count == 0:
+                rows.append((name, "histogram", "0", "-", "-", "-", "-"))
+            else:
+                rows.append((name, "histogram", str(metric.count),
+                             _fmt(metric.mean), _fmt(metric.p50),
+                             _fmt(metric.p95), _fmt(metric.p99)))
+    recorded, dropped = len(registry.spans), registry.spans.dropped
+    widths = [max(len(row[i]) for row in rows) for i in range(len(rows[0]))]
+    lines = ["== telemetry summary =="]
+    for index, row in enumerate(rows):
+        line = "  ".join(cell.ljust(width) if i == 0 else cell.rjust(width)
+                         for i, (cell, width) in enumerate(zip(row, widths)))
+        lines.append(line.rstrip())
+        if index == 0:
+            lines.append("-" * len(line))
+    lines.append(f"spans: {recorded} recorded, {dropped} dropped")
+    return "\n".join(lines)
+
+
+def _fmt(value: float) -> str:
+    if value == 0:
+        return "0"
+    magnitude = abs(value)
+    if magnitude >= 1000 or magnitude < 0.001:
+        return f"{value:.3g}"
+    return f"{value:.4f}".rstrip("0").rstrip(".")

@@ -1,0 +1,346 @@
+"""Counters, gauges, and fixed-bucket histograms behind one registry.
+
+The instruments are deliberately minimal so the hot paths can leave them
+enabled: a counter increment is one attribute add, a histogram observation
+is one binary search into fixed bucket bounds, and the vectorised
+``observe_many`` amortises whole latency arrays into a single
+``np.searchsorted``. Percentiles (p50/p95/p99) are interpolated from the
+bucket counts, clamped by the observed min/max, so a histogram never stores
+raw samples.
+
+:class:`MetricsRegistry` is the create-or-get namespace for instruments and
+also owns the :class:`~repro.telemetry.spans.SpanCollector`; every span's
+duration is folded into a ``span.<name>.seconds`` histogram automatically.
+:class:`NullRegistry` is the disabled twin: every method returns a shared
+no-op instrument, so instrumented code pays only a method call when
+telemetry is off.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.telemetry.spans import NULL_SPAN, Span, SpanCollector, SpanRecord
+
+
+def default_latency_buckets() -> Tuple[float, ...]:
+    """Log-spaced seconds buckets from 1 microsecond to 10 seconds."""
+    bounds: List[float] = []
+    for exponent in range(-6, 1):
+        for mantissa in (1.0, 2.5, 5.0):
+            bounds.append(mantissa * 10.0 ** exponent)
+    bounds.append(10.0)
+    return tuple(bounds)
+
+
+def power_of_two_buckets(max_exponent: int = 12) -> Tuple[float, ...]:
+    """Buckets 1, 2, 4, ... 2**max_exponent (for sizes and counts)."""
+    if max_exponent < 0:
+        raise ValueError(f"max_exponent must be >= 0, got {max_exponent}")
+    return tuple(float(1 << e) for e in range(max_exponent + 1))
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "description", "value")
+
+    def __init__(self, name: str, description: str = "") -> None:
+        self.name = name
+        self.description = description
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name} cannot decrease "
+                             f"(inc by {amount})")
+        self.value += amount
+
+
+class Gauge:
+    """A value that can move both ways (occupancy, depth, fleet size)."""
+
+    __slots__ = ("name", "description", "value")
+
+    def __init__(self, name: str, description: str = "") -> None:
+        self.name = name
+        self.description = description
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+    def set_max(self, value: float) -> None:
+        """High-water-mark update (stash peaks, queue depth peaks)."""
+        if value > self.value:
+            self.value = float(value)
+
+
+class Histogram:
+    """Fixed-bucket histogram with interpolated percentiles."""
+
+    __slots__ = ("name", "description", "bounds", "_bounds_array",
+                 "bucket_counts", "count", "total", "min", "max")
+
+    def __init__(self, name: str,
+                 buckets: Optional[Sequence[float]] = None,
+                 description: str = "") -> None:
+        bounds = tuple(float(b) for b in (buckets if buckets is not None
+                                          else default_latency_buckets()))
+        if not bounds:
+            raise ValueError(f"histogram {name} needs at least one bucket")
+        if any(b <= 0 or not math.isfinite(b) for b in bounds):
+            raise ValueError(
+                f"histogram {name} bucket bounds must be positive and finite")
+        if any(b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])):
+            raise ValueError(
+                f"histogram {name} bucket bounds must be strictly increasing")
+        self.name = name
+        self.description = description
+        self.bounds = bounds
+        self._bounds_array = np.asarray(bounds, dtype=np.float64)
+        # one overflow bucket past the last bound (+Inf in Prometheus terms)
+        self.bucket_counts = np.zeros(len(bounds) + 1, dtype=np.int64)
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    # ------------------------------------------------------------------
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.bucket_counts[bisect.bisect_left(self.bounds, value)] += 1
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    def observe_many(self, values) -> None:
+        """Vectorised observation of a whole array of samples."""
+        values = np.asarray(values, dtype=np.float64).ravel()
+        if values.size == 0:
+            return
+        indices = np.searchsorted(self._bounds_array, values, side="left")
+        self.bucket_counts += np.bincount(indices,
+                                          minlength=self.bucket_counts.size)
+        self.count += int(values.size)
+        self.total += float(values.sum())
+        low, high = float(values.min()), float(values.max())
+        if low < self.min:
+            self.min = low
+        if high > self.max:
+            self.max = high
+
+    # ------------------------------------------------------------------
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else math.nan
+
+    def quantile(self, q: float) -> float:
+        """Interpolated quantile from the bucket counts (q in [0, 1])."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if self.count == 0:
+            return math.nan
+        rank = q * self.count
+        cumulative = 0
+        for index, bucket_count in enumerate(self.bucket_counts):
+            if bucket_count == 0:
+                continue
+            if cumulative + bucket_count >= rank:
+                upper = (self.bounds[index] if index < len(self.bounds)
+                         else self.max)
+                lower = self.bounds[index - 1] if index > 0 else self.min
+                lower = min(max(lower, self.min), upper)
+                upper = min(upper, self.max) if self.max >= lower else upper
+                fraction = (rank - cumulative) / bucket_count
+                return lower + fraction * (upper - lower)
+            cumulative += int(bucket_count)
+        return self.max
+
+    @property
+    def p50(self) -> float:
+        return self.quantile(0.50)
+
+    @property
+    def p95(self) -> float:
+        return self.quantile(0.95)
+
+    @property
+    def p99(self) -> float:
+        return self.quantile(0.99)
+
+    def to_dict(self) -> Dict[str, object]:
+        empty = self.count == 0
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": None if empty else self.min,
+            "max": None if empty else self.max,
+            "mean": None if empty else self.mean,
+            "p50": None if empty else self.p50,
+            "p95": None if empty else self.p95,
+            "p99": None if empty else self.p99,
+            "buckets": {f"{bound:g}": int(count) for bound, count in
+                        zip(self.bounds, self.bucket_counts[:-1])},
+            "overflow": int(self.bucket_counts[-1]),
+        }
+
+
+class MetricsRegistry:
+    """Create-or-get namespace for instruments plus the span collector."""
+
+    enabled = True
+
+    def __init__(self, max_spans: int = 100_000) -> None:
+        self._metrics: Dict[str, object] = {}
+        self.spans = SpanCollector(max_spans)
+
+    # ------------------------------------------------------------------
+    def _get_or_create(self, name: str, kind, factory):
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = factory()
+            self._metrics[name] = metric
+        elif not isinstance(metric, kind):
+            raise TypeError(
+                f"metric {name!r} already registered as "
+                f"{type(metric).__name__}, not {kind.__name__}")
+        return metric
+
+    def counter(self, name: str, description: str = "") -> Counter:
+        return self._get_or_create(name, Counter,
+                                   lambda: Counter(name, description))
+
+    def gauge(self, name: str, description: str = "") -> Gauge:
+        return self._get_or_create(name, Gauge,
+                                   lambda: Gauge(name, description))
+
+    def histogram(self, name: str,
+                  buckets: Optional[Sequence[float]] = None,
+                  description: str = "") -> Histogram:
+        return self._get_or_create(
+            name, Histogram, lambda: Histogram(name, buckets, description))
+
+    def observe(self, name: str, value: float,
+                buckets: Optional[Sequence[float]] = None) -> None:
+        self.histogram(name, buckets).observe(value)
+
+    # ------------------------------------------------------------------
+    def span(self, name: str, **attributes) -> Span:
+        """Open a nested, timed span; duration also feeds a histogram."""
+        return self.spans.start(name, attributes, on_close=self._close_span)
+
+    def _close_span(self, record: SpanRecord) -> None:
+        self.histogram(f"span.{record.name}.seconds").observe(
+            record.duration_seconds)
+
+    # ------------------------------------------------------------------
+    def metrics(self) -> Dict[str, object]:
+        return dict(self._metrics)
+
+    def snapshot(self, include_spans: bool = False) -> Dict[str, object]:
+        """A JSON-ready view of every instrument (and optionally all spans)."""
+        counters = {name: metric.value
+                    for name, metric in self._metrics.items()
+                    if isinstance(metric, Counter)}
+        gauges = {name: metric.value
+                  for name, metric in self._metrics.items()
+                  if isinstance(metric, Gauge)}
+        histograms = {name: metric.to_dict()
+                      for name, metric in self._metrics.items()
+                      if isinstance(metric, Histogram)}
+        snapshot: Dict[str, object] = {
+            "enabled": self.enabled,
+            "counters": counters,
+            "gauges": gauges,
+            "histograms": histograms,
+            "spans": {"recorded": len(self.spans),
+                      "dropped": self.spans.dropped},
+        }
+        if include_spans:
+            snapshot["spans"]["records"] = self.spans.to_dicts()
+        return snapshot
+
+    def reset(self) -> None:
+        self._metrics.clear()
+        self.spans.clear()
+
+
+class _NullCounter(Counter):
+    __slots__ = ()
+
+    def inc(self, amount: float = 1.0) -> None:
+        return None
+
+
+class _NullGauge(Gauge):
+    __slots__ = ()
+
+    def set(self, value: float) -> None:
+        return None
+
+    def inc(self, amount: float = 1.0) -> None:
+        return None
+
+    def dec(self, amount: float = 1.0) -> None:
+        return None
+
+    def set_max(self, value: float) -> None:
+        return None
+
+
+class _NullHistogram(Histogram):
+    __slots__ = ()
+
+    def observe(self, value: float) -> None:
+        return None
+
+    def observe_many(self, values) -> None:
+        return None
+
+
+class NullRegistry(MetricsRegistry):
+    """Telemetry off: every instrument is a shared no-op object."""
+
+    enabled = False
+
+    def __init__(self) -> None:
+        super().__init__(max_spans=1)
+        self._counter = _NullCounter("null")
+        self._gauge = _NullGauge("null")
+        self._histogram = _NullHistogram("null")
+
+    def counter(self, name: str, description: str = "") -> Counter:
+        return self._counter
+
+    def gauge(self, name: str, description: str = "") -> Gauge:
+        return self._gauge
+
+    def histogram(self, name: str,
+                  buckets: Optional[Sequence[float]] = None,
+                  description: str = "") -> Histogram:
+        return self._histogram
+
+    def observe(self, name: str, value: float,
+                buckets: Optional[Sequence[float]] = None) -> None:
+        return None
+
+    def span(self, name: str, **attributes):
+        return NULL_SPAN
+
+    def snapshot(self, include_spans: bool = False) -> Dict[str, object]:
+        return {"enabled": False, "counters": {}, "gauges": {},
+                "histograms": {}, "spans": {"recorded": 0, "dropped": 0}}

@@ -1,7 +1,7 @@
 """Shared utilities: seeded RNG management, validation helpers, timing."""
 
 from repro.utils.rng import RngMixin, new_rng, spawn_rngs
-from repro.utils.timing import Timer
+from repro.utils.timing import Timer, time_callable
 from repro.utils.validation import (
     check_positive,
     check_non_negative,
@@ -14,6 +14,7 @@ __all__ = [
     "new_rng",
     "spawn_rngs",
     "Timer",
+    "time_callable",
     "check_positive",
     "check_non_negative",
     "check_in",

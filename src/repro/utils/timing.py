@@ -1,9 +1,24 @@
-"""Wall-clock timing utilities for the profiling harness."""
+"""Wall-clock timing utilities for the profiling harness.
+
+Both entry points feed the telemetry layer: a named :class:`Timer` reports
+its elapsed seconds to a histogram of that name, and
+:func:`time_callable` records every repeat (not just the median it
+returns) into a histogram, so benchmarks accumulate full latency
+distributions (p50/p95/p99) while their return values stay scalar.
+"""
 
 from __future__ import annotations
 
 import time
-from typing import Callable, List
+from typing import Callable, List, Optional
+
+
+def _registry():
+    # Imported lazily: repro.telemetry pulls in numpy-heavy modules and
+    # this module is imported by repro.utils.__init__ (cycle otherwise).
+    from repro.telemetry.runtime import get_registry
+
+    return get_registry()
 
 
 class Timer:
@@ -13,10 +28,14 @@ class Timer:
     ...     _ = sum(range(1000))
     >>> t.elapsed >= 0
     True
+
+    Pass ``metric="profiler.scan_seconds"`` to also record the elapsed
+    time into that telemetry histogram on exit.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, metric: Optional[str] = None) -> None:
         self.elapsed = 0.0
+        self.metric = metric
         self._start = 0.0
 
     def __enter__(self) -> "Timer":
@@ -25,18 +44,32 @@ class Timer:
 
     def __exit__(self, *exc) -> None:
         self.elapsed = time.perf_counter() - self._start
+        if self.metric is not None:
+            _registry().histogram(self.metric).observe(self.elapsed)
 
 
-def time_callable(fn: Callable[[], object], repeats: int = 3, warmup: int = 1) -> float:
-    """Return the median wall-clock seconds of ``fn`` over ``repeats`` runs."""
+def time_callable(fn: Callable[[], object], repeats: int = 3, warmup: int = 1,
+                  metric: Optional[str] = "timing.time_callable_seconds"
+                  ) -> float:
+    """Return the median wall-clock seconds of ``fn`` over ``repeats`` runs.
+
+    Every sample (warmups excluded) is also observed into the ``metric``
+    telemetry histogram, so the full distribution survives even though the
+    return value is the backward-compatible median scalar. Pass
+    ``metric=None`` to skip recording.
+    """
     if repeats < 1:
         raise ValueError(f"repeats must be >= 1, got {repeats}")
     for _ in range(warmup):
         fn()
+    histogram = (_registry().histogram(metric)
+                 if metric is not None else None)
     samples: List[float] = []
     for _ in range(repeats):
         with Timer() as timer:
             fn()
         samples.append(timer.elapsed)
+        if histogram is not None:
+            histogram.observe(timer.elapsed)
     samples.sort()
     return samples[len(samples) // 2]

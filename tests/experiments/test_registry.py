@@ -11,6 +11,7 @@ import pytest
 from repro.experiments.registry import (
     EXPERIMENTS,
     list_experiments,
+    main,
     run_experiment,
 )
 
@@ -30,6 +31,40 @@ class TestRegistry:
     def test_unknown_id(self):
         with pytest.raises(KeyError):
             run_experiment("fig99")
+
+    def test_runs_tagged_in_telemetry(self):
+        from repro.telemetry.runtime import use_registry
+
+        with use_registry() as registry:
+            run_experiment("fig2")
+        snapshot = registry.snapshot()
+        assert snapshot["counters"]["experiments.runs_total"] == 1.0
+        assert snapshot["counters"]["experiments.fig2.runs_total"] == 1.0
+        assert "span.experiment.run.seconds" in snapshot["histograms"]
+
+
+class TestCli:
+    def test_json_dump_bundles_results_and_telemetry(self, tmp_path,
+                                                     capsys):
+        import json
+
+        path = tmp_path / "run.json"
+        assert main(["fig2", "--json", str(path)]) == 0
+        assert "fig2" in capsys.readouterr().out
+        payload = json.loads(path.read_text())
+        (result,) = payload["results"]
+        assert result["experiment_id"] == "fig2"
+        assert result["headers"] and result["rows"]
+        assert payload["counters"]["experiments.fig2.runs_total"] == 1.0
+        assert payload["spans"]["recorded"] >= 1
+
+    def test_cli_does_not_clobber_global_registry(self, tmp_path, capsys):
+        from repro.telemetry.runtime import get_registry
+
+        before = get_registry()
+        main(["fig2", "--json", str(tmp_path / "run.json")])
+        capsys.readouterr()
+        assert get_registry() is before
 
 
 class TestFig2:

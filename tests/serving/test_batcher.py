@@ -63,3 +63,61 @@ class TestDynamicBatcher:
     def test_non_positive_service_raises(self):
         with pytest.raises(ValueError, match="service_time"):
             DynamicBatcher(BatchingPolicy(4)).schedule([0.0], lambda n: 0.0)
+
+
+class TestMaxWaitTimeoutPath:
+    """The deadline-triggered launch path, edge by edge."""
+
+    def test_arrival_exactly_at_deadline_is_admitted(self):
+        # close_time = 0.0 + 1.0; an arrival at exactly 1.0 rides along.
+        batcher = DynamicBatcher(BatchingPolicy(4, 1.0))
+        batches = batcher.schedule([0.0, 1.0], lambda n: 0.1)
+        assert [b.size for b in batches] == [2]
+        assert batches[0].start_seconds == pytest.approx(1.0)
+
+    def test_arrival_just_past_deadline_is_not(self):
+        batcher = DynamicBatcher(BatchingPolicy(4, 1.0))
+        batches = batcher.schedule([0.0, 1.0 + 1e-9], lambda n: 0.1)
+        assert [b.size for b in batches] == [1, 1]
+
+    def test_trace_runs_dry_inside_window(self):
+        # The whole trace fits in the first window without filling the
+        # batch: one partial batch launching at the deadline.
+        batcher = DynamicBatcher(BatchingPolicy(8, 2.0))
+        batches = batcher.schedule([0.0, 0.5, 1.0], lambda n: 0.1)
+        assert [b.size for b in batches] == [3]
+        assert batches[0].start_seconds == pytest.approx(2.0)
+
+    def test_busy_replica_extends_the_window(self):
+        # First batch launches at its t=0.1 deadline and holds the replica
+        # until t=5.1; the second request's t=1.1 deadline has long passed
+        # when the replica frees, so its batch opens at free_at and admits
+        # everything waiting by then.
+        batcher = DynamicBatcher(BatchingPolicy(4, 0.1))
+        batches = batcher.schedule([0.0, 1.0, 4.0], lambda n: 5.0)
+        assert [b.size for b in batches] == [1, 2]
+        assert batches[1].start_seconds == pytest.approx(5.1)
+
+    def test_launch_counters_split_full_vs_timeout(self):
+        from repro.telemetry.runtime import use_registry
+
+        batcher = DynamicBatcher(BatchingPolicy(2, 0.5))
+        # [0, 0] fills (full launch); [10] times out as a singleton.
+        with use_registry() as registry:
+            batcher.schedule([0.0, 0.0, 10.0], lambda n: 0.1)
+        snapshot = registry.snapshot()
+        assert snapshot["counters"]["batcher.batches_total"] == 2.0
+        assert snapshot["counters"]["batcher.full_launches_total"] == 1.0
+        assert snapshot["counters"]["batcher.timeout_launches_total"] == 1.0
+        assert snapshot["histograms"]["batcher.batch_size"]["count"] == 2
+
+    def test_zero_wait_never_reports_full_when_trace_dry(self):
+        from repro.telemetry.runtime import use_registry
+
+        batcher = DynamicBatcher(BatchingPolicy(8, 0.0))
+        with use_registry() as registry:
+            batches = batcher.schedule([0.0, 0.0, 0.0], lambda n: 0.1)
+        assert [b.size for b in batches] == [3]
+        snapshot = registry.snapshot()
+        assert snapshot["counters"]["batcher.full_launches_total"] == 0.0
+        assert snapshot["counters"]["batcher.timeout_launches_total"] == 1.0

@@ -85,6 +85,18 @@ class TestSeedParity:
         report = engine.serve_closed(100, ServingConfig(batch_size=32))
         assert np.all(report.queue_delays == 0.0)
 
+    def test_telemetry_on_or_off_never_perturbs_output(self, engine):
+        from repro.telemetry.runtime import NULL_REGISTRY, use_registry
+
+        config = ServingConfig(batch_size=32, threads=1)
+        with use_registry(NULL_REGISTRY):
+            disabled = engine.serve_closed(100, config)
+        with use_registry() as registry:
+            enabled = engine.serve_closed(100, config)
+        assert np.array_equal(disabled.latencies, enabled.latencies)
+        assert disabled.throughput() == enabled.throughput()
+        assert registry.counter("serving.requests_total").value == 100.0
+
     def test_facade_matches_engine(self, engine, thresholds):
         server = SecureDlrmServer(TERABYTE_SPEC.table_sizes, DIM,
                                   DLRM_DHE_UNIFORM_64, thresholds)

@@ -1,0 +1,91 @@
+"""Exporters: JSON, Prometheus text exposition, console summary."""
+
+import json
+
+from repro.telemetry.export import (
+    sanitize_metric_name,
+    summary_table,
+    to_json,
+    to_prometheus,
+    write_json,
+)
+from repro.telemetry.metrics import MetricsRegistry
+
+
+def build_registry() -> MetricsRegistry:
+    registry = MetricsRegistry()
+    registry.counter("oram.accesses_total", "ORAM accesses").inc(7)
+    registry.gauge("oram.stash_occupancy").set(3)
+    hist = registry.histogram("serving.latency_seconds",
+                              buckets=[0.001, 0.01, 0.1])
+    for value in (0.0005, 0.005, 0.005, 0.5):
+        hist.observe(value)
+    return registry
+
+
+class TestSanitize:
+    def test_dots_flattened(self):
+        assert sanitize_metric_name("oram.accesses_total") == \
+            "oram_accesses_total"
+
+    def test_prefix_and_leading_digit(self):
+        assert sanitize_metric_name("lat", "repro") == "repro_lat"
+        assert sanitize_metric_name("5xx") == "_5xx"
+
+
+class TestJson:
+    def test_round_trip_with_extra(self):
+        payload = json.loads(to_json(build_registry(),
+                                     extra={"run": "fig13"}))
+        assert payload["counters"]["oram.accesses_total"] == 7.0
+        assert payload["run"] == "fig13"
+        assert payload["histograms"]["serving.latency_seconds"]["count"] == 4
+
+    def test_write_json(self, tmp_path):
+        path = tmp_path / "telemetry.json"
+        write_json(build_registry(), str(path), include_spans=True)
+        payload = json.loads(path.read_text())
+        assert payload["gauges"]["oram.stash_occupancy"] == 3.0
+        assert payload["spans"]["records"] == []
+
+
+class TestPrometheus:
+    def test_exposition_format(self):
+        text = to_prometheus(build_registry())
+        lines = text.splitlines()
+        assert "# TYPE repro_oram_accesses_total counter" in lines
+        assert "repro_oram_accesses_total 7" in lines
+        assert "# TYPE repro_oram_stash_occupancy gauge" in lines
+        assert "# TYPE repro_serving_latency_seconds histogram" in lines
+        assert "# HELP repro_oram_accesses_total ORAM accesses" in lines
+
+    def test_histogram_buckets_cumulative(self):
+        text = to_prometheus(build_registry())
+        lines = text.splitlines()
+        assert 'repro_serving_latency_seconds_bucket{le="0.001"} 1' in lines
+        assert 'repro_serving_latency_seconds_bucket{le="0.01"} 3' in lines
+        assert 'repro_serving_latency_seconds_bucket{le="0.1"} 3' in lines
+        assert 'repro_serving_latency_seconds_bucket{le="+Inf"} 4' in lines
+        assert "repro_serving_latency_seconds_count 4" in lines
+
+    def test_empty_registry(self):
+        assert to_prometheus(MetricsRegistry()) == ""
+
+
+class TestSummaryTable:
+    def test_rows_and_span_footer(self):
+        registry = build_registry()
+        with registry.span("work"):
+            pass
+        text = summary_table(registry)
+        assert "== telemetry summary ==" in text
+        assert "oram.accesses_total" in text
+        assert "counter" in text and "gauge" in text and "histogram" in text
+        assert "spans: 1 recorded, 0 dropped" in text
+
+    def test_empty_histogram_renders_dashes(self):
+        registry = MetricsRegistry()
+        registry.histogram("empty")
+        lines = summary_table(registry).splitlines()
+        (row,) = [line for line in lines if line.startswith("empty")]
+        assert "histogram" in row and "0" in row

@@ -1,0 +1,179 @@
+"""Span tracing: nesting, attributes, bounding, and the global runtime."""
+
+import threading
+
+import pytest
+
+from repro.telemetry import runtime
+from repro.telemetry.metrics import MetricsRegistry, NullRegistry
+from repro.telemetry.runtime import (
+    NULL_REGISTRY,
+    disable,
+    enable,
+    get_registry,
+    set_registry,
+    use_registry,
+)
+from repro.telemetry.spans import NULL_SPAN, SpanCollector
+
+
+class TestSpanNesting:
+    def test_parent_child_depth(self):
+        collector = SpanCollector()
+        with collector.start("outer", {}):
+            with collector.start("inner", {}):
+                pass
+        inner, outer = collector.records  # inner closes first
+        assert inner.name == "inner"
+        assert inner.parent_id == outer.span_id
+        assert inner.depth == 1
+        assert outer.parent_id is None
+        assert outer.depth == 0
+        assert collector.children(outer.span_id) == [inner]
+
+    def test_siblings_share_parent(self):
+        collector = SpanCollector()
+        with collector.start("outer", {}):
+            with collector.start("a", {}):
+                pass
+            with collector.start("b", {}):
+                pass
+        a, b = collector.by_name("a")[0], collector.by_name("b")[0]
+        assert a.parent_id == b.parent_id
+        assert a.depth == b.depth == 1
+
+    def test_attributes_and_set_attribute(self):
+        collector = SpanCollector()
+        with collector.start("s", {"k": 1}) as span:
+            span.set_attribute("extra", "v")
+        record = collector.records[0]
+        assert record.attributes == {"k": 1, "extra": "v"}
+
+    def test_exception_still_records_and_unwinds(self):
+        collector = SpanCollector()
+        with pytest.raises(RuntimeError):
+            with collector.start("outer", {}):
+                with collector.start("inner", {}):
+                    raise RuntimeError("boom")
+        assert [r.name for r in collector.records] == ["inner", "outer"]
+        # the stack fully unwound: a new span is a root again
+        with collector.start("fresh", {}):
+            pass
+        assert collector.by_name("fresh")[0].depth == 0
+
+    def test_durations_ordered(self):
+        collector = SpanCollector()
+        with collector.start("outer", {}):
+            with collector.start("inner", {}):
+                pass
+        inner, outer = collector.records
+        assert outer.duration_seconds >= inner.duration_seconds >= 0.0
+
+    def test_threads_get_independent_stacks(self):
+        collector = SpanCollector()
+        done = threading.Event()
+
+        def worker():
+            with collector.start("worker-root", {}):
+                done.wait(timeout=5)
+
+        thread = threading.Thread(target=worker)
+        with collector.start("main-root", {}):
+            thread.start()
+            done.set()
+            thread.join()
+        worker_root = collector.by_name("worker-root")[0]
+        assert worker_root.parent_id is None
+        assert worker_root.depth == 0
+
+
+class TestSpanCollectorBounds:
+    def test_max_spans_validated(self):
+        with pytest.raises(ValueError):
+            SpanCollector(max_spans=0)
+
+    def test_drops_beyond_capacity(self):
+        collector = SpanCollector(max_spans=2)
+        for _ in range(5):
+            with collector.start("s", {}):
+                pass
+        assert len(collector) == 2
+        assert collector.dropped == 3
+
+    def test_clear_resets(self):
+        collector = SpanCollector(max_spans=1)
+        for _ in range(3):
+            with collector.start("s", {}):
+                pass
+        collector.clear()
+        assert len(collector) == 0
+        assert collector.dropped == 0
+
+    def test_duration_totals(self):
+        collector = SpanCollector()
+        for _ in range(3):
+            with collector.start("s", {}):
+                pass
+        count, total = collector.duration_totals()["s"]
+        assert count == 3
+        assert total >= 0.0
+
+    def test_to_dicts_limit(self):
+        collector = SpanCollector()
+        for _ in range(4):
+            with collector.start("s", {}):
+                pass
+        assert len(collector.to_dicts(limit=2)) == 2
+        assert len(collector.to_dicts()) == 4
+
+
+class TestNullSpan:
+    def test_reusable_noop(self):
+        with NULL_SPAN as span:
+            assert span.set_attribute("k", 1) is span
+
+
+class TestRuntime:
+    def test_set_registry_swaps_and_restores(self):
+        registry = MetricsRegistry()
+        previous = set_registry(registry)
+        try:
+            assert get_registry() is registry
+        finally:
+            set_registry(previous)
+        assert get_registry() is previous
+
+    def test_set_registry_type_checked(self):
+        with pytest.raises(TypeError):
+            set_registry(object())
+
+    def test_enable_disable(self):
+        original = get_registry()
+        try:
+            fresh = enable()
+            assert get_registry() is fresh and fresh.enabled
+            assert disable() is fresh
+            assert get_registry() is NULL_REGISTRY
+            assert isinstance(get_registry(), NullRegistry)
+        finally:
+            set_registry(original)
+
+    def test_use_registry_scopes(self):
+        original = get_registry()
+        with use_registry() as scoped:
+            assert get_registry() is scoped
+            assert scoped is not original
+        assert get_registry() is original
+
+    def test_module_proxies_hit_active_registry(self):
+        with use_registry() as scoped:
+            runtime.counter("c").inc()
+            runtime.gauge("g").set(1)
+            runtime.observe("h", 0.2)
+            with runtime.span("s"):
+                pass
+        snapshot = scoped.snapshot()
+        assert snapshot["counters"]["c"] == 1.0
+        assert snapshot["gauges"]["g"] == 1.0
+        assert "h" in snapshot["histograms"]
+        assert snapshot["spans"]["recorded"] == 1

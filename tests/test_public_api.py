@@ -19,6 +19,7 @@ PACKAGES = [
     "repro.serving",
     "repro.experiments",
     "repro.experiments.registry",
+    "repro.telemetry",
     "repro.utils",
 ]
 

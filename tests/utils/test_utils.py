@@ -88,3 +88,38 @@ class TestTiming:
     def test_repeats_validated(self):
         with pytest.raises(ValueError):
             time_callable(lambda: None, repeats=0)
+
+
+class TestTimingTelemetry:
+    def test_named_timer_feeds_histogram(self):
+        from repro.telemetry.runtime import use_registry
+
+        with use_registry() as registry:
+            with Timer(metric="profiler.section_seconds") as timer:
+                pass
+        hist = registry.histogram("profiler.section_seconds")
+        assert hist.count == 1
+        assert hist.total == pytest.approx(timer.elapsed)
+
+    def test_default_timer_records_nothing(self):
+        from repro.telemetry.runtime import use_registry
+
+        with use_registry() as registry:
+            with Timer():
+                pass
+        assert registry.metrics() == {}
+
+    def test_time_callable_records_every_repeat(self):
+        from repro.telemetry.runtime import use_registry
+
+        with use_registry() as registry:
+            time_callable(lambda: None, repeats=5, warmup=2)
+        hist = registry.histogram("timing.time_callable_seconds")
+        assert hist.count == 5  # warmups excluded
+
+    def test_time_callable_metric_none_skips_recording(self):
+        from repro.telemetry.runtime import use_registry
+
+        with use_registry() as registry:
+            time_callable(lambda: None, repeats=3, warmup=0, metric=None)
+        assert registry.metrics() == {}
