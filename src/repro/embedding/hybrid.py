@@ -72,6 +72,23 @@ class HybridEmbedding(EmbeddingGenerator):
                                              self.embedding_dim, weight=weight)
         return self._scan
 
+    def degrade(self, cause: str = "fault") -> "HybridEmbedding":
+        """Step down to the scan representation under fault pressure.
+
+        Both representations are oblivious, so degradation trades latency
+        for robustness without reopening the access-pattern channel — the
+        hybrid has no raw-lookup mode to fall into. Recorded under
+        ``resilience.degradations_total`` like every ladder transition.
+        """
+        if self._active == TECHNIQUE_SCAN:
+            return self
+        self.select(TECHNIQUE_SCAN)
+        registry = get_registry()
+        registry.counter("resilience.degradations_total").inc()
+        registry.counter(
+            f"embedding.hybrid.degraded_{cause}_total").inc()
+        return self
+
     def refresh_table(self) -> None:
         """Re-materialise the scan table after the DHE was (re)trained."""
         if self._scan is not None:

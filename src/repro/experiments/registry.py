@@ -5,6 +5,7 @@ from __future__ import annotations
 from typing import Callable, Dict, List
 
 from repro.experiments import (
+    chaos_harness,
     fig02_taxonomy,
     fig03_attack,
     fig04_dlrm_latency,
@@ -51,6 +52,7 @@ EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
     "table7": table07_e2e_latency.run,
     "table8": table08_meta.run,
     "llm-footprint": llm_footprint.run,
+    "chaos": chaos_harness.run,
 }
 
 

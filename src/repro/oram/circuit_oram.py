@@ -16,7 +16,6 @@ from typing import List, Optional
 import numpy as np
 
 from repro.oram.controller import OramController, UpdateFn
-from repro.oram.stash import StashOverflowError
 from repro.oram.tree import DUMMY
 
 _NONE = -10**9  # sentinel for "no level" in the eviction metadata passes
@@ -54,18 +53,35 @@ class CircuitORAM(OramController):
 
         # Two deterministic evictions per access (reverse-lexicographic).
         for _ in range(2):
-            leaf = bit_reverse(self._eviction_counter % self.tree.num_leaves
-                               if self.tree.num_leaves > 1 else 0,
-                               self.tree.levels)
-            self._eviction_counter += 1
-            self._evict_once(leaf)
-            self.stats.eviction_passes += 1
+            self._deterministic_evict_pass()
 
-        if self.stash.occupancy > self.persistent_stash_capacity:
-            raise StashOverflowError(
-                f"stash occupancy {self.stash.occupancy} exceeds the configured "
-                f"bound {self.persistent_stash_capacity}")
+        self._check_stash_bound()
         return result
+
+    def _next_eviction_leaf(self) -> int:
+        """Advance the deterministic reverse-lexicographic eviction order."""
+        leaf = bit_reverse(self._eviction_counter % self.tree.num_leaves
+                           if self.tree.num_leaves > 1 else 0,
+                           self.tree.levels)
+        self._eviction_counter += 1
+        return leaf
+
+    def _deterministic_evict_pass(self) -> None:
+        """One reverse-lexicographic eviction pass (the per-access schedule)."""
+        self._evict_once(self._next_eviction_leaf())
+        self.stats.eviction_passes += 1
+
+    def _background_evict_pass(self, leaf: int) -> None:
+        """Request-free stash drain: continue the reverse-lex schedule.
+
+        Circuit ORAM's eviction is metadata-driven and moves at most one
+        block per level, so recovery from stash pressure simply runs extra
+        passes of the same deterministic schedule (``leaf`` is ignored —
+        the schedule, not randomness, picks the path; the base class does
+        the ``eviction_passes`` accounting).
+        """
+        del leaf
+        self._evict_once(self._next_eviction_leaf())
 
     def _read_and_remove(self, block_id: int, old_leaf: int) -> np.ndarray:
         """Sweep the read path once, extracting the requested block.

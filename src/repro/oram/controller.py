@@ -15,7 +15,7 @@ import numpy as np
 
 from repro.oblivious.trace import MemoryTracer
 from repro.oram.position_map import FlatPositionMap, OramPositionMap, PositionMap
-from repro.oram.stash import Stash
+from repro.oram.stash import Stash, StashOverflowError
 from repro.oram.tree import BucketTree
 from repro.telemetry.runtime import get_registry
 from repro.utils.rng import SeedLike, new_rng
@@ -32,6 +32,7 @@ class AccessStats:
     bucket_reads: int = 0
     bucket_writes: int = 0
     eviction_passes: int = 0
+    stash_overflows: int = 0
     revealed_leaves: list = field(default_factory=list)
 
     def blocks_touched(self, bucket_size: int) -> int:
@@ -42,6 +43,7 @@ class AccessStats:
         self.bucket_reads = 0
         self.bucket_writes = 0
         self.eviction_passes = 0
+        self.stash_overflows = 0
         self.revealed_leaves.clear()
 
 
@@ -79,6 +81,10 @@ class OramController:
         self.rng = new_rng(rng)
         self.tracer = tracer
         self.stats = AccessStats()
+        #: optional hook fired (with this controller) just before a
+        #: StashOverflowError propagates — the resilience layer's overflow
+        #: signal for triggering background eviction / degradation.
+        self.overflow_callback: Optional[Callable[["OramController"], None]] = None
         self.recursion_cutoff = (recursion_cutoff if recursion_cutoff is not None
                                  else self.DEFAULT_RECURSION_CUTOFF)
         self._recursion_level = _recursion_level
@@ -161,23 +167,29 @@ class OramController:
         reads_before = self.stats.bucket_reads
         writes_before = self.stats.bucket_writes
         evictions_before = self.stats.eviction_passes
-        with registry.span("oram.access", scheme=type(self).__name__,
-                           level=self._recursion_level):
-            new_leaf = int(self.rng.integers(0, self.tree.num_leaves))
-            old_leaf = self.position_map.lookup_and_update(block_id, new_leaf)
-            self.stats.accesses += 1
-            self.stats.revealed_leaves.append(old_leaf)
-            result = self._access_impl(block_id, old_leaf, new_leaf, update_fn)
-        registry.counter("oram.accesses_total").inc()
-        registry.counter("oram.bucket_reads_total").inc(
-            self.stats.bucket_reads - reads_before)
-        registry.counter("oram.bucket_writes_total").inc(
-            self.stats.bucket_writes - writes_before)
-        registry.counter("oram.eviction_passes_total").inc(
-            self.stats.eviction_passes - evictions_before)
-        registry.gauge("oram.stash_occupancy").set(self.stash.occupancy)
-        registry.gauge("oram.stash_peak_occupancy").set_max(
-            self.stash.peak_occupancy)
+        try:
+            with registry.span("oram.access", scheme=type(self).__name__,
+                               level=self._recursion_level):
+                new_leaf = int(self.rng.integers(0, self.tree.num_leaves))
+                old_leaf = self.position_map.lookup_and_update(block_id, new_leaf)
+                self.stats.accesses += 1
+                self.stats.revealed_leaves.append(old_leaf)
+                result = self._access_impl(block_id, old_leaf, new_leaf,
+                                           update_fn)
+        finally:
+            # Flush work counters and stash gauges even when the access
+            # raises (e.g. StashOverflowError) so monitoring sees the state
+            # that caused the failure, not the state before it.
+            registry.counter("oram.accesses_total").inc()
+            registry.counter("oram.bucket_reads_total").inc(
+                self.stats.bucket_reads - reads_before)
+            registry.counter("oram.bucket_writes_total").inc(
+                self.stats.bucket_writes - writes_before)
+            registry.counter("oram.eviction_passes_total").inc(
+                self.stats.eviction_passes - evictions_before)
+            registry.gauge("oram.stash_occupancy").set(self.stash.occupancy)
+            registry.gauge("oram.stash_peak_occupancy").set_max(
+                self.stash.peak_occupancy)
         return result
 
     def read(self, block_id: int) -> np.ndarray:
@@ -189,6 +201,56 @@ class OramController:
             raise ValueError(
                 f"payload shape {payload.shape} != ({self.block_width},)")
         self.access(block_id, lambda _old: payload)
+
+    # ------------------------------------------------------------------
+    # Stash-pressure handling: the overflow signal and background eviction
+    # ------------------------------------------------------------------
+    def _check_stash_bound(self) -> None:
+        """Enforce the persistent stash bound; raise with the signal fired.
+
+        The bound counts blocks resident *between* accesses. On violation
+        the overflow is counted (``stats.stash_overflows`` and the
+        ``oram.stash_overflows_total`` telemetry counter), the optional
+        ``overflow_callback`` runs, and StashOverflowError propagates — the
+        caller decides between :meth:`background_evict` recovery and
+        degradation.
+        """
+        occupancy = self.stash.occupancy
+        if occupancy <= self.persistent_stash_capacity:
+            return
+        self.stats.stash_overflows += 1
+        get_registry().counter("oram.stash_overflows_total").inc()
+        if self.overflow_callback is not None:
+            self.overflow_callback(self)
+        raise StashOverflowError(
+            f"stash occupancy {occupancy} exceeds the configured "
+            f"bound {self.persistent_stash_capacity}")
+
+    def background_evict(self, passes: int = 1) -> int:
+        """Drain stash pressure without serving a request (LAORAM-style).
+
+        Runs ``passes`` eviction passes along random paths. The paths are
+        drawn from the controller's own RNG — independent of any block
+        identity — so background eviction is as access-pattern-oblivious as
+        a regular access. Returns the stash occupancy afterwards.
+        """
+        check_positive("passes", passes)
+        registry = get_registry()
+        with registry.span("oram.background_evict", passes=passes,
+                           scheme=type(self).__name__):
+            for _ in range(passes):
+                leaf = int(self.rng.integers(0, self.tree.num_leaves))
+                self._background_evict_pass(leaf)
+                self.stats.eviction_passes += 1
+        registry.counter("oram.background_evictions_total").inc(passes)
+        registry.gauge("oram.stash_occupancy").set(self.stash.occupancy)
+        registry.gauge("oram.stash_peak_occupancy").set_max(
+            self.stash.peak_occupancy)
+        return self.stash.occupancy
+
+    def _background_evict_pass(self, leaf: int) -> None:
+        """One request-free eviction pass along the path to ``leaf``."""
+        raise NotImplementedError
 
     # ------------------------------------------------------------------
     # Subclass hook

@@ -8,13 +8,12 @@ assigned leaves allow.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Sequence
 
 import numpy as np
 
 from repro.oblivious.trace import WRITE
 from repro.oram.controller import OramController, UpdateFn
-from repro.oram.stash import StashOverflowError
 from repro.oram.tree import DUMMY
 
 
@@ -28,8 +27,34 @@ class PathORAM(OramController):
                      update_fn: Optional[UpdateFn]) -> np.ndarray:
         path = self.tree.path_indices(old_leaf)
 
-        # 1. Fetch the entire path into the stash. Every slot is processed
-        #    (dummies included) so stash traffic is slot-count constant.
+        # 1. Fetch the entire path into the stash.
+        self._fetch_path_into_stash(path)
+
+        # 2. The requested block must now be in the stash.
+        found = self.stash.remove(block_id)
+        if found is None:
+            raise KeyError(f"block {block_id} not found — ORAM invariant broken")
+        _, payload = found
+        result = payload.copy()
+        if update_fn is not None:
+            payload = np.asarray(update_fn(payload), dtype=np.float64)
+        self.stash.add(block_id, new_leaf, payload)
+
+        # 3. Write the path back greedily.
+        self._writeback_path(path, old_leaf)
+
+        self._check_stash_bound()
+        return result
+
+    # ------------------------------------------------------------------
+    # Path fetch / writeback (shared by access and background eviction)
+    # ------------------------------------------------------------------
+    def _fetch_path_into_stash(self, path: Sequence[int]) -> None:
+        """Pull every block on ``path`` into the stash, emptying the buckets.
+
+        Every slot is processed (dummies included) so stash traffic is
+        slot-count constant.
+        """
         for bucket in path:
             ids, leaves, payloads = self.tree.read_bucket(bucket)
             self.stats.bucket_reads += 1
@@ -48,22 +73,14 @@ class PathORAM(OramController):
                 np.zeros((self.bucket_size, self.block_width)))
             self.stats.bucket_writes += 1
 
-        # 2. The requested block must now be in the stash.
-        found = self.stash.remove(block_id)
-        if found is None:
-            raise KeyError(f"block {block_id} not found — ORAM invariant broken")
-        _, payload = found
-        result = payload.copy()
-        if update_fn is not None:
-            payload = np.asarray(update_fn(payload), dtype=np.float64)
-        self.stash.add(block_id, new_leaf, payload)
-
-        # 3. Write the path back, deepest bucket first, greedily draining
-        #    the stash of blocks whose assigned path intersects here.
+    def _writeback_path(self, path: Sequence[int], anchor_leaf: int) -> None:
+        """Write ``path`` back, deepest bucket first, greedily draining the
+        stash of blocks whose assigned path intersects each level."""
         for depth in range(self.tree.levels, -1, -1):
             bucket = path[depth]
             eligible = self.stash.evict_matching(
-                lambda leaf, d=depth: self.tree.common_depth(leaf, old_leaf) >= d)
+                lambda leaf, d=depth:
+                self.tree.common_depth(leaf, anchor_leaf) >= d)
             chosen = eligible[: self.bucket_size]
             for extra in eligible[self.bucket_size:]:
                 self.stash.add(*extra)  # return overflow to the stash
@@ -77,8 +94,16 @@ class PathORAM(OramController):
             self.tree.write_bucket(bucket, ids, leaves, payloads)
             self.stats.bucket_writes += 1
 
-        if self.stash.occupancy > self.persistent_stash_capacity:
-            raise StashOverflowError(
-                f"stash occupancy {self.stash.occupancy} exceeds the configured "
-                f"bound {self.persistent_stash_capacity}")
-        return result
+    # ------------------------------------------------------------------
+    # Background eviction (stash-pressure recovery)
+    # ------------------------------------------------------------------
+    def _background_evict_pass(self, leaf: int) -> None:
+        """Fetch + greedily write back one random path, no block served.
+
+        The same fetch/writeback discipline as an access, minus the block
+        removal and remap: stash blocks whose paths intersect the eviction
+        path sink back into the tree, relieving stash pressure.
+        """
+        path = self.tree.path_indices(leaf)
+        self._fetch_path_into_stash(path)
+        self._writeback_path(path, leaf)

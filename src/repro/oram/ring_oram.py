@@ -24,7 +24,6 @@ import numpy as np
 
 from repro.oram.circuit_oram import bit_reverse
 from repro.oram.controller import OramController, UpdateFn
-from repro.oram.stash import StashOverflowError
 from repro.oram.tree import DUMMY
 from repro.utils.validation import check_positive
 
@@ -115,11 +114,21 @@ class RingORAM(OramController):
         for bucket in np.nonzero(self._touches >= self.bucket_dummies)[0]:
             self._reshuffle_bucket(int(bucket))
 
-        if self.stash.occupancy > self.persistent_stash_capacity:
-            raise StashOverflowError(
-                f"stash occupancy {self.stash.occupancy} exceeds the "
-                f"configured bound {self.persistent_stash_capacity}")
+        self._check_stash_bound()
         return result
+
+    def _background_evict_pass(self, leaf: int) -> None:
+        """Request-free stash drain: continue the reverse-lex evict order.
+
+        ``leaf`` is ignored — Ring ORAM's eviction path comes from its own
+        deterministic schedule, not the caller.
+        """
+        del leaf
+        evict_leaf = bit_reverse(
+            self._evict_counter % self.tree.num_leaves
+            if self.tree.num_leaves > 1 else 0, self.tree.levels)
+        self._evict_counter += 1
+        self._evict_path(evict_leaf)
 
     def _read_path(self, block_id: int, leaf: int) -> np.ndarray:
         """One payload-slot touch per bucket along the path."""

@@ -1,0 +1,108 @@
+"""A per-replica circuit breaker (closed → open → half-open → closed).
+
+Guards each replica in the fleet: consecutive failures trip the breaker
+OPEN (the replica is evicted from dispatch), a cooldown later it admits a
+HALF_OPEN probe, and enough probe successes readmit it CLOSED. Time is the
+simulation clock (seconds), passed explicitly — the breaker never reads a
+wall clock, so chaos runs stay deterministic.
+
+The fleet-wide worst state is exported as the ``breaker.state`` gauge
+(0 = closed, 1 = half-open, 2 = open) by the dispatch layer.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.utils.validation import check_positive, check_positive_finite
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half-open"
+
+#: numeric encoding for the ``breaker.state`` gauge
+STATE_VALUES = {CLOSED: 0.0, HALF_OPEN: 1.0, OPEN: 2.0}
+
+
+@dataclass(frozen=True)
+class BreakerConfig:
+    """Tunables of one circuit breaker."""
+
+    failure_threshold: int = 3      # consecutive failures that trip OPEN
+    cooldown_seconds: float = 0.050  # OPEN dwell before a half-open probe
+    probe_successes: int = 2        # half-open successes that re-close
+
+    def __post_init__(self) -> None:
+        check_positive("failure_threshold", self.failure_threshold)
+        check_positive_finite("cooldown_seconds", self.cooldown_seconds)
+        check_positive("probe_successes", self.probe_successes)
+
+
+class CircuitBreaker:
+    """State machine guarding one replica."""
+
+    def __init__(self, config: BreakerConfig = BreakerConfig()) -> None:
+        self.config = config
+        self._state = CLOSED
+        self._consecutive_failures = 0
+        self._probe_streak = 0
+        self._opened_at = -math.inf
+        self.trips = 0          # lifetime CLOSED/HALF_OPEN -> OPEN count
+        self.readmissions = 0   # lifetime HALF_OPEN -> CLOSED count
+
+    # ------------------------------------------------------------------
+    def state(self, now_seconds: float) -> str:
+        """Current state, resolving the OPEN→HALF_OPEN cooldown lazily."""
+        if self._state == OPEN and (now_seconds - self._opened_at
+                                    >= self.config.cooldown_seconds):
+            return HALF_OPEN
+        return self._state
+
+    def state_value(self, now_seconds: float) -> float:
+        return STATE_VALUES[self.state(now_seconds)]
+
+    def allows(self, now_seconds: float) -> bool:
+        """May a request be dispatched to this replica right now?"""
+        return self.state(now_seconds) != OPEN
+
+    def retry_at(self) -> float:
+        """Earliest time an OPEN breaker will admit a probe."""
+        if self._state != OPEN:
+            return -math.inf
+        return self._opened_at + self.config.cooldown_seconds
+
+    # ------------------------------------------------------------------
+    def record_success(self, now_seconds: float) -> None:
+        state = self.state(now_seconds)
+        if state == HALF_OPEN:
+            self._probe_streak += 1
+            if self._probe_streak >= self.config.probe_successes:
+                self._state = CLOSED
+                self._probe_streak = 0
+                self._consecutive_failures = 0
+                self.readmissions += 1
+            else:
+                # Remain half-open (probing) without re-tripping cooldown.
+                self._state = OPEN
+                self._opened_at = now_seconds - self.config.cooldown_seconds
+        else:
+            self._state = CLOSED
+            self._consecutive_failures = 0
+
+    def record_failure(self, now_seconds: float) -> None:
+        state = self.state(now_seconds)
+        if state == HALF_OPEN:
+            # Failed probe: back to a fresh OPEN window.
+            self._trip(now_seconds)
+            return
+        self._consecutive_failures += 1
+        if self._consecutive_failures >= self.config.failure_threshold:
+            self._trip(now_seconds)
+
+    def _trip(self, now_seconds: float) -> None:
+        self._state = OPEN
+        self._opened_at = now_seconds
+        self._consecutive_failures = 0
+        self._probe_streak = 0
+        self.trips += 1

@@ -1,0 +1,210 @@
+"""The chaos harness: the Fig 13 serving sweep replayed under faults.
+
+Runs the paper's Terabyte serving configuration through the resilient
+execution path under escalating fault scenarios — a fault-free baseline, a
+crash/spike/transient storm, and an ORAM stash-pressure scenario that
+drives the obliviousness-preserving degradation ladder — and reports
+availability, p99 inflation over the baseline, SLA violations, and every
+degradation transition with its leakage-audit verdict.
+
+Everything is derived from one seed: the fault schedule, the Poisson
+arrival trace, and therefore the whole report. The emitted JSON contains
+only simulated quantities (latencies in simulated seconds, event counts,
+deterministic counters — never wall-clock spans), so two runs with the
+same seed produce byte-identical artifacts; CI pins that.
+
+CLI::
+
+    python -m repro.resilience.chaos --seed 7 --json chaos.json
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional
+
+from repro.costmodel import DLRM_DHE_UNIFORM_16, DLRM_DHE_UNIFORM_64
+from repro.data import TERABYTE_SPEC, DlrmDatasetSpec
+from repro.resilience.degradation import DegradationLadder
+from repro.resilience.faults import (
+    FaultInjector,
+    LatencySpikeFault,
+    ReplicaCrashFault,
+    StashPressureFault,
+    TransientErrorFault,
+)
+from repro.resilience.policy import ResiliencePolicy
+from repro.resilience.report import ResilientServingReport
+from repro.resilience.retry import RetryPolicy
+from repro.serving import ExecutionEngine, ServingConfig
+from repro.serving.batcher import BatchingPolicy
+
+#: the chaos gates CI enforces
+AVAILABILITY_FLOOR = 0.99
+
+SLA_SECONDS = 0.020
+NUM_REQUESTS = 512
+RATE_RPS = 2000.0
+BATCH = 32
+
+
+def _build_engine(spec: DlrmDatasetSpec, batch: int,
+                  resilience: Optional[ResiliencePolicy]) -> ExecutionEngine:
+    from repro.hybrid import OfflineProfiler, build_threshold_database
+
+    dim = spec.embedding_dim
+    uniform = DLRM_DHE_UNIFORM_16 if dim == 16 else DLRM_DHE_UNIFORM_64
+    profiler = OfflineProfiler(uniform)
+    profile = profiler.profile(techniques=("scan", "dhe-varied"),
+                               dims=(dim,), batches=(batch,),
+                               threads_list=(1,))
+    thresholds = build_threshold_database(
+        profile, dhe_technique="dhe-varied", dims=(dim,), batches=(batch,),
+        threads_list=(1,))
+    return ExecutionEngine(spec.table_sizes, dim, uniform, thresholds,
+                           varied=True, resilience=resilience)
+
+
+def _scenarios(seed: int, spec: DlrmDatasetSpec
+               ) -> List[Dict[str, object]]:
+    """The escalating fault scenarios, all keyed off one seed."""
+    return [
+        {
+            "name": "baseline",
+            "injector": FaultInjector(seed=seed),
+            "ladder": None,
+        },
+        {
+            "name": "crash-spike-transient",
+            "injector": FaultInjector(
+                seed=seed,
+                crash=ReplicaCrashFault(probability=0.05,
+                                        downtime_seconds=0.040),
+                spike=LatencySpikeFault(probability=0.15, multiplier=4.0),
+                transient=TransientErrorFault(probability=0.15)),
+            "ladder": None,
+        },
+        {
+            "name": "stash-pressure",
+            "injector": FaultInjector(
+                seed=seed,
+                transient=TransientErrorFault(probability=0.02),
+                stash=StashPressureFault(probability=0.60,
+                                         capacity_fraction=0.25)),
+            "ladder": DegradationLadder(table_size=max(spec.table_sizes),
+                                        trigger_after=2,
+                                        audit_seed=seed),
+        },
+    ]
+
+
+def run_chaos(seed: int = 0, spec: DlrmDatasetSpec = TERABYTE_SPEC,
+              num_requests: int = NUM_REQUESTS, rate_rps: float = RATE_RPS,
+              batch: int = BATCH,
+              sla_seconds: float = SLA_SECONDS) -> Dict[str, object]:
+    """Run every scenario; return the JSON-stable chaos report."""
+    config = ServingConfig(batch_size=batch, threads=1,
+                           sla_seconds=sla_seconds)
+    policy = BatchingPolicy(max_batch_size=batch, max_wait_seconds=0.002)
+
+    # Fault-free reference run for p99 inflation.
+    reference = _build_engine(spec, batch, None)
+    baseline_report = reference.serve_poisson(num_requests, rate_rps,
+                                              config, policy=policy,
+                                              rng=seed)
+
+    scenario_digests: List[Dict[str, object]] = []
+    all_available = True
+    all_audits_passed = True
+    for scenario in _scenarios(seed, spec):
+        injector: FaultInjector = scenario["injector"]
+        resilience = ResiliencePolicy(
+            injector=injector,
+            retry=RetryPolicy(deadline_seconds=0.500),
+            num_replicas=3, min_replicas=1,
+            ladder=scenario["ladder"])
+        engine = _build_engine(spec, batch, resilience)
+        report = engine.serve_poisson(num_requests, rate_rps, config,
+                                      policy=policy, rng=seed)
+        assert isinstance(report, ResilientServingReport)
+        digest = report.to_dict(sla_seconds=sla_seconds)
+        digest["name"] = scenario["name"]
+        digest["p99_inflation"] = report.p99_inflation(baseline_report)
+        digest["fault_schedule"] = injector.schedule(
+            max(1, report.num_batches), resilience.num_replicas,
+            attempts=resilience.retry.max_attempts)
+        scenario_digests.append(digest)
+        if report.availability < AVAILABILITY_FLOOR:
+            all_available = False
+        if any(not event.audit_passed
+               for event in report.degradation_events):
+            all_audits_passed = False
+
+    return {
+        "seed": seed,
+        "spec": spec.name,
+        "num_requests": num_requests,
+        "rate_rps": rate_rps,
+        "batch_size": batch,
+        "sla_seconds": sla_seconds,
+        "availability_floor": AVAILABILITY_FLOOR,
+        "baseline_p99_seconds": baseline_report.p99,
+        "scenarios": scenario_digests,
+        "gates": {
+            "availability": all_available,
+            "degradation_audits": all_audits_passed,
+            "passed": all_available and all_audits_passed,
+        },
+    }
+
+
+def render(report: Dict[str, object]) -> str:
+    """Human-readable chaos summary."""
+    lines = [f"chaos run (seed={report['seed']}, spec={report['spec']}, "
+             f"{report['num_requests']} requests @ "
+             f"{report['rate_rps']:.0f} rps)"]
+    for scenario in report["scenarios"]:
+        lines.append(
+            f"  {scenario['name']:<24} availability="
+            f"{scenario['availability']:.4f}  p99="
+            f"{scenario['p99_seconds'] * 1e3:.3f} ms "
+            f"({scenario['p99_inflation']:.2f}x)  "
+            f"sla_violations={scenario['sla_violations']}  "
+            f"retries={scenario['retries_total']}  "
+            f"shed={scenario['shed_requests']}  "
+            f"degradations={len(scenario['degradations'])}")
+        for event in scenario["degradations"]:
+            verdict = "ok" if event["audit_passed"] else "LEAKY"
+            lines.append(f"    degraded {event['from']} -> {event['to']} "
+                         f"(batch {event['batch_index']}, "
+                         f"{event['cause']}): audit {verdict}")
+    gates = report["gates"]
+    lines.append(f"  gates: availability={'PASS' if gates['availability'] else 'FAIL'} "
+                 f"degradation_audits={'PASS' if gates['degradation_audits'] else 'FAIL'}")
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        description="Replay the serving sweep under injected faults.")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--requests", type=int, default=NUM_REQUESTS)
+    parser.add_argument("--rate", type=float, default=RATE_RPS)
+    parser.add_argument("--json", metavar="PATH",
+                        help="write the deterministic chaos report")
+    args = parser.parse_args(argv)
+
+    report = run_chaos(seed=args.seed, num_requests=args.requests,
+                       rate_rps=args.rate)
+    print(render(report))
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    return 0 if report["gates"]["passed"] else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,271 @@
+"""Deterministic, seedable fault injection for the serving stack.
+
+A production fleet fails in a handful of canonical ways — a replica
+crashes and stays down for a window, a batch sees a latency spike, a
+backend call errors transiently, an ORAM controller comes under stash
+pressure. :class:`FaultInjector` models all four behind one seed.
+
+Every decision is a **pure function of (seed, fault kind, event
+coordinates)**: the injector derives a fresh counter-free generator per
+decision from those integers, so the fault schedule is independent of call
+order, identical across replays of the same seed, and enumerable up front
+(:meth:`FaultInjector.schedule`) — which is exactly what the chaos
+harness's determinism gate asserts.
+
+The injector hooks the two seams the paper's serving stack exposes:
+
+* the :class:`~repro.serving.backends.ExecutionBackend` protocol, via
+  :class:`FaultInjectingBackend` (latency multiplied, or
+  :class:`TransientBackendError` raised);
+* the ORAM controller, via :meth:`FaultInjector.stash_pressure` (the
+  persistent stash bound temporarily tightened, forcing the overflow
+  signal and the recovery/degradation machinery to engage).
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional
+
+import numpy as np
+
+from repro.utils.validation import check_positive, check_probability
+
+#: stable integer ids mixed into the per-decision seed material
+_KIND_IDS = {
+    "crash": 1,
+    "spike": 2,
+    "transient": 3,
+    "stash": 4,
+    "jitter": 5,
+}
+
+
+class TransientBackendError(RuntimeError):
+    """An injected, retryable backend failure (the fault model's 5xx)."""
+
+
+@dataclass(frozen=True)
+class ReplicaCrashFault:
+    """A replica goes down mid-batch and stays down for a window."""
+
+    probability: float = 0.0        # per (replica, batch, attempt)
+    downtime_seconds: float = 0.050
+
+    def __post_init__(self) -> None:
+        check_probability("probability", self.probability)
+        check_positive("downtime_seconds", self.downtime_seconds)
+
+
+@dataclass(frozen=True)
+class LatencySpikeFault:
+    """A batch execution runs ``multiplier`` times slower than priced."""
+
+    probability: float = 0.0        # per (replica, batch, attempt)
+    multiplier: float = 4.0
+
+    def __post_init__(self) -> None:
+        check_probability("probability", self.probability)
+        if not self.multiplier >= 1.0:
+            raise ValueError(
+                f"multiplier must be >= 1, got {self.multiplier!r}")
+
+
+@dataclass(frozen=True)
+class TransientErrorFault:
+    """A backend call fails retryably (no state lost, no downtime)."""
+
+    probability: float = 0.0        # per (replica, batch, attempt)
+
+    def __post_init__(self) -> None:
+        check_probability("probability", self.probability)
+
+
+@dataclass(frozen=True)
+class StashPressureFault:
+    """ORAM stash pressure: the persistent bound temporarily tightens."""
+
+    probability: float = 0.0        # per pressure-window event
+    capacity_fraction: float = 0.25  # fraction of the bound that survives
+
+    def __post_init__(self) -> None:
+        check_probability("probability", self.probability)
+        if not 0.0 < self.capacity_fraction <= 1.0:
+            raise ValueError(f"capacity_fraction must be in (0, 1], got "
+                             f"{self.capacity_fraction!r}")
+
+
+class FaultInjector:
+    """All fault decisions for one chaos run, derived from one seed.
+
+    ``None`` for a fault model means that fault never fires; an injector
+    with all models ``None`` is inert (``enabled`` is False) and the
+    serving path treats it exactly like no injector at all.
+    """
+
+    def __init__(self, seed: int = 0,
+                 crash: Optional[ReplicaCrashFault] = None,
+                 spike: Optional[LatencySpikeFault] = None,
+                 transient: Optional[TransientErrorFault] = None,
+                 stash: Optional[StashPressureFault] = None) -> None:
+        self.seed = int(seed)
+        self.crash = crash
+        self.spike = spike
+        self.transient = transient
+        self.stash = stash
+
+    # ------------------------------------------------------------------
+    @property
+    def enabled(self) -> bool:
+        """True when any fault model can actually fire."""
+        return any(model is not None and model.probability > 0.0
+                   for model in (self.crash, self.spike, self.transient,
+                                 self.stash))
+
+    def _draw(self, kind: str, *coords: int) -> float:
+        """Uniform [0, 1) draw keyed purely by (seed, kind, coords)."""
+        material = [self.seed, _KIND_IDS[kind]]
+        material.extend(int(c) for c in coords)
+        return float(np.random.default_rng(material).random())
+
+    # ------------------------------------------------------------------
+    # Decision points (replica, batch, attempt are event coordinates)
+    # ------------------------------------------------------------------
+    def crashes(self, replica: int, batch: int, attempt: int) -> bool:
+        if self.crash is None or self.crash.probability == 0.0:
+            return False
+        return self._draw("crash", replica, batch,
+                          attempt) < self.crash.probability
+
+    def spike_multiplier(self, replica: int, batch: int,
+                         attempt: int) -> float:
+        """Service-time multiplier for this attempt (1.0 = no spike)."""
+        if self.spike is None or self.spike.probability == 0.0:
+            return 1.0
+        if self._draw("spike", replica, batch,
+                      attempt) < self.spike.probability:
+            return self.spike.multiplier
+        return 1.0
+
+    def transient_error(self, replica: int, batch: int,
+                        attempt: int) -> bool:
+        if self.transient is None or self.transient.probability == 0.0:
+            return False
+        return self._draw("transient", replica, batch,
+                          attempt) < self.transient.probability
+
+    def stash_pressured(self, event: int) -> bool:
+        """Does pressure-window ``event`` come under stash pressure?"""
+        if self.stash is None or self.stash.probability == 0.0:
+            return False
+        return self._draw("stash", event) < self.stash.probability
+
+    def jitter(self, batch: int, attempt: int) -> float:
+        """Deterministic uniform [0, 1) draw for retry-backoff jitter."""
+        return self._draw("jitter", batch, attempt)
+
+    # ------------------------------------------------------------------
+    # The enumerable schedule (determinism gate + report artifact)
+    # ------------------------------------------------------------------
+    def schedule(self, num_batches: int, num_replicas: int,
+                 attempts: int = 1) -> Dict[str, List[List[int]]]:
+        """Every fault that would fire over a (batch, replica, attempt) grid.
+
+        Returned as sorted coordinate lists per fault kind — a compact,
+        JSON-stable digest of the whole fault plan. Identical seeds yield
+        identical schedules; that is the contract the chaos harness pins.
+        """
+        check_positive("num_batches", num_batches)
+        check_positive("num_replicas", num_replicas)
+        check_positive("attempts", attempts)
+        crashes: List[List[int]] = []
+        spikes: List[List[int]] = []
+        transients: List[List[int]] = []
+        pressured: List[List[int]] = []
+        for batch in range(num_batches):
+            if self.stash_pressured(batch):
+                pressured.append([batch])
+            for replica in range(num_replicas):
+                for attempt in range(attempts):
+                    coords = [batch, replica, attempt]
+                    if self.crashes(replica, batch, attempt):
+                        crashes.append(coords)
+                    if self.spike_multiplier(replica, batch, attempt) > 1.0:
+                        spikes.append(coords)
+                    if self.transient_error(replica, batch, attempt):
+                        transients.append(coords)
+        return {"crashes": crashes, "spikes": spikes,
+                "transients": transients, "stash_pressure": pressured}
+
+    # ------------------------------------------------------------------
+    # The ORAM hook
+    # ------------------------------------------------------------------
+    @contextmanager
+    def stash_pressure(self, controller, event: int) -> Iterator[bool]:
+        """Tighten ``controller``'s persistent stash bound for one window.
+
+        Yields whether pressure actually fired for ``event``. While the
+        window is open, accesses that exceed the tightened bound raise
+        :class:`~repro.oram.stash.StashOverflowError` through the
+        controller's overflow signal; the original bound is always
+        restored on exit.
+        """
+        fired = self.stash_pressured(event)
+        if not fired:
+            yield False
+            return
+        original = controller.persistent_stash_capacity
+        controller.persistent_stash_capacity = max(
+            1, int(original * self.stash.capacity_fraction))
+        try:
+            yield True
+        finally:
+            controller.persistent_stash_capacity = original
+
+
+class FaultInjectingBackend:
+    """An :class:`ExecutionBackend` decorator that injects faults.
+
+    Wraps any backend satisfying the protocol. Each latency resolution is
+    one fault event: a transient fault raises
+    :class:`TransientBackendError`, a latency spike multiplies the inner
+    backend's answer. Events are numbered by an internal counter, so a
+    fixed call sequence (the engine's per-table pricing loop is one)
+    replays identically under the same seed.
+    """
+
+    def __init__(self, inner, injector: FaultInjector,
+                 replica: int = 0) -> None:
+        if not (hasattr(inner, "technique_latency")
+                and hasattr(inner, "generator_latency")):
+            raise TypeError(f"not an execution backend: {inner!r}")
+        self.inner = inner
+        self.injector = injector
+        self.replica = int(replica)
+        self._event = 0
+        self.name = f"fault-injecting({getattr(inner, 'name', '?')})"
+
+    def _next_event(self) -> int:
+        event = self._event
+        self._event += 1
+        return event
+
+    def _resolve(self, base_latency: float) -> float:
+        event = self._next_event()
+        if self.injector.transient_error(self.replica, event, 0):
+            raise TransientBackendError(
+                f"injected transient backend error (replica "
+                f"{self.replica}, event {event})")
+        return base_latency * self.injector.spike_multiplier(
+            self.replica, event, 0)
+
+    def technique_latency(self, technique: str, table_size: int, dim: int,
+                          batch: int, threads: int = 1) -> float:
+        return self._resolve(self.inner.technique_latency(
+            technique, table_size, dim, batch, threads))
+
+    def generator_latency(self, generator, batch: int,
+                          threads: int = 1) -> float:
+        return self._resolve(self.inner.generator_latency(
+            generator, batch, threads))

@@ -72,6 +72,8 @@ class DynamicBatcher:
         arrivals = np.asarray(arrivals, dtype=np.float64)
         if arrivals.ndim != 1 or arrivals.size == 0:
             raise ValueError("need a non-empty 1-D array of arrival times")
+        if not np.isfinite(arrivals).all():
+            raise ValueError("arrival times must be finite (no NaN/inf)")
         if np.any(np.diff(arrivals) < 0):
             raise ValueError("arrival times must be sorted")
         max_batch = self.policy.max_batch_size

@@ -13,7 +13,7 @@ from typing import List, Optional, Tuple
 from repro.costmodel.colocation import TenantDemand, replicated_latencies
 from repro.costmodel.platform import DEFAULT_PLATFORM, PlatformModel
 from repro.telemetry.runtime import get_registry
-from repro.utils.validation import check_positive
+from repro.utils.validation import check_positive, check_positive_finite
 
 
 class Dispatcher:
@@ -65,7 +65,8 @@ class Dispatcher:
         return results
 
     def min_replicas(self, rate_rps: float, sla_seconds: float,
-                     max_replicas: int) -> Optional[int]:
+                     max_replicas: int,
+                     min_replicas: int = 1) -> Optional[int]:
         """Smallest fleet that sustains ``rate_rps`` within the SLA.
 
         Replica selection for an offered load: walk the fleet sizes upward
@@ -75,10 +76,22 @@ class Dispatcher:
         interference can make throughput non-monotonic, so infeasibility at
         ``max_replicas`` does not imply a larger fleet would fail too —
         but within the searched range nothing works).
+
+        ``min_replicas`` is a redundancy floor: fleets smaller than it are
+        never selected even when they would meet the load. A floor above
+        ``max_replicas`` is a configuration contradiction and raises.
         """
-        check_positive("rate_rps", rate_rps)
-        check_positive("sla_seconds", sla_seconds)
+        check_positive_finite("rate_rps", rate_rps)
+        check_positive_finite("sla_seconds", sla_seconds)
+        check_positive("max_replicas", max_replicas)
+        check_positive("min_replicas", min_replicas)
+        if min_replicas > max_replicas:
+            raise ValueError(
+                f"min_replicas {min_replicas} exceeds max_replicas "
+                f"{max_replicas}; the selection window is empty")
         for copies, latency, throughput in self.sweep(max_replicas):
+            if copies < min_replicas:
+                continue
             if latency <= sla_seconds and throughput >= rate_rps:
                 get_registry().gauge("dispatcher.selected_replicas").set(
                     copies)
@@ -88,7 +101,7 @@ class Dispatcher:
     def sla_bounded_throughput(self, sla_seconds: float,
                                max_replicas: int) -> float:
         """Best throughput among replica counts meeting the SLA."""
-        check_positive("sla_seconds", sla_seconds)
+        check_positive_finite("sla_seconds", sla_seconds)
         feasible = [throughput for _, latency, throughput
                     in self.sweep(max_replicas) if latency <= sla_seconds]
         return max(feasible) if feasible else 0.0

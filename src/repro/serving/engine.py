@@ -27,11 +27,12 @@ from repro.serving.report import ServingReport
 from repro.serving.requests import RequestQueue, batch_boundary_arrivals
 from repro.telemetry.runtime import get_registry
 from repro.utils.rng import SeedLike
-from repro.utils.validation import check_positive
+from repro.utils.validation import check_positive, check_positive_finite
 
 if TYPE_CHECKING:  # runtime imports are deferred: hybrid imports serving
     from repro.hybrid.allocator import FeatureAllocation
     from repro.hybrid.thresholds import ThresholdDatabase
+    from repro.resilience.policy import ResiliencePolicy
 
 
 @dataclass(frozen=True)
@@ -45,7 +46,7 @@ class ServingConfig:
     def __post_init__(self) -> None:
         check_positive("batch_size", self.batch_size)
         check_positive("threads", self.threads)
-        check_positive("sla_seconds", self.sla_seconds)
+        check_positive_finite("sla_seconds", self.sla_seconds)
 
 
 ArrivalsLike = Union[RequestQueue, Sequence[float], np.ndarray]
@@ -60,7 +61,8 @@ class ExecutionEngine:
                  varied: bool = True,
                  backend: BackendLike = "modelled",
                  platform: PlatformModel = DEFAULT_PLATFORM,
-                 mlp_overhead_seconds: float = MLP_OVERHEAD_SECONDS) -> None:
+                 mlp_overhead_seconds: float = MLP_OVERHEAD_SECONDS,
+                 resilience: Optional[ResiliencePolicy] = None) -> None:
         if not table_sizes:
             raise ValueError("engine needs at least one sparse feature")
         check_positive("embedding_dim", embedding_dim)
@@ -72,6 +74,7 @@ class ExecutionEngine:
         self.platform = platform
         self.mlp_overhead_seconds = mlp_overhead_seconds
         self.backend = resolve_backend(backend, uniform_shape, platform)
+        self.resilience = resilience
 
     # ------------------------------------------------------------------
     # Allocation (Algorithm 3) for the live configuration
@@ -138,13 +141,20 @@ class ExecutionEngine:
             with registry.span("serve.schedule"):
                 batches = DynamicBatcher(policy).schedule(
                     queue.arrivals, lambda size: service)
-            queue_delays = np.empty(len(queue), dtype=np.float64)
-            service_latencies = np.empty(len(queue), dtype=np.float64)
-            for batch in batches:
-                window = slice(batch.first, batch.last)
-                queue_delays[window] = (batch.start_seconds
-                                        - queue.arrivals[window])
-                service_latencies[window] = batch.service_seconds
+            if self.resilience is not None:
+                stats = self._execute_resilient(batches, queue.arrivals,
+                                                service, registry)
+                queue_delays = stats.pop("queue_delays")
+                service_latencies = stats.pop("service_latencies")
+            else:
+                stats = None
+                queue_delays = np.empty(len(queue), dtype=np.float64)
+                service_latencies = np.empty(len(queue), dtype=np.float64)
+                for batch in batches:
+                    window = slice(batch.first, batch.last)
+                    queue_delays[window] = (batch.start_seconds
+                                            - queue.arrivals[window])
+                    service_latencies[window] = batch.service_seconds
             with registry.span("serve.allocate"):
                 scans, dhes = self.allocation_counts(config)
             busy_time = math.fsum(batch.service_seconds for batch in batches)
@@ -152,8 +162,25 @@ class ExecutionEngine:
             queue_delays=queue_delays, service_latencies=service_latencies,
             num_batches=len(batches), scan_features=scans,
             dhe_features=dhes, batch_time_total=busy_time)
+        if stats is not None:
+            from repro.resilience.report import ResilientServingReport
+
+            report = ResilientServingReport.from_serving_report(
+                report, **stats["stats"])
         self._report_serve(registry, report)
         return report
+
+    def _execute_resilient(self, batches, arrivals, service, registry):
+        """Run the schedule through the fault-aware executor (lazy import)."""
+        from repro.resilience.policy import execute_with_resilience
+
+        with registry.span("serve.resilient_execute",
+                           batches=len(batches)):
+            result = execute_with_resilience(batches, arrivals, service,
+                                             self.resilience)
+        return {"queue_delays": result["queue_delays"],
+                "service_latencies": result["service_latencies"],
+                "stats": result["stats"]}
 
     def _report_serve(self, registry, report: ServingReport) -> None:
         """Fold one serving run into the engine's metrics."""

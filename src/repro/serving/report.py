@@ -61,6 +61,10 @@ class ServingReport:
         return float(np.percentile(self.latencies, 95))
 
     @property
+    def p99(self) -> float:
+        return float(np.percentile(self.latencies, 99))
+
+    @property
     def mean_queue_delay(self) -> float:
         """Mean per-request queueing delay (0.0 when not tracked)."""
         if self.queue_delays is None:

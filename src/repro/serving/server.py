@@ -22,6 +22,7 @@ from repro.utils.rng import SeedLike
 
 if TYPE_CHECKING:  # runtime import deferred: hybrid imports serving
     from repro.hybrid.thresholds import ThresholdDatabase
+    from repro.resilience.policy import ResiliencePolicy
 
 
 class SecureDlrmServer:
@@ -32,13 +33,15 @@ class SecureDlrmServer:
                  thresholds: ThresholdDatabase,
                  varied: bool = True,
                  platform: PlatformModel = DEFAULT_PLATFORM,
-                 backend: BackendLike = "modelled") -> None:
+                 backend: BackendLike = "modelled",
+                 resilience: Optional[ResiliencePolicy] = None) -> None:
         if not table_sizes:
             raise ValueError("server needs at least one sparse feature")
         self.engine = ExecutionEngine(table_sizes, embedding_dim,
                                       uniform_shape, thresholds,
                                       varied=varied, backend=backend,
-                                      platform=platform)
+                                      platform=platform,
+                                      resilience=resilience)
         self.table_sizes = self.engine.table_sizes
         self.embedding_dim = embedding_dim
         self.uniform_shape = uniform_shape

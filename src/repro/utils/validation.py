@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import math
 from typing import Any, Iterable
 
 
@@ -9,6 +10,25 @@ def check_positive(name: str, value: float) -> None:
     """Raise ``ValueError`` unless ``value`` > 0."""
     if not value > 0:
         raise ValueError(f"{name} must be positive, got {value!r}")
+
+
+def check_finite(name: str, value: float) -> None:
+    """Raise ``ValueError`` unless ``value`` is finite (no NaN/inf)."""
+    if not math.isfinite(value):
+        raise ValueError(f"{name} must be finite, got {value!r}")
+
+
+def check_positive_finite(name: str, value: float) -> None:
+    """Raise ``ValueError`` unless ``value`` is finite and > 0."""
+    check_finite(name, value)
+    check_positive(name, value)
+
+
+def check_probability(name: str, value: float) -> None:
+    """Raise ``ValueError`` unless ``value`` is a probability in [0, 1]."""
+    if not (math.isfinite(value) and 0.0 <= value <= 1.0):
+        raise ValueError(f"{name} must be a probability in [0, 1], "
+                         f"got {value!r}")
 
 
 def check_non_negative(name: str, value: float) -> None:

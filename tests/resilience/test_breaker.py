@@ -1,0 +1,98 @@
+"""CircuitBreaker state machine on the simulated clock."""
+
+import pytest
+
+from repro.resilience import (
+    CLOSED,
+    HALF_OPEN,
+    OPEN,
+    STATE_VALUES,
+    BreakerConfig,
+    CircuitBreaker,
+)
+
+CONFIG = BreakerConfig(failure_threshold=3, cooldown_seconds=0.050,
+                       probe_successes=2)
+
+
+def tripped(at=0.0):
+    breaker = CircuitBreaker(CONFIG)
+    for _ in range(CONFIG.failure_threshold):
+        breaker.record_failure(at)
+    return breaker
+
+
+class TestTripping:
+    def test_starts_closed(self):
+        breaker = CircuitBreaker(CONFIG)
+        assert breaker.state(0.0) == CLOSED
+        assert breaker.allows(0.0)
+
+    def test_consecutive_failures_trip_open(self):
+        breaker = CircuitBreaker(CONFIG)
+        breaker.record_failure(0.0)
+        breaker.record_failure(0.0)
+        assert breaker.state(0.0) == CLOSED
+        breaker.record_failure(0.0)
+        assert breaker.state(0.0) == OPEN
+        assert not breaker.allows(0.0)
+        assert breaker.trips == 1
+
+    def test_success_resets_failure_streak(self):
+        breaker = CircuitBreaker(CONFIG)
+        breaker.record_failure(0.0)
+        breaker.record_failure(0.0)
+        breaker.record_success(0.0)
+        breaker.record_failure(0.0)
+        breaker.record_failure(0.0)
+        assert breaker.state(0.0) == CLOSED
+
+
+class TestCooldownAndProbes:
+    def test_cooldown_admits_half_open_probe(self):
+        breaker = tripped(at=1.0)
+        assert breaker.state(1.0) == OPEN
+        assert breaker.state(1.0 + 0.049) == OPEN
+        assert breaker.state(1.0 + 0.050) == HALF_OPEN
+        assert breaker.allows(1.0 + 0.050)
+        assert breaker.retry_at() == pytest.approx(1.050)
+
+    def test_probe_successes_reclose(self):
+        breaker = tripped(at=0.0)
+        t = 0.060
+        breaker.record_success(t)
+        assert breaker.state(t) == HALF_OPEN  # still probing
+        breaker.record_success(t + 0.001)
+        assert breaker.state(t + 0.001) == CLOSED
+        assert breaker.readmissions == 1
+
+    def test_probe_failure_reopens_fresh_window(self):
+        breaker = tripped(at=0.0)
+        t = 0.060
+        breaker.record_failure(t)
+        assert breaker.state(t) == OPEN
+        assert breaker.state(t + 0.049) == OPEN
+        assert breaker.state(t + 0.050) == HALF_OPEN
+        assert breaker.trips == 2
+
+
+class TestGaugeEncoding:
+    def test_state_values(self):
+        assert STATE_VALUES[CLOSED] == 0.0
+        assert STATE_VALUES[HALF_OPEN] == 1.0
+        assert STATE_VALUES[OPEN] == 2.0
+
+    def test_state_value_tracks_state(self):
+        breaker = tripped(at=0.0)
+        assert breaker.state_value(0.0) == 2.0
+        assert breaker.state_value(0.050) == 1.0
+
+
+class TestConfigValidation:
+    def test_rejects_bad_thresholds(self):
+        with pytest.raises(ValueError):
+            BreakerConfig(failure_threshold=0)
+        with pytest.raises(ValueError):
+            BreakerConfig(cooldown_seconds=float("nan"))
+        with pytest.raises(ValueError):
+            BreakerConfig(probe_successes=0)

@@ -1,0 +1,152 @@
+"""FaultInjector: determinism, coordinates, the backend decorator."""
+
+import pytest
+
+from repro.oram.path_oram import PathORAM
+from repro.oram.stash import StashOverflowError
+from repro.resilience import (
+    FaultInjectingBackend,
+    FaultInjector,
+    LatencySpikeFault,
+    ReplicaCrashFault,
+    StashPressureFault,
+    TransientBackendError,
+    TransientErrorFault,
+)
+from repro.serving.backends import ModelledBackend
+
+
+def storm(seed=0):
+    return FaultInjector(
+        seed=seed,
+        crash=ReplicaCrashFault(probability=0.1),
+        spike=LatencySpikeFault(probability=0.2, multiplier=3.0),
+        transient=TransientErrorFault(probability=0.2),
+        stash=StashPressureFault(probability=0.5))
+
+
+class TestDeterminism:
+    def test_same_seed_same_schedule(self):
+        assert (storm(3).schedule(40, 4, attempts=2)
+                == storm(3).schedule(40, 4, attempts=2))
+
+    def test_different_seed_different_schedule(self):
+        assert (storm(3).schedule(40, 4, attempts=2)
+                != storm(4).schedule(40, 4, attempts=2))
+
+    def test_decisions_are_call_order_independent(self):
+        injector = storm(9)
+        forward = [injector.crashes(r, b, 0)
+                   for b in range(20) for r in range(3)]
+        backward = [injector.crashes(r, b, 0)
+                    for b in reversed(range(20)) for r in reversed(range(3))]
+        assert forward == list(reversed(backward))
+
+    def test_schedule_matches_pointwise_decisions(self):
+        injector = storm(5)
+        schedule = injector.schedule(10, 2, attempts=2)
+        for batch, replica, attempt in schedule["crashes"]:
+            assert injector.crashes(replica, batch, attempt)
+        for batch, replica, attempt in schedule["spikes"]:
+            assert injector.spike_multiplier(replica, batch, attempt) > 1.0
+
+    def test_jitter_in_unit_interval(self):
+        injector = storm(1)
+        draws = [injector.jitter(b, a) for b in range(10) for a in range(3)]
+        assert all(0.0 <= u < 1.0 for u in draws)
+        assert len(set(draws)) > 1
+
+
+class TestInertInjector:
+    def test_default_is_disabled(self):
+        injector = FaultInjector(seed=0)
+        assert not injector.enabled
+        assert not injector.crashes(0, 0, 0)
+        assert injector.spike_multiplier(0, 0, 0) == 1.0
+        assert not injector.transient_error(0, 0, 0)
+        assert not injector.stash_pressured(0)
+
+    def test_zero_probability_is_disabled(self):
+        injector = FaultInjector(seed=0,
+                                 crash=ReplicaCrashFault(probability=0.0))
+        assert not injector.enabled
+
+
+class TestFaultModelValidation:
+    def test_probability_bounds(self):
+        with pytest.raises(ValueError):
+            ReplicaCrashFault(probability=1.5)
+        with pytest.raises(ValueError):
+            TransientErrorFault(probability=-0.1)
+        with pytest.raises(ValueError):
+            ReplicaCrashFault(probability=float("nan"))
+
+    def test_spike_multiplier_floor(self):
+        with pytest.raises(ValueError, match="multiplier"):
+            LatencySpikeFault(probability=0.1, multiplier=0.5)
+
+    def test_capacity_fraction_bounds(self):
+        with pytest.raises(ValueError, match="capacity_fraction"):
+            StashPressureFault(probability=0.1, capacity_fraction=0.0)
+
+
+class TestFaultInjectingBackend:
+    def test_rejects_non_backend(self):
+        with pytest.raises(TypeError, match="not an execution backend"):
+            FaultInjectingBackend(object(), FaultInjector())
+
+    def test_inert_injector_passes_latency_through(self):
+        inner = ModelledBackend()
+        wrapped = FaultInjectingBackend(inner, FaultInjector(seed=0))
+        expected = inner.technique_latency("scan", 1000, 64, 32, 1)
+        assert wrapped.technique_latency("scan", 1000, 64, 32, 1) == expected
+
+    def test_spikes_and_transients_fire_deterministically(self):
+        def collect():
+            wrapped = FaultInjectingBackend(
+                ModelledBackend(),
+                FaultInjector(seed=2,
+                              spike=LatencySpikeFault(probability=0.3,
+                                                      multiplier=5.0),
+                              transient=TransientErrorFault(probability=0.3)))
+            outcomes = []
+            for _ in range(30):
+                try:
+                    outcomes.append(
+                        wrapped.technique_latency("scan", 1000, 64, 32, 1))
+                except TransientBackendError:
+                    outcomes.append("error")
+            return outcomes
+
+        first, second = collect(), collect()
+        assert first == second
+        assert "error" in first
+        base = ModelledBackend().technique_latency("scan", 1000, 64, 32, 1)
+        assert any(isinstance(o, float) and o > base for o in first)
+
+
+class TestStashPressureHook:
+    def test_pressure_window_tightens_and_restores_bound(self):
+        oram = PathORAM(64, 4, rng=0, stash_capacity=64)
+        original = oram.persistent_stash_capacity
+        injector = FaultInjector(
+            seed=0, stash=StashPressureFault(probability=1.0,
+                                             capacity_fraction=0.01))
+        fired = False
+        with injector.stash_pressure(oram, event=0) as active:
+            fired = active
+            assert oram.persistent_stash_capacity == 1
+            with pytest.raises(StashOverflowError):
+                # Deterministic (rng=0): within a few hundred accesses the
+                # between-access occupancy exceeds the tightened bound.
+                for step in range(512):
+                    oram.read(step % 64)
+        assert fired
+        assert oram.persistent_stash_capacity == original
+
+    def test_unfired_window_is_a_no_op(self):
+        oram = PathORAM(16, 4, rng=0, stash_capacity=16)
+        injector = FaultInjector(
+            seed=0, stash=StashPressureFault(probability=0.0))
+        with injector.stash_pressure(oram, event=0) as active:
+            assert not active

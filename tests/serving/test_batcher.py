@@ -121,3 +121,15 @@ class TestMaxWaitTimeoutPath:
         snapshot = registry.snapshot()
         assert snapshot["counters"]["batcher.full_launches_total"] == 0.0
         assert snapshot["counters"]["batcher.timeout_launches_total"] == 1.0
+
+
+class TestNonFiniteArrivals:
+    def test_nan_arrival_rejected(self):
+        batcher = DynamicBatcher(BatchingPolicy(4, 0.1))
+        with pytest.raises(ValueError, match="finite"):
+            batcher.schedule([0.0, float("nan")], lambda n: 0.1)
+
+    def test_inf_arrival_rejected(self):
+        batcher = DynamicBatcher(BatchingPolicy(4, 0.1))
+        with pytest.raises(ValueError, match="finite"):
+            batcher.schedule([0.0, float("inf")], lambda n: 0.1)

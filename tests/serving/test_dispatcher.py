@@ -151,3 +151,42 @@ class TestTenantDemandPlumbing:
         dispatcher = Dispatcher(demand, batch_size=8)
         (only,) = dispatcher.replica_latencies(1)
         assert only == pytest.approx(0.001)
+
+
+class TestMinReplicasValidation:
+    def test_floor_raises_result(self, dhe_dispatcher):
+        unfloored = dhe_dispatcher.min_replicas(1.0, 1.0, max_replicas=8)
+        floored = dhe_dispatcher.min_replicas(1.0, 1.0, max_replicas=8,
+                                              min_replicas=3)
+        assert unfloored == 1
+        assert floored == 3
+
+    def test_min_above_max_raises(self, dhe_dispatcher):
+        with pytest.raises(ValueError, match="min_replicas 9 exceeds"):
+            dhe_dispatcher.min_replicas(1.0, 1.0, max_replicas=8,
+                                        min_replicas=9)
+
+    @pytest.mark.parametrize("rate,sla", [
+        (float("nan"), 1.0), (float("inf"), 1.0), (0.0, 1.0), (-5.0, 1.0),
+        (1.0, float("nan")), (1.0, float("inf")), (1.0, 0.0), (1.0, -0.02),
+    ])
+    def test_non_positive_or_non_finite_inputs_raise(self, dhe_dispatcher,
+                                                     rate, sla):
+        with pytest.raises(ValueError):
+            dhe_dispatcher.min_replicas(rate, sla, max_replicas=8)
+
+    def test_sla_bounded_throughput_validates_sla(self, dhe_dispatcher):
+        with pytest.raises(ValueError):
+            dhe_dispatcher.sla_bounded_throughput(float("nan"), 4)
+        with pytest.raises(ValueError):
+            dhe_dispatcher.sla_bounded_throughput(0.0, 4)
+
+
+class TestServingConfigValidation:
+    @pytest.mark.parametrize("sla", [0.0, -0.020, float("nan"),
+                                     float("inf")])
+    def test_zero_negative_or_non_finite_sla_rejected(self, sla):
+        from repro.serving import ServingConfig
+
+        with pytest.raises(ValueError, match="sla_seconds"):
+            ServingConfig(batch_size=32, sla_seconds=sla)

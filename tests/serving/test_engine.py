@@ -106,6 +106,48 @@ class TestSeedParity:
         assert np.array_equal(via_server.latencies, via_engine.latencies)
         assert via_server.throughput() == via_engine.throughput()
 
+    @pytest.mark.parametrize("batch,threads,num_requests",
+                             [(1, 1, 10), (32, 1, 100), (128, 1, 1024)])
+    def test_resilience_wrapped_path_is_bit_for_bit(self, engine,
+                                                    thresholds, batch,
+                                                    threads, num_requests):
+        """With faults disabled, the resilient executor must not perturb a
+        single bit of the plain engine's per-request arrays."""
+        from repro.resilience import FaultInjector, ResiliencePolicy
+
+        wrapped = ExecutionEngine(
+            TERABYTE_SPEC.table_sizes, DIM, DLRM_DHE_UNIFORM_64, thresholds,
+            varied=True,
+            resilience=ResiliencePolicy(injector=FaultInjector(seed=0)))
+        config = ServingConfig(batch_size=batch, threads=threads)
+        plain = engine.serve_closed(num_requests, config)
+        resilient = wrapped.serve_closed(num_requests, config)
+        assert np.array_equal(plain.queue_delays, resilient.queue_delays)
+        assert np.array_equal(plain.service_latencies,
+                              resilient.service_latencies)
+        assert np.array_equal(plain.latencies, resilient.latencies)
+        assert plain.batch_time_total == resilient.batch_time_total
+        assert resilient.shed_requests == 0
+        assert resilient.retries_total == 0
+
+    def test_resilience_wrapped_poisson_is_bit_for_bit(self, engine,
+                                                       thresholds):
+        from repro.resilience import FaultInjector, ResiliencePolicy
+
+        wrapped = ExecutionEngine(
+            TERABYTE_SPEC.table_sizes, DIM, DLRM_DHE_UNIFORM_64, thresholds,
+            varied=True,
+            resilience=ResiliencePolicy(injector=FaultInjector(seed=0)))
+        config = ServingConfig(batch_size=32, threads=1)
+        policy = BatchingPolicy(max_batch_size=32, max_wait_seconds=0.002)
+        plain = engine.serve_poisson(512, 2000.0, config, policy=policy,
+                                     rng=5)
+        resilient = wrapped.serve_poisson(512, 2000.0, config,
+                                          policy=policy, rng=5)
+        assert np.array_equal(plain.queue_delays, resilient.queue_delays)
+        assert np.array_equal(plain.service_latencies,
+                              resilient.service_latencies)
+
 
 class TestOpenSystem:
     def test_poisson_with_timeout_spreads_percentiles(self, engine):

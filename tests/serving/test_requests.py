@@ -81,3 +81,17 @@ class TestRequestQueue:
     def test_classmethods(self):
         assert len(RequestQueue.poisson(10, 100.0, rng=0)) == 10
         assert len(RequestQueue.batch_boundary(10, 4, 0.1)) == 10
+
+
+class TestNonFiniteArrivals:
+    def test_nan_arrival_rejected(self):
+        with pytest.raises(ValueError, match="finite"):
+            RequestQueue([0.0, float("nan"), 0.2])
+
+    def test_inf_arrival_rejected(self):
+        with pytest.raises(ValueError, match="finite"):
+            RequestQueue([0.0, float("inf")])
+
+    def test_negative_inf_arrival_rejected(self):
+        with pytest.raises(ValueError, match="finite"):
+            RequestQueue([float("-inf"), 0.0])

@@ -17,6 +17,7 @@ PACKAGES = [
     "repro.data",
     "repro.metrics",
     "repro.serving",
+    "repro.resilience",
     "repro.experiments",
     "repro.experiments.registry",
     "repro.telemetry",
@@ -63,6 +64,6 @@ def test_registry_covers_every_experiment_module():
 
     directory = os.path.dirname(experiments_package.__file__)
     modules = [name for name in os.listdir(directory)
-               if name.startswith(("fig", "table", "llm_"))
+               if name.startswith(("fig", "table", "llm_", "chaos_"))
                and name.endswith(".py")]
     assert len(modules) == len(EXPERIMENTS)
