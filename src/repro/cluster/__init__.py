@@ -1,0 +1,53 @@
+"""Sharded multi-node oblivious serving.
+
+Scales the paper's single-host hybrid allocation (Algorithms 2/3) out to a
+simulated cluster: capacity-aware, traffic-blind placement
+(:mod:`repro.cluster.placement`), consistent-hash routing with replication
+and breaker-driven failover (:mod:`repro.cluster.router`), cross-shard
+scatter-gather execution (:mod:`repro.cluster.scatter`), and the gated
+topology sweep (:mod:`repro.cluster.sim`, ``python -m repro.cluster.sim``).
+"""
+
+from repro.cluster.placement import (
+    PLACEMENT_REGION,
+    FrequencyKeyedPlanner,
+    PlacementError,
+    PlacementLeakageError,
+    ShardPlan,
+    ShardPlanner,
+    TablePlacement,
+    audit_placement,
+    check_oblivious_placement,
+    default_placement_workloads,
+    placement_subject,
+)
+from repro.cluster.router import ShardRouter, replica_table_sets, ring_hash
+# repro.cluster.sim is deliberately NOT imported here: it is the
+# ``python -m repro.cluster.sim`` entry point, and importing it from the
+# package would shadow the runpy execution (and slow ``import repro.cluster``
+# down with the experiment machinery).
+from repro.cluster.scatter import (
+    ClusterServingReport,
+    ClusterUnavailableError,
+    ScatterGatherEngine,
+)
+
+__all__ = [
+    "PLACEMENT_REGION",
+    "FrequencyKeyedPlanner",
+    "PlacementError",
+    "PlacementLeakageError",
+    "ShardPlan",
+    "ShardPlanner",
+    "TablePlacement",
+    "audit_placement",
+    "check_oblivious_placement",
+    "default_placement_workloads",
+    "placement_subject",
+    "ShardRouter",
+    "replica_table_sets",
+    "ring_hash",
+    "ClusterServingReport",
+    "ClusterUnavailableError",
+    "ScatterGatherEngine",
+]

@@ -1,0 +1,349 @@
+"""Capacity-aware shard placement that is blind to observed traffic.
+
+Partitioning embedding tables across nodes is itself a side channel: a
+planner that keys placement on *observed index frequency* (put the hot
+tables on the fat node) encodes user behaviour into which node serves which
+table — exactly the class of data-dependent layout decision the paper's
+threat model forbids (§III: the adversary sees which memory a server
+touches, and node identity is the coarsest address bit there is).
+
+:class:`ShardPlanner` therefore partitions by **static table metadata
+only** — table id, table size, and the per-technique cost model — and the
+invariant is *enforced*, not assumed: the planner accepts the workload
+argument a frequency-keyed planner would want, routes every placement
+decision through a :class:`~repro.oblivious.trace.MemoryTracer`, and
+:func:`check_oblivious_placement` replays the planner under contrasting
+workloads with the :class:`~repro.telemetry.audit.LeakageAuditor`. A
+compliant planner produces the identical placement trace for every
+workload; :class:`FrequencyKeyedPlanner` (kept as the documented
+anti-pattern) does not, and the audit flags it.
+
+Costs come from the same seams everything else uses: the hybrid
+allocator's thresholds pick scan vs DHE per table (Algorithm 3), the
+execution backend prices per-batch latency, and
+:mod:`repro.costmodel.memory` prices the footprint of the chosen
+representation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.costmodel.latency import DheShape, dhe_varied_shape
+from repro.costmodel.memory import dhe_bytes, table_bytes
+from repro.costmodel.platform import DEFAULT_PLATFORM, PlatformModel
+from repro.embedding.hybrid import TECHNIQUE_SCAN
+from repro.hybrid.allocator import allocate_for_configuration
+from repro.hybrid.thresholds import ThresholdDatabase
+from repro.oblivious.trace import WRITE, MemoryTracer
+from repro.serving.backends import BackendLike, resolve_backend
+from repro.serving.engine import ServingConfig
+from repro.telemetry.audit import (
+    MODE_EXACT,
+    AuditFinding,
+    AuditSubject,
+    LeakageAuditor,
+)
+from repro.telemetry.runtime import get_registry
+from repro.utils.validation import check_positive
+
+#: tracer region every placement decision is recorded under
+PLACEMENT_REGION = "cluster.placement"
+
+
+class PlacementError(ValueError):
+    """The table set cannot be placed (e.g. a node capacity is exceeded)."""
+
+
+class PlacementLeakageError(RuntimeError):
+    """A planner's placement depended on the observed workload."""
+
+
+@dataclass(frozen=True)
+class TablePlacement:
+    """One table's shard assignment plus the costs that drove it."""
+
+    table_id: int
+    table_size: int
+    technique: str
+    footprint_bytes: int
+    latency_seconds: float       # per-batch latency of this table alone
+    node: int
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "table_id": self.table_id,
+            "table_size": self.table_size,
+            "technique": self.technique,
+            "footprint_bytes": self.footprint_bytes,
+            "latency_seconds": self.latency_seconds,
+            "node": self.node,
+        }
+
+
+@dataclass
+class ShardPlan:
+    """A full placement of the table set onto ``num_nodes`` shards."""
+
+    num_nodes: int
+    batch_size: int
+    threads: int
+    placements: Tuple[TablePlacement, ...]
+
+    def __post_init__(self) -> None:
+        for placement in self.placements:
+            if not 0 <= placement.node < self.num_nodes:
+                raise ValueError(
+                    f"table {placement.table_id} placed on node "
+                    f"{placement.node}, but the plan has {self.num_nodes} "
+                    f"nodes")
+
+    # ------------------------------------------------------------------
+    def node_of(self, table_id: int) -> int:
+        for placement in self.placements:
+            if placement.table_id == table_id:
+                return placement.node
+        raise KeyError(f"no placement for table {table_id}")
+
+    def tables_on(self, node: int) -> List[int]:
+        return [p.table_id for p in self.placements if p.node == node]
+
+    def node_latency_seconds(self, node: int) -> float:
+        return sum(p.latency_seconds for p in self.placements
+                   if p.node == node)
+
+    def node_footprint_bytes(self, node: int) -> int:
+        return sum(p.footprint_bytes for p in self.placements
+                   if p.node == node)
+
+    def latency_imbalance(self) -> float:
+        """Max/mean per-node latency load (1.0 = perfectly balanced)."""
+        loads = [self.node_latency_seconds(node)
+                 for node in range(self.num_nodes)]
+        mean = sum(loads) / len(loads)
+        if mean <= 0.0:
+            return 1.0
+        return max(loads) / mean
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "num_nodes": self.num_nodes,
+            "batch_size": self.batch_size,
+            "threads": self.threads,
+            "latency_imbalance": self.latency_imbalance(),
+            "node_latency_seconds": [self.node_latency_seconds(node)
+                                     for node in range(self.num_nodes)],
+            "node_footprint_bytes": [self.node_footprint_bytes(node)
+                                     for node in range(self.num_nodes)],
+            "placements": [p.to_dict() for p in self.placements],
+        }
+
+
+class ShardPlanner:
+    """Greedy capacity-aware placement keyed on static table metadata only.
+
+    Tables are ordered by per-batch latency (longest-processing-time
+    first, table id as the tie-break — both static quantities) and each is
+    assigned to the node with the smallest accumulated latency load whose
+    memory capacity still fits it. The ``workload`` argument of
+    :meth:`plan` exists so the leakage audit can *try* to influence the
+    planner; a compliant planner never reads it.
+    """
+
+    def __init__(self, num_nodes: int, thresholds: ThresholdDatabase,
+                 embedding_dim: int,
+                 uniform_shape: Optional[DheShape] = None,
+                 varied: bool = True,
+                 backend: BackendLike = "modelled",
+                 platform: PlatformModel = DEFAULT_PLATFORM,
+                 node_capacity_bytes: Optional[int] = None) -> None:
+        check_positive("num_nodes", num_nodes)
+        check_positive("embedding_dim", embedding_dim)
+        if node_capacity_bytes is not None:
+            check_positive("node_capacity_bytes", node_capacity_bytes)
+        self.num_nodes = num_nodes
+        self.thresholds = thresholds
+        self.embedding_dim = embedding_dim
+        self.uniform_shape = uniform_shape
+        self.varied = varied
+        self.backend = resolve_backend(backend, uniform_shape, platform)
+        self.platform = platform
+        self.node_capacity_bytes = node_capacity_bytes
+
+    # ------------------------------------------------------------------
+    def table_costs(self, table_sizes: Sequence[int],
+                    config: ServingConfig) -> List[TablePlacement]:
+        """Per-table technique, footprint and latency (node unassigned)."""
+        allocations = allocate_for_configuration(
+            table_sizes, self.thresholds, self.embedding_dim,
+            config.batch_size, config.threads)
+        dhe_technique = "dhe-varied" if self.varied else "dhe-uniform"
+        costs = []
+        for allocation in allocations:
+            if allocation.technique == TECHNIQUE_SCAN:
+                technique = TECHNIQUE_SCAN
+                footprint = table_bytes(allocation.table_size,
+                                        self.embedding_dim)
+            else:
+                technique = dhe_technique
+                if self.uniform_shape is None:
+                    raise ValueError("planner needs the DHE uniform shape "
+                                     "to price DHE-allocated tables")
+                shape = (dhe_varied_shape(allocation.table_size,
+                                          self.uniform_shape)
+                         if self.varied else self.uniform_shape)
+                footprint = dhe_bytes(shape)
+            latency = self.backend.technique_latency(
+                technique, allocation.table_size, self.embedding_dim,
+                config.batch_size, config.threads)
+            costs.append(TablePlacement(
+                table_id=allocation.feature_index,
+                table_size=allocation.table_size, technique=technique,
+                footprint_bytes=footprint, latency_seconds=latency,
+                node=-1))
+        return costs
+
+    def _assignment_order(self, costs: Sequence[TablePlacement],
+                          workload: Optional[Sequence[int]]
+                          ) -> List[TablePlacement]:
+        """LPT order over static costs; ``workload`` is deliberately unread."""
+        return sorted(costs, key=lambda c: (-c.latency_seconds, c.table_id))
+
+    # ------------------------------------------------------------------
+    def plan(self, table_sizes: Sequence[int], config: ServingConfig,
+             workload: Optional[Sequence[int]] = None,
+             tracer: Optional[MemoryTracer] = None) -> ShardPlan:
+        """Place every table on a node; record the decisions on ``tracer``.
+
+        ``workload`` is an observed index trace (what a frequency-keyed
+        planner would bin into per-table heat). This planner accepts it
+        only so :func:`check_oblivious_placement` can verify it is ignored.
+        """
+        costs = self.table_costs(table_sizes, config)
+        loads = [0.0] * self.num_nodes
+        used = [0] * self.num_nodes
+        assigned: Dict[int, int] = {}
+        for cost in self._assignment_order(costs, workload):
+            candidates = [node for node in range(self.num_nodes)
+                          if self.node_capacity_bytes is None
+                          or used[node] + cost.footprint_bytes
+                          <= self.node_capacity_bytes]
+            if not candidates:
+                raise PlacementError(
+                    f"table {cost.table_id} ({cost.footprint_bytes} B) fits "
+                    f"no node under capacity {self.node_capacity_bytes} B")
+            node = min(candidates, key=lambda n: (loads[n], n))
+            loads[node] += cost.latency_seconds
+            used[node] += cost.footprint_bytes
+            assigned[cost.table_id] = node
+        placements = tuple(
+            TablePlacement(cost.table_id, cost.table_size, cost.technique,
+                           cost.footprint_bytes, cost.latency_seconds,
+                           assigned[cost.table_id])
+            for cost in costs)
+        if tracer is not None:
+            # One event per table, in table-id order: the address encodes
+            # the (table -> node) decision, so any workload-dependent
+            # placement shows up as trace divergence in the audit.
+            for placement in placements:
+                tracer.record(WRITE, PLACEMENT_REGION,
+                              placement.table_id * self.num_nodes
+                              + placement.node)
+        get_registry().counter("cluster.plans_total").inc()
+        return ShardPlan(self.num_nodes, config.batch_size, config.threads,
+                         placements)
+
+
+class FrequencyKeyedPlanner(ShardPlanner):
+    """The anti-pattern: placement keyed on observed index frequency.
+
+    Bins the observed workload into per-table heat and packs hot tables
+    first onto the least-hot node — the "natural" load balancer that leaks
+    user behaviour through the placement itself. Kept only as the negative
+    subject for the planner leakage audit and its regression test; never
+    use it to serve traffic.
+    """
+
+    def _assignment_order(self, costs: Sequence[TablePlacement],
+                          workload: Optional[Sequence[int]]
+                          ) -> List[TablePlacement]:
+        if workload is None:
+            return super()._assignment_order(costs, workload)
+        observed = np.asarray(workload, dtype=np.int64)
+        heat = np.bincount(observed % max(1, len(costs)),
+                           minlength=len(costs))
+        return sorted(costs,
+                      key=lambda c: (-int(heat[c.table_id]), c.table_id))
+
+
+# ----------------------------------------------------------------------
+# The planner-level leakage check (reuses LeakageAuditor end to end).
+# ----------------------------------------------------------------------
+def default_placement_workloads(num_tables: int,
+                                length: int = 64
+                                ) -> List[Sequence[int]]:
+    """Contrasting observed-traffic profiles: hammer the first table,
+    hammer the last, and a uniform sweep — the same maximum-contrast shape
+    the standing five-subject audit uses for its secrets."""
+    check_positive("num_tables", num_tables)
+    check_positive("length", length)
+    return [
+        [0] * length,
+        [num_tables - 1] * length,
+        [index % num_tables for index in range(length)],
+    ]
+
+
+def placement_subject(planner: ShardPlanner, table_sizes: Sequence[int],
+                      config: ServingConfig,
+                      workloads: Optional[Sequence[Sequence[int]]] = None,
+                      name: str = "shard-planner",
+                      expect_oblivious: bool = True) -> AuditSubject:
+    """Wrap a planner as an :class:`AuditSubject`: one replay per workload."""
+    if workloads is None:
+        workloads = default_placement_workloads(len(table_sizes))
+
+    def run(tracer: MemoryTracer, secret: Sequence[int]) -> None:
+        planner.plan(table_sizes, config, workload=secret, tracer=tracer)
+
+    return AuditSubject(name, run, workloads, mode=MODE_EXACT,
+                        expect_oblivious=expect_oblivious)
+
+
+def audit_placement(planner: ShardPlanner, table_sizes: Sequence[int],
+                    config: ServingConfig,
+                    workloads: Optional[Sequence[Sequence[int]]] = None,
+                    auditor: Optional[LeakageAuditor] = None,
+                    name: str = "shard-planner",
+                    expect_oblivious: bool = True) -> AuditFinding:
+    """Replay the planner across workloads and return the audit finding."""
+    if auditor is None:
+        auditor = LeakageAuditor()
+    return auditor.audit(placement_subject(planner, table_sizes, config,
+                                           workloads, name=name,
+                                           expect_oblivious=expect_oblivious))
+
+
+def check_oblivious_placement(planner: ShardPlanner,
+                              table_sizes: Sequence[int],
+                              config: ServingConfig,
+                              workloads: Optional[Sequence[Sequence[int]]]
+                              = None,
+                              auditor: Optional[LeakageAuditor] = None
+                              ) -> AuditFinding:
+    """Gate: raise :class:`PlacementLeakageError` if placement leaks.
+
+    This is the loud failure the cluster simulator and CI run before any
+    plan is allowed to serve traffic.
+    """
+    finding = audit_placement(planner, table_sizes, config, workloads,
+                              auditor=auditor)
+    if finding.leak_detected:
+        raise PlacementLeakageError(
+            f"placement of {type(planner).__name__} depends on the observed "
+            f"workload (trace divergence {finding.divergence:.3f}); "
+            f"frequency-keyed sharding is a side channel")
+    return finding

@@ -1,0 +1,161 @@
+"""Consistent-hash shard routing with replication and breaker failover.
+
+The router answers "which node serves table t right now?". Ownership is
+static and data-independent: each table's replica set is its planner
+primary (when a :class:`~repro.cluster.placement.ShardPlan` is given)
+followed by successors on a consistent-hash ring of virtual nodes, hashed
+with SHA-256 over *table id* — never over request content. Liveness is
+delegated to a :class:`~repro.resilience.dispatch.ResilientDispatcher`
+whose per-node breakers/crash windows decide admission: routing walks the
+owner list and returns the first admitted owner, which is what makes a
+node kill invisible at replication >= 2 (the sim's zero-loss gate).
+
+Consistent hashing keeps reshards incremental: adding a node remaps only
+the tables whose ring arc it captures, which is the seam the ROADMAP's
+rebalancing/migration follow-on will build on.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.cluster.placement import ShardPlan
+from repro.resilience.dispatch import ResilientDispatcher
+from repro.utils.validation import check_positive
+
+
+def ring_hash(key: str) -> int:
+    """Deterministic 64-bit ring position (SHA-256 prefix, seed-free)."""
+    return int.from_bytes(hashlib.sha256(key.encode("utf-8")).digest()[:8],
+                          "big")
+
+
+class ShardRouter:
+    """Maps table ids to replica owner sets and routes around dead nodes."""
+
+    def __init__(self, num_nodes: int, replication: int = 1,
+                 virtual_nodes: int = 32,
+                 plan: Optional[ShardPlan] = None) -> None:
+        check_positive("num_nodes", num_nodes)
+        check_positive("replication", replication)
+        check_positive("virtual_nodes", virtual_nodes)
+        if replication > num_nodes:
+            raise ValueError(
+                f"replication {replication} exceeds num_nodes {num_nodes}; "
+                f"a table cannot have more owners than there are nodes")
+        if plan is not None and plan.num_nodes != num_nodes:
+            raise ValueError(
+                f"plan places onto {plan.num_nodes} nodes but the router "
+                f"has {num_nodes}")
+        self.num_nodes = num_nodes
+        self.replication = replication
+        self.virtual_nodes = virtual_nodes
+        self.plan = plan
+        ring: List[Tuple[int, int]] = []
+        for node in range(num_nodes):
+            for virtual in range(virtual_nodes):
+                ring.append((ring_hash(f"node-{node}#vn-{virtual}"), node))
+        ring.sort()
+        self._ring = ring
+
+    # ------------------------------------------------------------------
+    def _successors(self, table_id: int) -> List[int]:
+        """Distinct nodes clockwise from the table's ring position."""
+        position = ring_hash(f"table-{int(table_id)}")
+        start = 0
+        for index, (point, _) in enumerate(self._ring):
+            if point >= position:
+                start = index
+                break
+        nodes: List[int] = []
+        for offset in range(len(self._ring)):
+            _, node = self._ring[(start + offset) % len(self._ring)]
+            if node not in nodes:
+                nodes.append(node)
+            if len(nodes) == self.num_nodes:
+                break
+        return nodes
+
+    def owners(self, table_id: int) -> Tuple[int, ...]:
+        """The table's ordered replica set (primary first)."""
+        successors = self._successors(table_id)
+        if self.plan is not None:
+            primary = self.plan.node_of(table_id)
+            ordered = [primary] + [node for node in successors
+                                   if node != primary]
+        else:
+            ordered = successors
+        return tuple(ordered[:self.replication])
+
+    # ------------------------------------------------------------------
+    def route(self, table_id: int, now_seconds: float = 0.0,
+              dispatcher: Optional[ResilientDispatcher] = None
+              ) -> Optional[int]:
+        """First live owner of the table (None when every owner is out).
+
+        With no dispatcher the primary owner is returned unconditionally;
+        with one, admission (breaker not OPEN, not crashed) decides — the
+        failover path a replica kill exercises.
+        """
+        owner_set = self.owners(table_id)
+        if dispatcher is None:
+            return owner_set[0]
+        admitted = set(dispatcher.admitted(now_seconds))
+        for owner in owner_set:
+            if owner in admitted:
+                return owner
+        return None
+
+    def assignment(self, num_tables: int, now_seconds: float = 0.0,
+                   dispatcher: Optional[ResilientDispatcher] = None
+                   ) -> Tuple[Dict[int, List[int]], List[int]]:
+        """(node -> routed table ids, unroutable table ids) right now."""
+        check_positive("num_tables", num_tables)
+        routed: Dict[int, List[int]] = {}
+        unroutable: List[int] = []
+        for table_id in range(num_tables):
+            node = self.route(table_id, now_seconds, dispatcher)
+            if node is None:
+                unroutable.append(table_id)
+            else:
+                routed.setdefault(node, []).append(table_id)
+        return routed, unroutable
+
+    # ------------------------------------------------------------------
+    def ownership_counts(self, num_tables: int) -> List[int]:
+        """Tables per node counting every replica (capacity planning view)."""
+        counts = [0] * self.num_nodes
+        for table_id in range(num_tables):
+            for owner in self.owners(table_id):
+                counts[owner] += 1
+        return counts
+
+    def to_dict(self, num_tables: Optional[int] = None) -> Dict[str, object]:
+        digest: Dict[str, object] = {
+            "num_nodes": self.num_nodes,
+            "replication": self.replication,
+            "virtual_nodes": self.virtual_nodes,
+            "planned": self.plan is not None,
+        }
+        if num_tables is not None:
+            digest["owners"] = {str(table_id): list(self.owners(table_id))
+                                for table_id in range(num_tables)}
+            digest["ownership_counts"] = self.ownership_counts(num_tables)
+        return digest
+
+
+def replica_table_sets(router: ShardRouter, table_sizes: Sequence[int]
+                       ) -> Dict[int, List[int]]:
+    """node -> every table id it must hold (primary or replica copy).
+
+    This is the *provisioning* view — what each node stores — as opposed to
+    :meth:`ShardRouter.assignment`, the *routing* view of who serves what
+    right now.
+    """
+    holdings: Dict[int, List[int]] = {node: []
+                                      for node in range(router.num_nodes)}
+    for table_id in range(len(table_sizes)):
+        for owner in router.owners(table_id):
+            holdings[owner].append(table_id)
+    return holdings

@@ -1,0 +1,322 @@
+"""Cross-shard scatter-gather: one request, every shard, one answer.
+
+A DLRM inference needs *every* sparse feature, so a sharded deployment
+fans each batch out to all shards holding routed tables, waits for the
+slowest shard, and gathers the pooled embeddings into the dense stack.
+:class:`ScatterGatherEngine` models exactly that: each live node runs the
+arrival trace through its own per-shard
+:class:`~repro.serving.engine.ExecutionEngine` (embedding work only — the
+dense MLP and the gather fan-in are priced once at the front end), and the
+per-request end-to-end latency is the elementwise max over shards plus the
+front-end overhead. The per-request deadline budget composes from
+:class:`~repro.resilience.retry.RetryPolicy` the same way the resilient
+executor's does: requests whose gathered latency exceeds the budget are
+shed with their latency censored at the deadline.
+
+Obliviousness is inherited, not re-argued: every shard serves padded,
+data-independent batches (the shard's table set is fixed by the
+frequency-blind plan, the batch shape by the config), so the scatter fan
+and the gather barrier reveal only public quantities — batch counts and
+table-to-shard topology.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.cluster.router import ShardRouter
+from repro.costmodel.latency import MLP_OVERHEAD_SECONDS, DheShape
+from repro.costmodel.platform import DEFAULT_PLATFORM, PlatformModel
+from repro.hybrid.thresholds import ThresholdDatabase
+from repro.resilience.dispatch import ResilientDispatcher
+from repro.resilience.retry import RetryPolicy
+from repro.serving.backends import BackendLike, resolve_backend
+from repro.serving.batcher import BatchingPolicy
+from repro.serving.engine import ArrivalsLike, ExecutionEngine, ServingConfig
+from repro.serving.report import ServingReport
+from repro.serving.requests import RequestQueue
+from repro.telemetry.runtime import get_registry
+from repro.utils.rng import SeedLike
+from repro.utils.validation import check_non_negative
+
+
+class ClusterUnavailableError(RuntimeError):
+    """No live shard can serve any table (the whole fleet is out)."""
+
+
+@dataclass
+class ClusterServingReport:
+    """The gathered view of one scatter-gather run.
+
+    ``report`` carries per-request end-to-end numbers (queue wait of the
+    binding shard + slowest shard service + front-end overhead, censored at
+    the deadline for shed requests); ``fleet`` is the
+    :meth:`~repro.serving.report.ServingReport.merge` of the per-shard
+    reports (aggregate busy time and batch counts); ``shard_reports`` keeps
+    every constituent for drill-down.
+    """
+
+    report: ServingReport
+    fleet: ServingReport
+    shard_reports: Dict[int, ServingReport]
+    assignment: Dict[int, Tuple[int, ...]]       # node -> routed table ids
+    unroutable_tables: Tuple[int, ...]
+    shed_requests: int
+    deadline_seconds: float
+    gather_overhead_seconds: float = 0.0
+    capacity_rps: float = 0.0                    # saturated pipeline capacity
+    shard_batch_latency_seconds: Dict[int, float] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    @property
+    def num_requests(self) -> int:
+        return self.report.num_requests
+
+    @property
+    def num_shards(self) -> int:
+        return len(self.shard_reports)
+
+    @property
+    def availability(self) -> float:
+        """Fraction of requests fully answered before their deadline."""
+        if self.report.num_requests == 0:
+            return 0.0
+        return 1.0 - self.shed_requests / self.report.num_requests
+
+    @property
+    def p99(self) -> float:
+        return self.report.p99
+
+    @property
+    def bottleneck_busy_seconds(self) -> float:
+        """Busy time of the most loaded shard (the scaling bottleneck)."""
+        return max(r.batch_time_total for r in self.shard_reports.values())
+
+    def cluster_throughput(self) -> float:
+        """Requests/second limited by the bottleneck shard's busy time.
+
+        This is the *achieved* rate for the trace actually served; at low
+        offered load padded partial batches keep it far below
+        :attr:`capacity_rps`, the saturated pipeline ceiling (the Fig 13
+        throughput metric, ``batch_size / slowest-stage latency``) that the
+        sim's scaling gate compares.
+        """
+        busy = self.bottleneck_busy_seconds
+        if busy <= 0.0:
+            return 0.0
+        return self.report.num_requests / busy
+
+    def sla_violations(self, sla_seconds: float) -> int:
+        return int(np.count_nonzero(self.report.latencies > sla_seconds))
+
+    # ------------------------------------------------------------------
+    def to_dict(self, sla_seconds: Optional[float] = None
+                ) -> Dict[str, object]:
+        """JSON-stable digest: simulated quantities only."""
+        digest: Dict[str, object] = {
+            "num_requests": self.report.num_requests,
+            "num_shards": self.num_shards,
+            "assignment": {str(node): list(tables)
+                           for node, tables in sorted(self.assignment.items())},
+            "unroutable_tables": list(self.unroutable_tables),
+            "shed_requests": self.shed_requests,
+            "availability": self.availability,
+            "deadline_seconds": self.deadline_seconds,
+            "p50_seconds": self.report.p50,
+            "p95_seconds": self.report.p95,
+            "p99_seconds": self.report.p99,
+            "mean_queue_delay_seconds": self.report.mean_queue_delay,
+            "bottleneck_busy_seconds": self.bottleneck_busy_seconds,
+            "fleet_busy_seconds": self.fleet.batch_time_total,
+            "fleet_batches": self.fleet.num_batches,
+            "cluster_throughput_rps": self.cluster_throughput(),
+            "capacity_rps": self.capacity_rps,
+            "shard_batch_latency_seconds": {
+                str(node): latency for node, latency
+                in sorted(self.shard_batch_latency_seconds.items())},
+            "scan_features": self.report.scan_features,
+            "dhe_features": self.report.dhe_features,
+            "shards": {str(node): {
+                "tables": list(self.assignment[node]),
+                "num_batches": shard.num_batches,
+                "busy_seconds": shard.batch_time_total,
+                "p99_seconds": shard.p99,
+            } for node, shard in sorted(self.shard_reports.items())},
+        }
+        if sla_seconds is not None:
+            digest["sla_seconds"] = sla_seconds
+            digest["sla_violations"] = self.sla_violations(sla_seconds)
+            digest["sla_attainment"] = self.report.sla_attainment(sla_seconds)
+        return digest
+
+
+class ScatterGatherEngine:
+    """Splits per-table lookups across shards and gathers the results."""
+
+    def __init__(self, table_sizes: Sequence[int], embedding_dim: int,
+                 uniform_shape: Optional[DheShape],
+                 thresholds: ThresholdDatabase,
+                 router: ShardRouter,
+                 varied: bool = True,
+                 backend: BackendLike = "modelled",
+                 platform: PlatformModel = DEFAULT_PLATFORM,
+                 mlp_overhead_seconds: float = MLP_OVERHEAD_SECONDS,
+                 gather_overhead_seconds: float = 5e-5,
+                 retry: Optional[RetryPolicy] = None,
+                 dispatcher: Optional[ResilientDispatcher] = None) -> None:
+        if not table_sizes:
+            raise ValueError("scatter-gather needs at least one table")
+        check_non_negative("mlp_overhead_seconds", mlp_overhead_seconds)
+        check_non_negative("gather_overhead_seconds", gather_overhead_seconds)
+        self.table_sizes = tuple(table_sizes)
+        self.embedding_dim = embedding_dim
+        self.uniform_shape = uniform_shape
+        self.thresholds = thresholds
+        self.router = router
+        self.varied = varied
+        # Resolve once so shard engines share one backend (and, for the
+        # measured backend, one generator cache).
+        self.backend = resolve_backend(backend, uniform_shape, platform)
+        self.platform = platform
+        self.mlp_overhead_seconds = mlp_overhead_seconds
+        self.gather_overhead_seconds = gather_overhead_seconds
+        self.retry = retry
+        self.dispatcher = dispatcher
+        self._engines: Dict[Tuple[int, ...], ExecutionEngine] = {}
+
+    # ------------------------------------------------------------------
+    def shard_engine(self, table_ids: Sequence[int]) -> ExecutionEngine:
+        """The (cached) embedding-only engine over a shard's routed tables."""
+        key = tuple(table_ids)
+        if key not in self._engines:
+            sizes = [self.table_sizes[table_id] for table_id in key]
+            self._engines[key] = ExecutionEngine(
+                sizes, self.embedding_dim, self.uniform_shape,
+                self.thresholds, varied=self.varied, backend=self.backend,
+                platform=self.platform, mlp_overhead_seconds=0.0)
+        return self._engines[key]
+
+    def current_assignment(self, now_seconds: float = 0.0
+                           ) -> Tuple[Dict[int, List[int]], List[int]]:
+        """Live (node -> tables, unroutable tables) via the router."""
+        return self.router.assignment(len(self.table_sizes), now_seconds,
+                                      self.dispatcher)
+
+    # ------------------------------------------------------------------
+    def serve(self, config: ServingConfig, arrivals: ArrivalsLike,
+              policy: Optional[BatchingPolicy] = None
+              ) -> ClusterServingReport:
+        """Scatter an arrival trace across the live shards and gather.
+
+        Every shard batches the same trace independently (its own
+        :class:`~repro.serving.batcher.DynamicBatcher` run priced at the
+        shard's table subset); a request completes when its slowest shard
+        does, plus the front-end MLP + gather overhead.
+        """
+        queue = (arrivals if isinstance(arrivals, RequestQueue)
+                 else RequestQueue(arrivals))
+        if policy is not None and self.retry is not None:
+            self.retry.validate_against(policy)
+        routed, unroutable = self.current_assignment(0.0)
+        if not routed:
+            raise ClusterUnavailableError(
+                "no live shard can serve any table; the fleet is out")
+        registry = get_registry()
+        shard_reports: Dict[int, ServingReport] = {}
+        shard_latency: Dict[int, float] = {}
+        with registry.span("cluster.scatter_gather", shards=len(routed),
+                           requests=len(queue)):
+            for node in sorted(routed):
+                engine = self.shard_engine(routed[node])
+                shard_latency[node] = engine.batch_latency(config)
+                with registry.span("cluster.shard_serve", node=node,
+                                   tables=len(routed[node])):
+                    shard_reports[node] = engine.serve(config, queue, policy)
+        capacity = self.capacity_rps(config, shard_latency)
+        return self._gather(queue, shard_reports, routed, unroutable,
+                            capacity, shard_latency)
+
+    def capacity_rps(self, config: ServingConfig,
+                     shard_latency: Dict[int, float]) -> float:
+        """Saturated pipeline capacity: batch size over the slowest stage.
+
+        The shards and the front end (MLP + gather) form a two-stage
+        pipeline; at saturation every stage streams full batches, so the
+        sustainable rate is ``batch_size / max(stage latencies)`` — the
+        same batch-over-latency throughput metric Fig 13 plots, which is
+        what the sim's scaling gate compares across topologies.
+        """
+        front_end = (self.mlp_overhead_seconds
+                     + self.gather_overhead_seconds * len(shard_latency))
+        bottleneck = max(max(shard_latency.values()), front_end)
+        if bottleneck <= 0.0:
+            return 0.0
+        return config.batch_size / bottleneck
+
+    def serve_poisson(self, num_requests: int, rate_rps: float,
+                      config: ServingConfig,
+                      policy: Optional[BatchingPolicy] = None,
+                      rng: SeedLike = None) -> ClusterServingReport:
+        """Open-system scatter-gather: Poisson arrivals across the fleet."""
+        queue = RequestQueue.poisson(num_requests, rate_rps, rng)
+        return self.serve(config, queue, policy)
+
+    # ------------------------------------------------------------------
+    def _gather(self, queue: RequestQueue,
+                shard_reports: Dict[int, ServingReport],
+                routed: Dict[int, List[int]],
+                unroutable: List[int],
+                capacity: float,
+                shard_latency: Dict[int, float]) -> ClusterServingReport:
+        """Join the per-shard per-request arrays into the gathered report."""
+        nodes = sorted(shard_reports)
+        stacked = np.stack([shard_reports[node].latencies for node in nodes])
+        queue_stack = np.stack([shard_reports[node].queue_delays
+                                for node in nodes])
+        overhead = (self.mlp_overhead_seconds
+                    + self.gather_overhead_seconds * len(nodes))
+        total = stacked.max(axis=0) + overhead
+        queue_delays = queue_stack.max(axis=0)
+
+        deadline = (self.retry.deadline_seconds if self.retry is not None
+                    else math.inf)
+        if unroutable:
+            # Some tables have no live owner: every request is missing
+            # embeddings and fails at its deadline.
+            shed_mask = np.ones(total.shape, dtype=bool)
+        else:
+            shed_mask = total > deadline
+        shed = int(np.count_nonzero(shed_mask))
+        if shed and math.isfinite(deadline):
+            total = np.where(shed_mask, np.minimum(total, deadline), total)
+        service = total - queue_delays
+
+        report = ServingReport.from_components(
+            queue_delays=queue_delays, service_latencies=service,
+            num_batches=max(r.num_batches for r in shard_reports.values()),
+            scan_features=sum(r.scan_features
+                              for r in shard_reports.values()),
+            dhe_features=sum(r.dhe_features for r in shard_reports.values()),
+            batch_time_total=max(r.batch_time_total
+                                 for r in shard_reports.values()))
+        fleet = ServingReport.merge(list(shard_reports.values()))
+        registry = get_registry()
+        if registry.enabled:
+            registry.counter("cluster.requests_total").inc(len(queue))
+            registry.counter("cluster.shed_total").inc(shed)
+            registry.gauge("cluster.live_shards").set(len(nodes))
+            registry.histogram("cluster.request_latency_seconds"
+                               ).observe_many(total)
+        return ClusterServingReport(
+            report=report, fleet=fleet, shard_reports=shard_reports,
+            assignment={node: tuple(tables)
+                        for node, tables in routed.items()},
+            unroutable_tables=tuple(unroutable), shed_requests=shed,
+            deadline_seconds=deadline,
+            gather_overhead_seconds=self.gather_overhead_seconds,
+            capacity_rps=capacity,
+            shard_batch_latency_seconds=dict(shard_latency))

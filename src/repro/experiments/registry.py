@@ -6,6 +6,7 @@ from typing import Callable, Dict, List
 
 from repro.experiments import (
     chaos_harness,
+    cluster_harness,
     fig02_taxonomy,
     fig03_attack,
     fig04_dlrm_latency,
@@ -53,6 +54,7 @@ EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
     "table8": table08_meta.run,
     "llm-footprint": llm_footprint.run,
     "chaos": chaos_harness.run,
+    "cluster": cluster_harness.run,
 }
 
 

@@ -46,7 +46,10 @@ def allocate_for_configuration(table_sizes: Sequence[int],
     """Allocation using the profiled threshold for the live configuration."""
     threshold = thresholds.threshold(dim, batch, threads)
     if math.isinf(threshold):
-        threshold = max(table_sizes)
+        # "scan always wins" profiles report an infinite threshold; clamp to
+        # the largest table so every feature scans. The empty-table-set
+        # default keeps the clamp well-defined (no tables, no allocations).
+        threshold = max(table_sizes, default=0.0)
     return allocate_by_threshold(table_sizes, threshold)
 
 

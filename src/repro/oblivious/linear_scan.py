@@ -36,13 +36,26 @@ def linear_scan_batch(table: TracedArray, indices: Sequence[int]) -> np.ndarray:
     """Batched scan: one full sweep per query (the paper's implementation).
 
     The C++/AVX version scans the entire embedding table for each input index
-    in the batch; we reproduce that access pattern row-for-row.
+    in the batch; we reproduce that access pattern row-for-row — each query
+    still issues a complete sequential sweep on the tracer — but the scalar
+    per-row blend chain is collapsed into a single masked matmul over the
+    whole batch. The mask holds exactly one ``1.0`` per query, so every
+    product is the wanted row or an exact ``0.0`` and the result is
+    bit-identical to the per-row oblivious blends it replaces.
     """
     indices = np.asarray(indices, dtype=np.int64).reshape(-1)
-    outputs = np.zeros((indices.size, table.row_width), dtype=table.data.dtype)
-    for query, wanted in enumerate(indices):
-        outputs[query] = linear_scan_lookup(table, int(wanted))
-    return outputs
+    for wanted in indices:
+        if not 0 <= int(wanted) < table.num_rows:
+            raise IndexError(f"index {wanted} out of range for table of "
+                             f"{table.num_rows} rows")
+    if indices.size == 0:
+        return np.zeros((0, table.row_width), dtype=table.data.dtype)
+    data = table.read_all()
+    for _ in range(indices.size - 1):
+        table.read_all()  # the remaining sweeps, one per query, as before
+    onehot = (indices[:, None]
+              == np.arange(table.num_rows)[None, :]).astype(data.dtype)
+    return onehot @ data
 
 
 def linear_scan_batch_vectorized(table_data: np.ndarray,

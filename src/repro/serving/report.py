@@ -10,8 +10,9 @@ return 0.0 on a hand-built report).
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Sequence
 
 import numpy as np
 
@@ -50,6 +51,44 @@ class ServingReport:
                    batch_time_total=batch_time_total,
                    queue_delays=queue_delays,
                    service_latencies=service_latencies)
+
+    @classmethod
+    def merge(cls, reports: Sequence["ServingReport"]) -> "ServingReport":
+        """Merge reports from engines serving *disjoint request populations*.
+
+        Every per-request array is concatenated exactly once: merged
+        ``latencies`` come straight from the constituents, never recomputed
+        as ``queue_delays + latencies`` (each latency already contains its
+        queue wait, so re-adding it would double-count queueing). The
+        queue/service decomposition is kept only when *every* constituent
+        carries it — substituting zeros for a missing decomposition would
+        silently understate queueing in the merged percentiles.
+
+        Counters add: requests, batches, scan/DHE features (shards of one
+        model partition the feature set, so the sums recover the model's
+        totals) and busy time (``throughput()`` of the merged report is the
+        fleet-aggregate rate, requests over summed busy time).
+        """
+        reports = list(reports)
+        if not reports:
+            raise ValueError("merge needs at least one report")
+        latencies = np.concatenate([r.latencies for r in reports])
+        queue_delays: Optional[np.ndarray] = None
+        service_latencies: Optional[np.ndarray] = None
+        if all(r.queue_delays is not None for r in reports):
+            queue_delays = np.concatenate([r.queue_delays for r in reports])
+        if all(r.service_latencies is not None for r in reports):
+            service_latencies = np.concatenate([r.service_latencies
+                                                for r in reports])
+        return cls(
+            num_requests=sum(r.num_requests for r in reports),
+            num_batches=sum(r.num_batches for r in reports),
+            latencies=latencies,
+            scan_features=sum(r.scan_features for r in reports),
+            dhe_features=sum(r.dhe_features for r in reports),
+            batch_time_total=math.fsum(r.batch_time_total for r in reports),
+            queue_delays=queue_delays,
+            service_latencies=service_latencies)
 
     # ------------------------------------------------------------------
     @property

@@ -1,0 +1,26 @@
+"""Shared fixtures for the cluster tests: one profiled threshold DB."""
+
+import pytest
+
+from repro.costmodel.latency import DLRM_DHE_UNIFORM_64
+from repro.hybrid import OfflineProfiler, build_threshold_database
+from repro.serving import ServingConfig
+
+DIM = 64
+BATCH = 32
+
+
+@pytest.fixture(scope="package")
+def thresholds():
+    profiler = OfflineProfiler(DLRM_DHE_UNIFORM_64)
+    profile = profiler.profile(techniques=("scan", "dhe-varied"),
+                               dims=(DIM,), batches=(BATCH,),
+                               threads_list=(1,))
+    return build_threshold_database(profile, dhe_technique="dhe-varied",
+                                    dims=(DIM,), batches=(BATCH,),
+                                    threads_list=(1,))
+
+
+@pytest.fixture
+def config():
+    return ServingConfig(batch_size=BATCH, threads=1)

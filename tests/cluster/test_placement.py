@@ -1,0 +1,107 @@
+"""ShardPlanner: static placement, capacity, and the leakage gate."""
+
+import pytest
+
+from repro.cluster.placement import (
+    PLACEMENT_REGION,
+    FrequencyKeyedPlanner,
+    PlacementError,
+    PlacementLeakageError,
+    ShardPlanner,
+    audit_placement,
+    check_oblivious_placement,
+    default_placement_workloads,
+)
+from repro.costmodel.latency import DLRM_DHE_UNIFORM_64
+from repro.data import TERABYTE_SPEC
+from repro.oblivious.trace import MemoryTracer
+
+from .conftest import DIM
+
+SIZES = TERABYTE_SPEC.table_sizes
+
+
+def make_planner(thresholds, nodes=4, **kwargs):
+    return ShardPlanner(nodes, thresholds, DIM,
+                        uniform_shape=DLRM_DHE_UNIFORM_64, **kwargs)
+
+
+class TestShardPlan:
+    def test_every_table_placed_exactly_once(self, thresholds, config):
+        plan = make_planner(thresholds).plan(SIZES, config)
+        placed = sorted(p.table_id for p in plan.placements)
+        assert placed == list(range(len(SIZES)))
+        for table_id in range(len(SIZES)):
+            assert 0 <= plan.node_of(table_id) < 4
+
+    def test_tables_on_partitions_the_set(self, thresholds, config):
+        plan = make_planner(thresholds).plan(SIZES, config)
+        union = sorted(t for node in range(4) for t in plan.tables_on(node))
+        assert union == list(range(len(SIZES)))
+
+    def test_latency_loads_are_balanced(self, thresholds, config):
+        # LPT on per-table latency: max/mean load should be close to 1.
+        plan = make_planner(thresholds).plan(SIZES, config)
+        assert plan.latency_imbalance() < 1.5
+
+    def test_plan_is_deterministic(self, thresholds, config):
+        planner = make_planner(thresholds)
+        a = planner.plan(SIZES, config)
+        b = planner.plan(SIZES, config)
+        assert a.to_dict() == b.to_dict()
+
+    def test_to_dict_roundtrips_key_fields(self, thresholds, config):
+        digest = make_planner(thresholds).plan(SIZES, config).to_dict()
+        assert digest["num_nodes"] == 4
+        assert len(digest["placements"]) == len(SIZES)
+        assert len(digest["node_latency_seconds"]) == 4
+
+
+class TestCapacity:
+    def test_capacity_violation_raises(self, thresholds, config):
+        planner = make_planner(thresholds, nodes=2, node_capacity_bytes=1)
+        with pytest.raises(PlacementError, match="fits no node"):
+            planner.plan(SIZES, config)
+
+    def test_ample_capacity_places_everything(self, thresholds, config):
+        planner = make_planner(thresholds, nodes=2,
+                               node_capacity_bytes=10**12)
+        plan = planner.plan(SIZES, config)
+        assert len(plan.placements) == len(SIZES)
+
+
+class TestObliviousnessInvariant:
+    def test_workload_does_not_move_placement(self, thresholds, config):
+        planner = make_planner(thresholds)
+        digests = set()
+        for workload in default_placement_workloads(len(SIZES)):
+            plan = planner.plan(SIZES, config, workload=workload)
+            digests.add(str(plan.to_dict()))
+        assert len(digests) == 1
+
+    def test_placement_trace_recorded(self, thresholds, config):
+        tracer = MemoryTracer()
+        make_planner(thresholds).plan(SIZES, config, tracer=tracer)
+        assert len(tracer.addresses(PLACEMENT_REGION)) == len(SIZES)
+
+    def test_compliant_planner_passes_audit(self, thresholds, config):
+        finding = check_oblivious_placement(make_planner(thresholds), SIZES,
+                                            config)
+        assert finding.passed
+        assert not finding.leak_detected
+
+    def test_frequency_keyed_planner_is_caught(self, thresholds, config):
+        """The negative test the issue demands: a deliberately
+        frequency-keyed placement must fail the gate loudly."""
+        leaky = FrequencyKeyedPlanner(4, thresholds, DIM,
+                                      uniform_shape=DLRM_DHE_UNIFORM_64)
+        with pytest.raises(PlacementLeakageError, match="side channel"):
+            check_oblivious_placement(leaky, SIZES, config)
+
+    def test_frequency_keyed_audit_finding(self, thresholds, config):
+        leaky = FrequencyKeyedPlanner(4, thresholds, DIM,
+                                      uniform_shape=DLRM_DHE_UNIFORM_64)
+        finding = audit_placement(leaky, SIZES, config,
+                                  expect_oblivious=False)
+        assert finding.leak_detected
+        assert finding.passed  # expectation (leaky) matched reality

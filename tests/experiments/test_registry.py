@@ -18,7 +18,7 @@ from repro.experiments.registry import (
 ALL_IDS = {"fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
            "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "table1",
            "table2", "table5", "table6", "table7", "table8",
-           "llm-footprint", "chaos"}
+           "llm-footprint", "chaos", "cluster"}
 
 
 class TestRegistry:
@@ -218,6 +218,17 @@ class TestLlmFootprint:
         assert parts["oram (circuit)"] == pytest.approx(513.6, rel=0.1)
         assert parts["dhe (+tied head table)"] == pytest.approx(56.0,
                                                                 rel=0.1)
+
+
+class TestCluster:
+    def test_scaling_story_and_gates(self):
+        result = run_experiment("cluster", num_requests=96)
+        capacities = [float(c) for c in result.column("capacity_rps")]
+        nodes = [int(n) for n in result.column("nodes")]
+        # capacity grows with node count; every gate reported PASS
+        assert capacities[nodes.index(4)] > 3 * capacities[nodes.index(1)]
+        assert "FAIL" not in result.notes
+        assert "failover" in result.notes
 
 
 class TestTable1:

@@ -58,6 +58,62 @@ class TestAllocateForConfiguration:
         assert count_scan_features(allocations) == 2
 
 
+class TestAllocatorEdgeCases:
+    """Previously untested paths: empty table set, a one-row table, and a
+    profile that forces every table over the threshold (uniform DHE)."""
+
+    def _db(self, value):
+        db = ThresholdDatabase(dhe_technique="dhe-uniform")
+        db.thresholds[ThresholdKey(64, 32, 1)] = value
+        return db
+
+    def test_empty_table_list_yields_no_allocations(self):
+        allocations = allocate_for_configuration((), self._db(100.0),
+                                                 dim=64, batch=32, threads=1)
+        assert allocations == []
+        assert count_scan_features(allocations) == 0
+
+    def test_empty_table_list_with_infinite_threshold(self):
+        # The inf clamp used to call max() on the empty set and crash.
+        allocations = allocate_for_configuration((), self._db(math.inf),
+                                                 dim=64, batch=32, threads=1)
+        assert allocations == []
+
+    def test_empty_table_list_by_threshold(self):
+        assert allocate_by_threshold((), threshold=100.0) == []
+
+    def test_single_one_row_table_scans(self):
+        # A one-row table is the degenerate scan: any positive threshold
+        # covers it, and the sweep is a single row.
+        allocations = allocate_for_configuration((1,), self._db(100.0),
+                                                 dim=64, batch=32, threads=1)
+        assert [a.technique for a in allocations] == [TECHNIQUE_SCAN]
+        assert allocations[0].table_size == 1
+
+    def test_single_one_row_table_hybrid_end_to_end(self):
+        hybrid = HybridEmbedding(DHEEmbedding(1, 4, k=8, fc_sizes=(8,),
+                                              rng=0))
+        allocations = allocate_by_threshold((1,), threshold=1.0)
+        apply_allocations([hybrid], allocations)
+        assert hybrid.active == TECHNIQUE_SCAN
+        out = hybrid.generate(np.array([0, 0, 0]))
+        assert out.shape == (3, 4)
+        np.testing.assert_allclose(out[0], out[1], atol=0)
+
+    def test_all_tables_over_threshold_forces_uniform_dhe(self):
+        # Threshold 0 (DHE always cheaper on the profiled grid): every
+        # feature flips to the DHE representation.
+        sizes = (10, 100, 1000)
+        allocations = allocate_for_configuration(sizes, self._db(0.0),
+                                                 dim=64, batch=32, threads=1)
+        assert [a.technique for a in allocations] == [TECHNIQUE_DHE] * 3
+        hybrids = [HybridEmbedding(DHEEmbedding(size, 4, k=8, fc_sizes=(8,),
+                                                rng=i))
+                   for i, size in enumerate(sizes)]
+        apply_allocations(hybrids, allocations)
+        assert all(h.active == TECHNIQUE_DHE for h in hybrids)
+
+
 class TestApplyAllocations:
     def _hybrids(self, sizes):
         return [HybridEmbedding(DHEEmbedding(size, 4, k=8, fc_sizes=(8,),

@@ -56,6 +56,45 @@ class TestLinearScanBatch:
         assert len(tracer.addresses("t")) == 3 * 20
 
 
+class TestBatchVectorisationParity:
+    """The matmul-vectorised batch must be indistinguishable — output bytes
+    and trace events — from the scalar per-row blend chain it replaced."""
+
+    def test_bitwise_seed_parity_with_scalar_reference(self):
+        rng = np.random.default_rng(20250805)
+        table = rng.normal(size=(64, 16))
+        indices = rng.integers(0, 64, size=40)
+        batch = linear_scan_batch(TracedArray(table, "t"), indices)
+        reference_table = TracedArray(table, "t")
+        reference = np.stack([linear_scan_lookup(reference_table, int(index))
+                              for index in indices])
+        assert batch.dtype == reference.dtype
+        assert batch.tobytes() == reference.tobytes()  # bitwise, no atol
+
+    def test_trace_identical_to_scalar_sweeps(self):
+        rng = np.random.default_rng(20250805)
+        table = rng.normal(size=(32, 4))
+        indices = [5, 0, 31, 5]
+        batch_tracer = MemoryTracer()
+        linear_scan_batch(TracedArray(table, "t", batch_tracer), indices)
+        scalar_tracer = MemoryTracer()
+        scalar_table = TracedArray(table, "t", scalar_tracer)
+        for index in indices:
+            linear_scan_lookup(scalar_table, index)
+        assert batch_tracer.snapshot() == scalar_tracer.snapshot()
+
+    def test_out_of_range_raises_before_any_sweep(self, table):
+        tracer = MemoryTracer()
+        with pytest.raises(IndexError):
+            linear_scan_batch(TracedArray(table, "t", tracer), [1, 20])
+        assert len(tracer) == 0
+
+    def test_empty_batch(self, table):
+        out = linear_scan_batch(TracedArray(table, "t"), [])
+        assert out.shape == (0, 6)
+        assert out.dtype == table.dtype
+
+
 class TestVectorizedScan:
     @given(st.lists(st.integers(0, 19), min_size=1, max_size=10))
     @settings(max_examples=25)

@@ -50,6 +50,79 @@ class TestFromComponents:
                 batch_time_total=1.0)
 
 
+class TestMerge:
+    def make_component_report(self, queue, service, **overrides):
+        defaults = dict(num_batches=1, scan_features=2, dhe_features=3,
+                        batch_time_total=0.5)
+        defaults.update(overrides)
+        return ServingReport.from_components(
+            queue_delays=np.asarray(queue, dtype=np.float64),
+            service_latencies=np.asarray(service, dtype=np.float64),
+            **defaults)
+
+    def test_counters_sum(self):
+        merged = ServingReport.merge([
+            self.make_component_report([0.0, 0.1], [1.0, 1.0],
+                                       num_batches=2, scan_features=1,
+                                       dhe_features=4, batch_time_total=0.25),
+            self.make_component_report([0.2], [2.0], num_batches=3,
+                                       scan_features=5, dhe_features=6,
+                                       batch_time_total=0.75),
+        ])
+        assert merged.num_requests == 3
+        assert merged.num_batches == 5
+        assert merged.scan_features == 6
+        assert merged.dhe_features == 10
+        assert merged.batch_time_total == pytest.approx(1.0)
+        assert merged.throughput() == pytest.approx(3.0)
+
+    def test_no_double_counted_queue_waits(self):
+        # Each constituent latency already contains its queue wait; the
+        # merged latencies must be the concatenation, never queue + latency.
+        a = self.make_component_report([0.5, 0.5], [1.0, 1.0])
+        b = self.make_component_report([0.25], [2.0])
+        merged = ServingReport.merge([a, b])
+        np.testing.assert_array_equal(merged.latencies,
+                                      [1.5, 1.5, 2.25])
+        np.testing.assert_array_equal(merged.queue_delays, [0.5, 0.5, 0.25])
+        np.testing.assert_array_equal(merged.service_latencies,
+                                      [1.0, 1.0, 2.0])
+        assert merged.mean_queue_delay == pytest.approx((0.5 + 0.5 + 0.25) / 3)
+
+    def test_missing_decomposition_drops_queue_stats(self):
+        # A constituent without queue/service arrays must not contribute
+        # silent zeros: the merged report drops the decomposition entirely.
+        merged = ServingReport.merge([
+            self.make_component_report([0.5], [1.0]),
+            make_report(),
+        ])
+        assert merged.queue_delays is None
+        assert merged.service_latencies is None
+        assert merged.num_requests == 5
+        assert merged.mean_queue_delay == 0.0
+
+    def test_merge_is_associative_on_statistics(self):
+        a = self.make_component_report([0.0, 0.1], [1.0, 1.0])
+        b = self.make_component_report([0.2], [2.0])
+        c = self.make_component_report([0.3, 0.0], [0.5, 0.5])
+        left = ServingReport.merge([ServingReport.merge([a, b]), c])
+        flat = ServingReport.merge([a, b, c])
+        np.testing.assert_array_equal(left.latencies, flat.latencies)
+        assert left.num_requests == flat.num_requests
+        assert left.num_batches == flat.num_batches
+        assert left.batch_time_total == pytest.approx(flat.batch_time_total)
+
+    def test_single_report_round_trips(self):
+        a = self.make_component_report([0.0, 0.1], [1.0, 2.0])
+        merged = ServingReport.merge([a])
+        np.testing.assert_array_equal(merged.latencies, a.latencies)
+        assert merged.p99 == a.p99
+
+    def test_empty_merge_rejected(self):
+        with pytest.raises(ValueError, match="at least one report"):
+            ServingReport.merge([])
+
+
 class TestStatistics:
     def test_percentiles_and_sla(self):
         report = make_report()

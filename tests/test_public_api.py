@@ -18,6 +18,7 @@ PACKAGES = [
     "repro.metrics",
     "repro.serving",
     "repro.resilience",
+    "repro.cluster",
     "repro.experiments",
     "repro.experiments.registry",
     "repro.telemetry",
@@ -64,6 +65,7 @@ def test_registry_covers_every_experiment_module():
 
     directory = os.path.dirname(experiments_package.__file__)
     modules = [name for name in os.listdir(directory)
-               if name.startswith(("fig", "table", "llm_", "chaos_"))
+               if name.startswith(("fig", "table", "llm_", "chaos_",
+                                   "cluster_"))
                and name.endswith(".py")]
     assert len(modules) == len(EXPERIMENTS)
