@@ -4,15 +4,38 @@ Scales the paper's single-host hybrid allocation (Algorithms 2/3) out to a
 simulated cluster: capacity-aware, traffic-blind placement
 (:mod:`repro.cluster.placement`), consistent-hash routing with replication
 and breaker-driven failover (:mod:`repro.cluster.router`), cross-shard
-scatter-gather execution (:mod:`repro.cluster.scatter`), and the gated
-topology sweep (:mod:`repro.cluster.sim`, ``python -m repro.cluster.sim``).
+scatter-gather execution (:mod:`repro.cluster.scatter`), the plan-epoch
+control plane with live, audited table migration
+(:mod:`repro.cluster.epoch`, :mod:`repro.cluster.migration`), and the
+gated sweeps (``python -m repro.cluster.sim``,
+``python -m repro.cluster.migrate``).
 """
 
+from repro.cluster.epoch import (
+    EpochControlPlane,
+    PlanEpoch,
+    UnknownEpochError,
+)
+from repro.cluster.migration import (
+    MIGRATION_REGION,
+    HotFirstMigrationPlanner,
+    MigrationEngine,
+    MigrationPlanner,
+    MigrationReport,
+    MigrationStep,
+    TableMove,
+    TransitioningOwnerMap,
+    audit_migration,
+    check_oblivious_migration,
+    default_migration_workloads,
+    migration_subject,
+)
 from repro.cluster.placement import (
     PLACEMENT_REGION,
     FrequencyKeyedPlanner,
     PlacementError,
     PlacementLeakageError,
+    RingPlanner,
     ShardPlan,
     ShardPlanner,
     TablePlacement,
@@ -22,8 +45,8 @@ from repro.cluster.placement import (
     placement_subject,
 )
 from repro.cluster.router import ShardRouter, replica_table_sets, ring_hash
-# repro.cluster.sim is deliberately NOT imported here: it is the
-# ``python -m repro.cluster.sim`` entry point, and importing it from the
+# repro.cluster.sim and repro.cluster.migrate are deliberately NOT imported
+# here: they are the ``python -m`` entry points, and importing them from the
 # package would shadow the runpy execution (and slow ``import repro.cluster``
 # down with the experiment machinery).
 from repro.cluster.scatter import (
@@ -33,10 +56,26 @@ from repro.cluster.scatter import (
 )
 
 __all__ = [
+    "EpochControlPlane",
+    "PlanEpoch",
+    "UnknownEpochError",
+    "MIGRATION_REGION",
+    "HotFirstMigrationPlanner",
+    "MigrationEngine",
+    "MigrationPlanner",
+    "MigrationReport",
+    "MigrationStep",
+    "TableMove",
+    "TransitioningOwnerMap",
+    "audit_migration",
+    "check_oblivious_migration",
+    "default_migration_workloads",
+    "migration_subject",
     "PLACEMENT_REGION",
     "FrequencyKeyedPlanner",
     "PlacementError",
     "PlacementLeakageError",
+    "RingPlanner",
     "ShardPlan",
     "ShardPlanner",
     "TablePlacement",

@@ -1,0 +1,350 @@
+"""The migration simulator: node add/remove × replication × step size, gated.
+
+Replays the Fig 13 Terabyte serving workload while the fleet reshapes
+under it — the plan-epoch control plane issues a successor epoch and the
+:class:`~repro.cluster.migration.MigrationEngine` walks the move-set in
+bounded steps against live traffic. The gates are the live-migration
+counterpart of ``repro.cluster.sim``'s:
+
+* **per-epoch placement audit** — every epoch's planner passes
+  :func:`~repro.cluster.placement.check_oblivious_placement` before its
+  plan may serve;
+* **migration audit** — every intermediate assignment (pending /
+  in-flight / moved per step) replays identically under contrasting
+  workloads via :func:`~repro.cluster.migration.check_oblivious_migration`,
+  and the :class:`~repro.cluster.migration.HotFirstMigrationPlanner`
+  negative control must be *caught*;
+* **zero loss at R >= 2** — no request drops during or after the
+  transition (double-serve covers every in-flight table), including with
+  one node killed for the whole migration;
+* **p99 inflation** — migration-window p99 <= ``P99_INFLATION_CEILING`` x
+  the steady-state p99 (double-serve is bounded extra load, not a stall);
+* **incrementality** — the move-set stays within
+  ``ceil(tables x R / nodes) + MOVE_SLACK`` (the consistent-hash ring's
+  promise that a one-node reshard moves ~1/N of the copies).
+
+Everything derives from one seed; two runs emit byte-identical JSON and
+CI pins that with ``cmp``.
+
+CLI::
+
+    python -m repro.cluster.migrate --seed 7 --nodes-before 4 \
+        --nodes-after 5 --step-size 2 --json migrate.json
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Dict, List, Sequence
+
+from repro.cluster.epoch import EpochControlPlane, PlanEpoch
+from repro.cluster.migration import (
+    HotFirstMigrationPlanner,
+    MigrationEngine,
+    audit_migration,
+    check_oblivious_migration,
+)
+from repro.cluster.placement import (
+    RingPlanner,
+    check_oblivious_placement,
+    default_placement_workloads,
+)
+from repro.cluster.scatter import ScatterGatherEngine
+from repro.cluster.sim import build_model, plan_digest
+from repro.data import TERABYTE_SPEC, DlrmDatasetSpec
+from repro.resilience.dispatch import ResilientDispatcher
+from repro.resilience.retry import RetryPolicy
+from repro.serving import ServingConfig
+from repro.serving.batcher import BatchingPolicy
+from repro.serving.requests import RequestQueue
+
+#: the migration gates CI enforces (ISSUE 5 acceptance criteria)
+P99_INFLATION_CEILING = 2.0    # window p99 vs steady state
+MOVE_SLACK = 3                 # tables beyond ceil(tables*R/nodes)
+
+SLA_SECONDS = 0.020
+NUM_REQUESTS = 384
+RATE_RPS = 2000.0
+BATCH = 32
+DEADLINE_SECONDS = 0.500
+NODES_BEFORE = 4
+NODES_AFTER = 5
+REPLICATIONS = (1, 2)
+STEP_SIZES = (2, 4)
+
+#: stand-in for "down for the whole run" that stays JSON-representable
+FOREVER_SECONDS = 1e9
+
+
+def move_bound(num_tables: int, replication: int, num_nodes: int) -> int:
+    """The incrementality ceiling: ring reshards move ~R/N of the tables."""
+    return math.ceil(num_tables * replication / num_nodes) + MOVE_SLACK
+
+
+def _scenario(direction: str, src_nodes: int, dst_nodes: int,
+              replication: int, step_size: int,
+              plans, arrivals, sizes, dim, uniform, thresholds, config,
+              policy, retry, steady_cache: Dict) -> Dict[str, object]:
+    """Run one (direction, R, step size) migration cell end to end."""
+    key = (direction, replication)
+    if key not in steady_cache:
+        source = PlanEpoch.create(0, plans[src_nodes],
+                                  replication=replication)
+        control = EpochControlPlane(source)
+        target = control.advance(plans[dst_nodes])
+        engine = ScatterGatherEngine(sizes, dim, uniform, thresholds,
+                                     source.router, retry=retry)
+        steady = engine.serve(config, arrivals, policy)
+        steady_cache[key] = (source, target, engine, steady)
+    source, target, engine, steady = steady_cache[key]
+
+    migrator = MigrationEngine(source, target, step_size=step_size)
+    finding = check_oblivious_migration(migrator)
+    report = migrator.execute(engine, config, arrivals, policy)
+    after = engine.serve(config, arrivals, policy,
+                         owner_map=migrator.final_owner_map())
+
+    inflation = (report.window_p99 / steady.p99 if steady.p99 > 0 else 0.0)
+    bound = move_bound(len(sizes), replication,
+                       max(src_nodes, dst_nodes))
+    zero_loss = (report.shed_requests == 0 and report.unroutable_events == 0
+                 and after.shed_requests == 0)
+    cell = report.to_dict()
+    cell.pop("moves")   # per-move detail lives in the steps already
+    cell.update({
+        "direction": direction,
+        "nodes_before": src_nodes,
+        "nodes_after": dst_nodes,
+        "audit_divergence": finding.divergence,
+        "audit_passed": finding.passed,
+        "steady_p99_seconds": steady.p99,
+        "after_p99_seconds": after.p99,
+        "after_shed_requests": after.shed_requests,
+        "p99_inflation": inflation,
+        "p99_inflation_ok": inflation <= P99_INFLATION_CEILING,
+        "move_bound": bound,
+        "incremental": report.tables_moved <= bound,
+        "zero_loss": zero_loss,
+    })
+    return cell
+
+
+def run_migration(seed: int = 0, spec: DlrmDatasetSpec = TERABYTE_SPEC,
+                  num_requests: int = NUM_REQUESTS,
+                  rate_rps: float = RATE_RPS, batch: int = BATCH,
+                  sla_seconds: float = SLA_SECONDS,
+                  nodes_before: int = NODES_BEFORE,
+                  nodes_after: int = NODES_AFTER,
+                  replications: Sequence[int] = REPLICATIONS,
+                  step_sizes: Sequence[int] = STEP_SIZES
+                  ) -> Dict[str, object]:
+    """Run the full migration sweep; return the JSON-stable report."""
+    if nodes_before == nodes_after:
+        raise ValueError("a migration needs nodes_before != nodes_after")
+    replications = tuple(sorted(set(replications)))
+    step_sizes = tuple(sorted(set(step_sizes)))
+    config = ServingConfig(batch_size=batch, threads=1,
+                           sla_seconds=sla_seconds)
+    policy = BatchingPolicy(max_batch_size=batch, max_wait_seconds=0.002)
+    retry = RetryPolicy(deadline_seconds=DEADLINE_SECONDS)
+    dim = spec.embedding_dim
+    sizes = spec.table_sizes
+    uniform, thresholds = build_model(spec, batch)
+    arrivals = RequestQueue.poisson(num_requests, rate_rps, rng=seed)
+    workloads = default_placement_workloads(len(sizes))
+
+    # ------------------------------------------------------------------
+    # Per-epoch placement audit: every plan that any epoch will serve
+    # passes the exact-mode leakage gate first.
+    node_counts = sorted({nodes_before, nodes_after})
+    base = RingPlanner(node_counts[0], thresholds, dim, uniform)
+    plans: Dict[int, object] = {}
+    epoch_audits: List[Dict[str, object]] = []
+    audits_passed = True
+    for nodes in node_counts:
+        planner = base if nodes == node_counts[0] else base.for_nodes(nodes)
+        finding = check_oblivious_placement(planner, sizes, config,
+                                            workloads=workloads)
+        audits_passed = audits_passed and finding.passed
+        plans[nodes] = planner.plan(sizes, config)
+        epoch_audits.append({
+            "num_nodes": nodes,
+            "plan_digest": plan_digest(plans[nodes]),
+            "audit_divergence": finding.divergence,
+            "audit_passed": finding.passed,
+        })
+
+    # ------------------------------------------------------------------
+    # The sweep: add and remove directions x replication x step size.
+    scenarios = [("add", nodes_before, nodes_after),
+                 ("remove", nodes_after, nodes_before)]
+    cells: List[Dict[str, object]] = []
+    steady_cache: Dict = {}
+    migration_audit_ok = True
+    zero_loss_ok = True
+    p99_ok = True
+    incremental_ok = True
+    for direction, src_nodes, dst_nodes in scenarios:
+        for replication in replications:
+            if replication > min(src_nodes, dst_nodes):
+                continue
+            for step_size in step_sizes:
+                cell = _scenario(direction, src_nodes, dst_nodes,
+                                 replication, step_size, plans, arrivals,
+                                 sizes, dim, uniform, thresholds, config,
+                                 policy, retry, steady_cache)
+                cells.append(cell)
+                migration_audit_ok = migration_audit_ok and cell["audit_passed"]
+                p99_ok = p99_ok and cell["p99_inflation_ok"]
+                incremental_ok = incremental_ok and cell["incremental"]
+                if replication >= 2:
+                    zero_loss_ok = zero_loss_ok and cell["zero_loss"]
+
+    # ------------------------------------------------------------------
+    # Gate: kill one node for the entire migration at R=2 — double-serve
+    # plus replica failover must still lose nothing, with breaker state
+    # carried across the epoch change by the shared dispatcher.
+    failover: Dict[str, object] = {"applicable": False}
+    failover_ok = True
+    if 2 in replications and min(nodes_before, nodes_after) >= 2:
+        source = PlanEpoch.create(0, plans[nodes_before], replication=2)
+        dispatcher = ResilientDispatcher(
+            num_replicas=max(nodes_before, nodes_after))
+        control = EpochControlPlane(source, dispatcher=dispatcher)
+        target = control.advance(plans[nodes_after])
+        victim = 0
+        dispatcher.mark_down(victim, until_seconds=FOREVER_SECONDS,
+                             now_seconds=0.0)
+        engine = ScatterGatherEngine(sizes, dim, uniform, thresholds,
+                                     source.router, retry=retry,
+                                     dispatcher=dispatcher)
+        migrator = MigrationEngine(source, target, step_size=step_sizes[0])
+        killed = migrator.execute(engine, config, arrivals, policy)
+        failover_ok = (killed.shed_requests == 0
+                       and killed.unroutable_events == 0)
+        failover = {
+            "applicable": True,
+            "nodes_before": nodes_before,
+            "nodes_after": nodes_after,
+            "replication": 2,
+            "step_size": step_sizes[0],
+            "victim": victim,
+            "shed_requests": killed.shed_requests,
+            "unroutable_events": killed.unroutable_events,
+            "availability": killed.availability,
+            "window_p99_seconds": killed.window_p99,
+            "zero_loss": failover_ok,
+        }
+
+    # ------------------------------------------------------------------
+    # Gate with teeth: the hot-first anti-pattern must be *caught*.
+    source = PlanEpoch.create(0, plans[nodes_before],
+                              replication=max(replications))
+    target = source.successor(plans[nodes_after])
+    hot = MigrationEngine(source, target, step_size=1,
+                          planner=HotFirstMigrationPlanner())
+    negative = audit_migration(hot, name="hot-first-migration",
+                               expect_oblivious=False)
+    negative_ok = negative.leak_detected
+
+    gates = {
+        "per_epoch_placement_audit": audits_passed,
+        "migration_audit": migration_audit_ok,
+        "zero_loss_r2": zero_loss_ok,
+        "p99_inflation": p99_ok,
+        "incrementality": incremental_ok,
+        "failover_zero_loss": failover_ok,
+        "leak_detector_teeth": negative_ok,
+    }
+    gates["passed"] = all(gates.values())
+    return {
+        "seed": seed,
+        "spec": spec.name,
+        "num_requests": num_requests,
+        "rate_rps": rate_rps,
+        "batch_size": batch,
+        "sla_seconds": sla_seconds,
+        "deadline_seconds": DEADLINE_SECONDS,
+        "nodes_before": nodes_before,
+        "nodes_after": nodes_after,
+        "replications": list(replications),
+        "step_sizes": list(step_sizes),
+        "p99_inflation_ceiling": P99_INFLATION_CEILING,
+        "move_slack": MOVE_SLACK,
+        "epoch_audits": epoch_audits,
+        "cells": cells,
+        "failover": failover,
+        "negative_audit": negative.to_dict(),
+        "gates": gates,
+    }
+
+
+def render(report: Dict[str, object]) -> str:
+    """Human-readable migration sweep summary."""
+    lines = [f"migration sweep (seed={report['seed']}, "
+             f"spec={report['spec']}, {report['num_requests']} requests @ "
+             f"{report['rate_rps']:.0f} rps, "
+             f"{report['nodes_before']}<->{report['nodes_after']} nodes)"]
+    for cell in report["cells"]:
+        lines.append(
+            f"  {cell['direction']:>6} {cell['nodes_before']}->"
+            f"{cell['nodes_after']} R={cell['replication']} "
+            f"step={cell['step_size']}: moved={cell['tables_moved']} "
+            f"(<= {cell['move_bound']})  steps={cell['num_steps']}  "
+            f"shed={cell['shed_requests']}  "
+            f"window p99={cell['window_p99_seconds'] * 1e3:.3f} ms "
+            f"({cell['p99_inflation']:.2f}x steady)")
+    failover = report["failover"]
+    if failover["applicable"]:
+        lines.append(
+            f"  failover: killed node {failover['victim']} during the "
+            f"{failover['nodes_before']}->{failover['nodes_after']} R=2 "
+            f"migration -> shed={failover['shed_requests']} "
+            f"{'ZERO LOSS' if failover['zero_loss'] else 'LOSSY'}")
+    gates = report["gates"]
+    verdicts = "  ".join(f"{name}={'PASS' if ok else 'FAIL'}"
+                         for name, ok in gates.items() if name != "passed")
+    lines.append(f"  gates: {verdicts}")
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        description="Migrate embedding tables between plan epochs against "
+                    "live traffic, gated.")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--requests", type=int, default=NUM_REQUESTS)
+    parser.add_argument("--rate", type=float, default=RATE_RPS)
+    parser.add_argument("--nodes-before", type=int, default=NODES_BEFORE,
+                        help="fleet size of the source epoch "
+                             f"(default {NODES_BEFORE})")
+    parser.add_argument("--nodes-after", type=int, default=NODES_AFTER,
+                        help="fleet size of the target epoch "
+                             f"(default {NODES_AFTER})")
+    parser.add_argument("--step-size", type=int, default=None,
+                        help="tables moved per step (default: sweep "
+                             f"{STEP_SIZES})")
+    parser.add_argument("--json", metavar="PATH",
+                        help="write the deterministic migration report")
+    args = parser.parse_args(argv)
+
+    step_sizes: Sequence[int] = (STEP_SIZES if args.step_size is None
+                                 else (args.step_size,))
+    report = run_migration(seed=args.seed, num_requests=args.requests,
+                           rate_rps=args.rate,
+                           nodes_before=args.nodes_before,
+                           nodes_after=args.nodes_after,
+                           step_sizes=step_sizes)
+    print(render(report))
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    return 0 if report["gates"]["passed"] else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -212,17 +212,9 @@ class ShardPlanner:
         """LPT order over static costs; ``workload`` is deliberately unread."""
         return sorted(costs, key=lambda c: (-c.latency_seconds, c.table_id))
 
-    # ------------------------------------------------------------------
-    def plan(self, table_sizes: Sequence[int], config: ServingConfig,
-             workload: Optional[Sequence[int]] = None,
-             tracer: Optional[MemoryTracer] = None) -> ShardPlan:
-        """Place every table on a node; record the decisions on ``tracer``.
-
-        ``workload`` is an observed index trace (what a frequency-keyed
-        planner would bin into per-table heat). This planner accepts it
-        only so :func:`check_oblivious_placement` can verify it is ignored.
-        """
-        costs = self.table_costs(table_sizes, config)
+    def _assign(self, costs: Sequence[TablePlacement],
+                workload: Optional[Sequence[int]]) -> Dict[int, int]:
+        """table id -> node. The seam epoch-aware planners override."""
         loads = [0.0] * self.num_nodes
         used = [0] * self.num_nodes
         assigned: Dict[int, int] = {}
@@ -239,6 +231,34 @@ class ShardPlanner:
             loads[node] += cost.latency_seconds
             used[node] += cost.footprint_bytes
             assigned[cost.table_id] = node
+        return assigned
+
+    def for_nodes(self, num_nodes: int) -> "ShardPlanner":
+        """A planner with identical static config targeting a new fleet size.
+
+        This is the seam the plan-epoch control plane replans through: the
+        cost model, thresholds and backend are shared, only the node count
+        changes, so successive epochs price tables identically.
+        """
+        clone = type(self)(num_nodes, self.thresholds, self.embedding_dim,
+                           uniform_shape=self.uniform_shape,
+                           varied=self.varied, backend=self.backend,
+                           platform=self.platform,
+                           node_capacity_bytes=self.node_capacity_bytes)
+        return clone
+
+    # ------------------------------------------------------------------
+    def plan(self, table_sizes: Sequence[int], config: ServingConfig,
+             workload: Optional[Sequence[int]] = None,
+             tracer: Optional[MemoryTracer] = None) -> ShardPlan:
+        """Place every table on a node; record the decisions on ``tracer``.
+
+        ``workload`` is an observed index trace (what a frequency-keyed
+        planner would bin into per-table heat). This planner accepts it
+        only so :func:`check_oblivious_placement` can verify it is ignored.
+        """
+        costs = self.table_costs(table_sizes, config)
+        assigned = self._assign(costs, workload)
         placements = tuple(
             TablePlacement(cost.table_id, cost.table_size, cost.technique,
                            cost.footprint_bytes, cost.latency_seconds,
@@ -277,6 +297,29 @@ class FrequencyKeyedPlanner(ShardPlanner):
                            minlength=len(costs))
         return sorted(costs,
                       key=lambda c: (-int(heat[c.table_id]), c.table_id))
+
+
+class RingPlanner(ShardPlanner):
+    """Placement keyed on the consistent-hash ring — the migration planner.
+
+    Each table's primary is its ring owner (SHA-256 over table id, the same
+    ring :class:`~repro.cluster.router.ShardRouter` walks), so successive
+    plan epochs inherit the ring's incremental-reshard property: growing
+    the fleet from N to N+1 nodes remaps only the tables whose ring arc the
+    new node captures, which is what keeps the migration move-set minimal.
+    Costs (technique, footprint, latency) still come from the static cost
+    model; the assignment reads nothing but table ids, so the placement
+    audit passes in exact mode like the LPT planner's.
+    """
+
+    def _assign(self, costs: Sequence[TablePlacement],
+                workload: Optional[Sequence[int]]) -> Dict[int, int]:
+        from repro.cluster.router import ShardRouter
+
+        ring = ShardRouter(self.num_nodes, replication=1,
+                           virtual_nodes=32)
+        return {cost.table_id: ring.owners_for(cost.table_id)[0]
+                for cost in costs}
 
 
 # ----------------------------------------------------------------------

@@ -36,7 +36,8 @@ class ShardRouter:
 
     def __init__(self, num_nodes: int, replication: int = 1,
                  virtual_nodes: int = 32,
-                 plan: Optional[ShardPlan] = None) -> None:
+                 plan: Optional[ShardPlan] = None,
+                 epoch: int = 0) -> None:
         check_positive("num_nodes", num_nodes)
         check_positive("replication", replication)
         check_positive("virtual_nodes", virtual_nodes)
@@ -48,16 +49,35 @@ class ShardRouter:
             raise ValueError(
                 f"plan places onto {plan.num_nodes} nodes but the router "
                 f"has {num_nodes}")
+        if epoch < 0:
+            raise ValueError(f"epoch must be >= 0, got {epoch}")
         self.num_nodes = num_nodes
         self.replication = replication
         self.virtual_nodes = virtual_nodes
         self.plan = plan
+        self.epoch = epoch
         ring: List[Tuple[int, int]] = []
         for node in range(num_nodes):
             for virtual in range(virtual_nodes):
                 ring.append((ring_hash(f"node-{node}#vn-{virtual}"), node))
         ring.sort()
         self._ring = ring
+        # owners_for memoisation: the ring walk is pure in table id for a
+        # fixed epoch, so the owner set is computed once per table and
+        # dropped whenever the router is rebound to a new plan epoch.
+        self._owners_cache: Dict[int, Tuple[int, ...]] = {}
+
+    # ------------------------------------------------------------------
+    def set_epoch(self, epoch: int) -> None:
+        """Bind the router to a plan epoch; the owner cache is invalidated."""
+        if epoch < 0:
+            raise ValueError(f"epoch must be >= 0, got {epoch}")
+        if epoch != self.epoch:
+            self.epoch = epoch
+            self.invalidate_owners_cache()
+
+    def invalidate_owners_cache(self) -> None:
+        self._owners_cache.clear()
 
     # ------------------------------------------------------------------
     def _successors(self, table_id: int) -> List[int]:
@@ -77,8 +97,8 @@ class ShardRouter:
                 break
         return nodes
 
-    def owners(self, table_id: int) -> Tuple[int, ...]:
-        """The table's ordered replica set (primary first)."""
+    def _compute_owners(self, table_id: int) -> Tuple[int, ...]:
+        """The unmemoized ring walk (the parity reference for the cache)."""
         successors = self._successors(table_id)
         if self.plan is not None:
             primary = self.plan.node_of(table_id)
@@ -87,6 +107,24 @@ class ShardRouter:
         else:
             ordered = successors
         return tuple(ordered[:self.replication])
+
+    def owners_for(self, table_id: int) -> Tuple[int, ...]:
+        """The table's ordered replica set (primary first), memoized.
+
+        Owner sets are pure in (table id, plan, epoch), so the ring walk
+        runs once per table; :meth:`set_epoch` invalidates the cache when
+        the router is rebound to a new plan epoch.
+        """
+        table_id = int(table_id)
+        cached = self._owners_cache.get(table_id)
+        if cached is None:
+            cached = self._compute_owners(table_id)
+            self._owners_cache[table_id] = cached
+        return cached
+
+    # the historical name; both spellings resolve to the memoized path
+    def owners(self, table_id: int) -> Tuple[int, ...]:
+        return self.owners_for(table_id)
 
     # ------------------------------------------------------------------
     def route(self, table_id: int, now_seconds: float = 0.0,
@@ -137,6 +175,7 @@ class ShardRouter:
             "replication": self.replication,
             "virtual_nodes": self.virtual_nodes,
             "planned": self.plan is not None,
+            "epoch": self.epoch,
         }
         if num_tables is not None:
             digest["owners"] = {str(table_id): list(self.owners(table_id))

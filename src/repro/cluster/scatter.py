@@ -88,27 +88,40 @@ class ClusterServingReport:
         return 1.0 - self.shed_requests / self.report.num_requests
 
     @property
+    def p50(self) -> float:
+        return 0.0 if self.report.num_requests == 0 else self.report.p50
+
+    @property
+    def p95(self) -> float:
+        return 0.0 if self.report.num_requests == 0 else self.report.p95
+
+    @property
     def p99(self) -> float:
-        return self.report.p99
+        """Gathered p99 (0.0, not NaN, when nothing was served)."""
+        return 0.0 if self.report.num_requests == 0 else self.report.p99
 
     @property
     def bottleneck_busy_seconds(self) -> float:
         """Busy time of the most loaded shard (the scaling bottleneck)."""
+        if not self.shard_reports:
+            return 0.0
         return max(r.batch_time_total for r in self.shard_reports.values())
 
     def cluster_throughput(self) -> float:
-        """Requests/second limited by the bottleneck shard's busy time.
+        """Answered requests/second limited by the bottleneck shard.
 
         This is the *achieved* rate for the trace actually served; at low
         offered load padded partial batches keep it far below
         :attr:`capacity_rps`, the saturated pipeline ceiling (the Fig 13
         throughput metric, ``batch_size / slowest-stage latency``) that the
-        sim's scaling gate compares.
+        sim's scaling gate compares. Shed requests are not answered, so a
+        run that sheds everything reports 0.0 — never a division error.
         """
         busy = self.bottleneck_busy_seconds
         if busy <= 0.0:
             return 0.0
-        return self.report.num_requests / busy
+        answered = self.report.num_requests - self.shed_requests
+        return max(0, answered) / busy
 
     def sla_violations(self, sla_seconds: float) -> int:
         return int(np.count_nonzero(self.report.latencies > sla_seconds))
@@ -126,9 +139,9 @@ class ClusterServingReport:
             "shed_requests": self.shed_requests,
             "availability": self.availability,
             "deadline_seconds": self.deadline_seconds,
-            "p50_seconds": self.report.p50,
-            "p95_seconds": self.report.p95,
-            "p99_seconds": self.report.p99,
+            "p50_seconds": self.p50,
+            "p95_seconds": self.p95,
+            "p99_seconds": self.p99,
             "mean_queue_delay_seconds": self.report.mean_queue_delay,
             "bottleneck_busy_seconds": self.bottleneck_busy_seconds,
             "fleet_busy_seconds": self.fleet.batch_time_total,
@@ -150,7 +163,14 @@ class ClusterServingReport:
         if sla_seconds is not None:
             digest["sla_seconds"] = sla_seconds
             digest["sla_violations"] = self.sla_violations(sla_seconds)
-            digest["sla_attainment"] = self.report.sla_attainment(sla_seconds)
+            # A shed request never attains its SLA, but its latency is
+            # censored at the deadline (which may sit below the SLA), so
+            # the raw per-latency attainment is capped at availability —
+            # an all-shed run reports 0.0, not a vacuous 1.0.
+            digest["sla_attainment"] = (
+                0.0 if self.report.num_requests == 0
+                else min(self.report.sla_attainment(sla_seconds),
+                         self.availability))
         return digest
 
 
@@ -200,28 +220,38 @@ class ScatterGatherEngine:
                 platform=self.platform, mlp_overhead_seconds=0.0)
         return self._engines[key]
 
-    def current_assignment(self, now_seconds: float = 0.0
+    def current_assignment(self, now_seconds: float = 0.0, owner_map=None
                            ) -> Tuple[Dict[int, List[int]], List[int]]:
-        """Live (node -> tables, unroutable tables) via the router."""
-        return self.router.assignment(len(self.table_sizes), now_seconds,
-                                      self.dispatcher)
+        """Live (node -> tables, unroutable tables) via the owner map.
+
+        ``owner_map`` defaults to the engine's router; during an epoch
+        transition the caller passes the
+        :class:`~repro.cluster.migration.TransitioningOwnerMap` instead,
+        and in-flight tables fan out to both their source and target
+        owners (double-serve).
+        """
+        source = self.router if owner_map is None else owner_map
+        return source.assignment(len(self.table_sizes), now_seconds,
+                                 self.dispatcher)
 
     # ------------------------------------------------------------------
     def serve(self, config: ServingConfig, arrivals: ArrivalsLike,
-              policy: Optional[BatchingPolicy] = None
-              ) -> ClusterServingReport:
+              policy: Optional[BatchingPolicy] = None,
+              owner_map=None) -> ClusterServingReport:
         """Scatter an arrival trace across the live shards and gather.
 
         Every shard batches the same trace independently (its own
         :class:`~repro.serving.batcher.DynamicBatcher` run priced at the
         shard's table subset); a request completes when its slowest shard
-        does, plus the front-end MLP + gather overhead.
+        does, plus the front-end MLP + gather overhead. ``owner_map``
+        overrides the router's assignment for the duration of this trace
+        (how a migration serves against a transitioning topology).
         """
         queue = (arrivals if isinstance(arrivals, RequestQueue)
                  else RequestQueue(arrivals))
         if policy is not None and self.retry is not None:
             self.retry.validate_against(policy)
-        routed, unroutable = self.current_assignment(0.0)
+        routed, unroutable = self.current_assignment(0.0, owner_map)
         if not routed:
             raise ClusterUnavailableError(
                 "no live shard can serve any table; the fleet is out")

@@ -71,8 +71,12 @@ FOREVER_SECONDS = 1e9
 SKEW_NAMES = ("hot-head", "hot-tail", "uniform")
 
 
-def _build_model(spec: DlrmDatasetSpec, batch: int):
-    """(uniform shape, threshold database) for the spec, as Fig 13 does."""
+def build_model(spec: DlrmDatasetSpec, batch: int):
+    """(uniform shape, threshold database) for the spec, as Fig 13 does.
+
+    Shared with :mod:`repro.cluster.migrate` so both sims price tables
+    through identical thresholds.
+    """
     from repro.hybrid import OfflineProfiler, build_threshold_database
 
     dim = spec.embedding_dim
@@ -124,7 +128,7 @@ def run_cluster(seed: int = 0, spec: DlrmDatasetSpec = TERABYTE_SPEC,
     retry = RetryPolicy(deadline_seconds=DEADLINE_SECONDS)
     dim = spec.embedding_dim
     sizes = spec.table_sizes
-    uniform, thresholds = _build_model(spec, batch)
+    uniform, thresholds = build_model(spec, batch)
     # One arrival trace for every topology: cells differ only in sharding.
     arrivals = RequestQueue.poisson(num_requests, rate_rps, rng=seed)
     skews = _skew_workloads(len(sizes))

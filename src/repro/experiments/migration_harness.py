@@ -1,0 +1,51 @@
+"""Migration harness: live epoch-to-epoch table migration, gated.
+
+Not a paper figure — the scaling extension. Runs the
+:mod:`repro.cluster.migrate` sweep (node add/remove x replication x step
+size under the Fig 13 Terabyte workload) and tabulates per-cell move-set
+size, migration-window p99 inflation, and the audit / zero-loss /
+incrementality gate verdicts.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.reporting import ExperimentResult
+
+
+def run(seed: int = 0, num_requests: int = 384,
+        rate_rps: float = 2000.0) -> ExperimentResult:
+    from repro.cluster.migrate import run_migration
+
+    report = run_migration(seed=seed, num_requests=num_requests,
+                           rate_rps=rate_rps)
+    result = ExperimentResult(
+        experiment_id="migrate",
+        title=f"{report['spec']}: live plan-epoch migration (seed={seed}, "
+              f"{num_requests} requests @ {rate_rps:.0f} rps, "
+              f"{report['nodes_before']}<->{report['nodes_after']} nodes)",
+        headers=("direction", "nodes", "R", "step", "moved", "bound",
+                 "steps", "shed", "window_p99_ms", "inflation"),
+    )
+    for cell in report["cells"]:
+        result.add_row(cell["direction"],
+                       f"{cell['nodes_before']}->{cell['nodes_after']}",
+                       cell["replication"], cell["step_size"],
+                       cell["tables_moved"], cell["move_bound"],
+                       cell["num_steps"], cell["shed_requests"],
+                       f"{cell['window_p99_seconds'] * 1e3:.3f}",
+                       f"{cell['p99_inflation']:.2f}x")
+    gates = report["gates"]
+    failover = report["failover"]
+    failover_note = (
+        f"killed node {failover['victim']} during the "
+        f"{failover['nodes_before']}->{failover['nodes_after']} R=2 "
+        f"migration: shed={failover['shed_requests']}"
+        if failover["applicable"] else "not applicable")
+    result.notes = (
+        f"failover: {failover_note}; gates: "
+        + ", ".join(f"{name} {'PASS' if ok else 'FAIL'}"
+                    for name, ok in gates.items() if name != "passed")
+        + "; move order is keyed on static table ids only — every "
+          "intermediate assignment replays identically under contrasting "
+          "workloads, and the hot-first anti-pattern is caught")
+    return result

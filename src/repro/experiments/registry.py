@@ -22,6 +22,7 @@ from repro.experiments import (
     fig14_llm_finetune,
     fig15_llm_e2e,
     llm_footprint,
+    migration_harness,
     table01_complexity,
     table02_security,
     table05_accuracy,
@@ -55,6 +56,7 @@ EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
     "llm-footprint": llm_footprint.run,
     "chaos": chaos_harness.run,
     "cluster": cluster_harness.run,
+    "migrate": migration_harness.run,
 }
 
 

@@ -58,10 +58,32 @@ class ResilientDispatcher:
         self.num_replicas = num_replicas
         self.min_replicas = min_replicas
         self.hedge_after_factor = hedge_after_factor
+        self._breaker_config = breaker_config
         self.replicas: List[ReplicaState] = [
             ReplicaState(CircuitBreaker(breaker_config))
             for _ in range(num_replicas)]
         self._cursor = 0
+
+    # ------------------------------------------------------------------
+    # Fleet resizing (plan-epoch carry-over)
+    # ------------------------------------------------------------------
+    def ensure_replicas(self, num_replicas: int) -> None:
+        """Grow the fleet in place, preserving existing per-replica state.
+
+        A plan-epoch transition that adds nodes must NOT reset the
+        surviving replicas' breakers and crash windows — a node that was
+        evicted before the epoch change is still evicted after it. New
+        replicas join healthy (breaker CLOSED). Shrinking is a no-op:
+        epochs that drop nodes simply stop routing to them, and their
+        state stays around in case a later epoch re-adds them.
+        """
+        check_positive("num_replicas", num_replicas)
+        if num_replicas <= self.num_replicas:
+            return
+        self.replicas.extend(
+            ReplicaState(CircuitBreaker(self._breaker_config))
+            for _ in range(num_replicas - self.num_replicas))
+        self.num_replicas = num_replicas
 
     # ------------------------------------------------------------------
     # Admission / selection

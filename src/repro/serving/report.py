@@ -91,33 +91,44 @@ class ServingReport:
             service_latencies=service_latencies)
 
     # ------------------------------------------------------------------
+    # Percentiles and ratios are NaN-free: a report with no requests (an
+    # all-shed or empty window) answers 0.0 instead of propagating the
+    # NaN np.percentile/mean would produce on an empty array.
     @property
     def p50(self) -> float:
+        if self.latencies.size == 0:
+            return 0.0
         return float(np.percentile(self.latencies, 50))
 
     @property
     def p95(self) -> float:
+        if self.latencies.size == 0:
+            return 0.0
         return float(np.percentile(self.latencies, 95))
 
     @property
     def p99(self) -> float:
+        if self.latencies.size == 0:
+            return 0.0
         return float(np.percentile(self.latencies, 99))
 
     @property
     def mean_queue_delay(self) -> float:
         """Mean per-request queueing delay (0.0 when not tracked)."""
-        if self.queue_delays is None:
+        if self.queue_delays is None or self.queue_delays.size == 0:
             return 0.0
         return float(self.queue_delays.mean())
 
     @property
     def p95_queue_delay(self) -> float:
-        if self.queue_delays is None:
+        if self.queue_delays is None or self.queue_delays.size == 0:
             return 0.0
         return float(np.percentile(self.queue_delays, 95))
 
     def sla_attainment(self, sla_seconds: float) -> float:
         check_positive("sla_seconds", sla_seconds)
+        if self.latencies.size == 0:
+            return 0.0
         return float((self.latencies <= sla_seconds).mean())
 
     def throughput(self) -> float:

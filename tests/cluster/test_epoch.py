@@ -1,0 +1,153 @@
+"""PlanEpoch + EpochControlPlane: versioning, epoch routing, carry-over."""
+
+import pytest
+
+from repro.cluster.epoch import (
+    EpochControlPlane,
+    PlanEpoch,
+    UnknownEpochError,
+)
+from repro.cluster.placement import RingPlanner
+from repro.costmodel.latency import DLRM_DHE_UNIFORM_64
+from repro.data import TERABYTE_SPEC
+from repro.resilience import BreakerConfig, ResilientDispatcher
+from repro.telemetry.runtime import use_registry
+
+from .conftest import DIM
+
+SIZES = TERABYTE_SPEC.table_sizes
+NUM_TABLES = len(SIZES)
+TRIPPY = BreakerConfig(failure_threshold=2, cooldown_seconds=1e6,
+                       probe_successes=1)
+
+
+@pytest.fixture(scope="module")
+def plans(thresholds):
+    planner = RingPlanner(4, thresholds, DIM,
+                          uniform_shape=DLRM_DHE_UNIFORM_64)
+    from repro.serving import ServingConfig
+
+    config = ServingConfig(batch_size=32, threads=1)
+    return {nodes: planner.for_nodes(nodes).plan(SIZES, config)
+            for nodes in (4, 5)}
+
+
+class TestPlanEpoch:
+    def test_create_binds_router_to_epoch(self, plans):
+        epoch = PlanEpoch.create(3, plans[4], replication=2)
+        assert epoch.router.epoch == 3
+        assert epoch.num_nodes == 4
+        assert epoch.replication == 2
+        assert epoch.num_tables == NUM_TABLES
+
+    def test_negative_epoch_rejected(self, plans):
+        with pytest.raises(ValueError, match="epoch must be >= 0"):
+            PlanEpoch.create(-1, plans[4])
+
+    def test_successor_increments_and_keeps_replication(self, plans):
+        epoch = PlanEpoch.create(0, plans[4], replication=2)
+        nxt = epoch.successor(plans[5])
+        assert nxt.epoch == 1
+        assert nxt.replication == 2
+        assert nxt.num_nodes == 5
+
+    def test_owners_follow_plan_primary(self, plans):
+        epoch = PlanEpoch.create(0, plans[4], replication=2)
+        for table_id in range(NUM_TABLES):
+            owners = epoch.owners(table_id)
+            assert owners[0] == plans[4].node_of(table_id)
+            assert len(owners) == 2
+
+    def test_footprint_of_unknown_table_raises(self, plans):
+        epoch = PlanEpoch.create(0, plans[4])
+        assert epoch.footprint_of(0) > 0
+        with pytest.raises(KeyError):
+            epoch.footprint_of(NUM_TABLES)
+
+    def test_to_dict_lists_every_owner_set(self, plans):
+        payload = PlanEpoch.create(0, plans[4], replication=2).to_dict()
+        assert payload["epoch"] == 0
+        assert len(payload["owners"]) == NUM_TABLES
+
+
+class TestControlPlane:
+    def test_advance_issues_successor(self, plans):
+        control = EpochControlPlane(PlanEpoch.create(0, plans[4]))
+        issued = control.advance(plans[5])
+        assert issued.epoch == 1
+        assert control.current is issued
+        assert control.live_epochs == [0, 1]
+
+    def test_advance_counts_epochs(self, plans):
+        with use_registry() as registry:
+            control = EpochControlPlane(PlanEpoch.create(0, plans[4]))
+            control.advance(plans[5])
+            snapshot = registry.snapshot()
+        assert snapshot["counters"]["cluster.epochs_total"] == 1.0
+        assert snapshot["gauges"]["cluster.current_epoch"] == 1.0
+
+    def test_routes_by_arrival_epoch(self, plans):
+        # A request that arrived under epoch 0 keeps routing by epoch 0's
+        # owner map even after the cutover to epoch 1.
+        control = EpochControlPlane(PlanEpoch.create(0, plans[4]))
+        control.advance(plans[5])
+        before = control.epoch(0)
+        after = control.epoch(1)
+        moved = [table_id for table_id in range(NUM_TABLES)
+                 if before.owners(table_id) != after.owners(table_id)]
+        assert moved  # the 4->5 reshard moves some tables
+        for table_id in moved:
+            assert control.route(table_id, epoch=0) == \
+                before.owners(table_id)[0]
+            assert control.route(table_id) == after.owners(table_id)[0]
+
+    def test_unknown_epoch_raises(self, plans):
+        control = EpochControlPlane(PlanEpoch.create(0, plans[4]))
+        with pytest.raises(UnknownEpochError, match="never issued"):
+            control.epoch(9)
+
+    def test_retire_drops_old_epochs(self, plans):
+        control = EpochControlPlane(PlanEpoch.create(0, plans[4]))
+        control.advance(plans[5])
+        control.retire_through(0)
+        assert control.live_epochs == [1]
+        with pytest.raises(UnknownEpochError):
+            control.epoch(0)
+
+    def test_cannot_retire_current_epoch(self, plans):
+        control = EpochControlPlane(PlanEpoch.create(0, plans[4]))
+        with pytest.raises(ValueError, match="cannot retire the current"):
+            control.retire_through(0)
+
+
+class TestDispatcherCarryOver:
+    def test_breaker_state_survives_epoch_change(self, plans):
+        # Trip node 1's breaker under epoch 0; after advancing to a
+        # 5-node epoch the same breaker must still be open — a plan
+        # change does not heal a sick node — and the new replica joins
+        # the rotation healthy.
+        dispatcher = ResilientDispatcher(num_replicas=4,
+                                         breaker_config=TRIPPY)
+        control = EpochControlPlane(PlanEpoch.create(0, plans[4]),
+                                    dispatcher=dispatcher)
+        dispatcher.record_failure(1, 0.0)
+        dispatcher.record_failure(1, 0.0)
+        assert dispatcher.admitted(0.0) == [0, 2, 3]
+
+        control.advance(plans[5])
+        assert dispatcher.num_replicas == 5
+        assert dispatcher.admitted(0.0) == [0, 2, 3, 4]
+
+    def test_route_skips_downed_replica_in_both_epochs(self, plans):
+        dispatcher = ResilientDispatcher(num_replicas=4,
+                                         breaker_config=TRIPPY)
+        control = EpochControlPlane(PlanEpoch.create(0, plans[4],
+                                                     replication=2),
+                                    dispatcher=dispatcher)
+        control.advance(plans[5], replication=2)
+        victim = control.epoch(0).owners(0)[0]
+        dispatcher.mark_down(victim, until_seconds=1e6, now_seconds=0.0)
+        for epoch_id in (0, 1):
+            owner = control.route(0, epoch=epoch_id)
+            assert owner is not None
+            assert owner != victim

@@ -1,0 +1,143 @@
+"""Migration simulator: gates, determinism, and the CLI contract."""
+
+import json
+import subprocess
+import sys
+
+import pytest
+
+from repro.cluster.migrate import main, move_bound, render, run_migration
+
+SMALL = dict(num_requests=96, rate_rps=2000.0)
+
+
+@pytest.fixture(scope="module")
+def report():
+    return run_migration(seed=7, **SMALL)
+
+
+class TestGates:
+    def test_all_gates_pass(self, report):
+        assert report["gates"]["passed"]
+        assert report["gates"] == {name: True for name in report["gates"]}
+
+    def test_zero_loss_in_every_cell(self, report):
+        # the SMALL workload never saturates a shard, so even R=1 cells
+        # come through clean; the gate itself only binds at R>=2
+        for cell in report["cells"]:
+            assert cell["shed_requests"] == 0
+            assert cell["unroutable_events"] == 0
+            assert cell["availability"] == 1.0
+
+    def test_window_p99_within_ceiling(self, report):
+        for cell in report["cells"]:
+            assert cell["p99_inflation"] <= report["p99_inflation_ceiling"]
+
+    def test_move_sets_are_incremental(self, report):
+        for cell in report["cells"]:
+            assert cell["tables_moved"] <= cell["move_bound"]
+
+    def test_per_epoch_placement_audits_pass(self, report):
+        assert {audit["num_nodes"] for audit in report["epoch_audits"]} == \
+            {report["nodes_before"], report["nodes_after"]}
+        for audit in report["epoch_audits"]:
+            assert audit["audit_passed"]
+            assert audit["audit_divergence"] == 0.0
+
+    def test_failover_during_migration_zero_loss(self, report):
+        failover = report["failover"]
+        assert failover["applicable"]
+        assert failover["shed_requests"] == 0
+        assert failover["unroutable_events"] == 0
+        assert failover["zero_loss"]
+
+    def test_negative_audit_catches_hot_first_planner(self, report):
+        assert report["negative_audit"]["leak_detected"]
+        # expectation for the anti-pattern is "leaky", so the subject passes
+        assert report["negative_audit"]["passed"]
+
+
+class TestDeterminism:
+    def test_same_seed_same_report(self, report):
+        again = run_migration(seed=7, **SMALL)
+        assert json.dumps(report, sort_keys=True) == \
+            json.dumps(again, sort_keys=True)
+
+    def test_json_is_serialisable_without_inf(self, report):
+        payload = json.dumps(report, allow_nan=False, sort_keys=True)
+        assert "Infinity" not in payload
+
+    def test_different_seed_different_window(self, report):
+        other = run_migration(seed=8, **SMALL)
+        assert other["cells"][0]["window_p99_seconds"] != \
+            report["cells"][0]["window_p99_seconds"]
+
+    def test_move_sets_do_not_depend_on_the_seed(self, report):
+        again = run_migration(seed=99, **SMALL)
+        assert [c["tables_moved"] for c in report["cells"]] == \
+            [c["tables_moved"] for c in again["cells"]]
+
+
+class TestSweepShape:
+    def test_every_cell_present(self, report):
+        cells = {(c["direction"], c["replication"], c["step_size"])
+                 for c in report["cells"]}
+        assert cells == {(d, r, s) for d in ("add", "remove")
+                         for r in (1, 2) for s in (2, 4)}
+
+    def test_remove_direction_reverses_node_counts(self, report):
+        for cell in report["cells"]:
+            if cell["direction"] == "add":
+                assert (cell["nodes_before"], cell["nodes_after"]) == (4, 5)
+            else:
+                assert (cell["nodes_before"], cell["nodes_after"]) == (5, 4)
+
+    def test_render_mentions_gates(self, report):
+        text = render(report)
+        assert "gates:" in text
+        assert "ZERO LOSS" in text
+
+    def test_identical_node_counts_rejected(self):
+        with pytest.raises(ValueError, match="nodes_before != nodes_after"):
+            run_migration(nodes_before=4, nodes_after=4, **SMALL)
+
+    def test_move_bound_formula(self):
+        assert move_bound(26, 1, 5) == 6 + 3
+        assert move_bound(26, 2, 5) == 11 + 3
+
+
+class TestCli:
+    def test_cli_json_byte_identical(self, tmp_path):
+        paths = [tmp_path / "a.json", tmp_path / "b.json"]
+        for path in paths:
+            code = subprocess.run(
+                [sys.executable, "-m", "repro.cluster.migrate",
+                 "--seed", "7", "--requests", "96",
+                 "--nodes-before", "4", "--nodes-after", "5",
+                 "--step-size", "2", "--json", str(path)],
+                capture_output=True, text=True).returncode
+            assert code == 0
+        assert paths[0].read_bytes() == paths[1].read_bytes()
+
+    def test_step_size_flag_narrows_the_sweep(self, tmp_path):
+        path = tmp_path / "single.json"
+        code = subprocess.run(
+            [sys.executable, "-m", "repro.cluster.migrate", "--seed", "7",
+             "--requests", "96", "--step-size", "3",
+             "--json", str(path)],
+            capture_output=True, text=True).returncode
+        assert code == 0
+        payload = json.loads(path.read_text())
+        assert payload["step_sizes"] == [3]
+        assert {c["step_size"] for c in payload["cells"]} == {3}
+
+    def test_main_returns_zero_on_pass(self, capsys):
+        assert main(["--seed", "7", "--requests", "64"]) == 0
+        assert "migration sweep" in capsys.readouterr().out
+
+    def test_main_honours_topology_flags(self, capsys):
+        assert main(["--seed", "7", "--requests", "64",
+                     "--nodes-before", "3", "--nodes-after", "4",
+                     "--step-size", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "3<->4 nodes" in out

@@ -105,3 +105,46 @@ class TestObliviousnessInvariant:
                                   expect_oblivious=False)
         assert finding.leak_detected
         assert finding.passed  # expectation (leaky) matched reality
+
+
+class TestRingPlanner:
+    def test_primaries_follow_the_ring(self, thresholds, config):
+        from repro.cluster.placement import RingPlanner
+        from repro.cluster.router import ShardRouter
+
+        plan = RingPlanner(4, thresholds, DIM,
+                           uniform_shape=DLRM_DHE_UNIFORM_64
+                           ).plan(SIZES, config)
+        ring = ShardRouter(4, replication=1, virtual_nodes=32)
+        for table_id in range(len(SIZES)):
+            assert plan.node_of(table_id) == ring.owners_for(table_id)[0]
+
+    def test_ring_placement_passes_the_audit(self, thresholds, config):
+        from repro.cluster.placement import RingPlanner
+
+        planner = RingPlanner(4, thresholds, DIM,
+                              uniform_shape=DLRM_DHE_UNIFORM_64)
+        finding = check_oblivious_placement(planner, SIZES, config)
+        assert finding.passed
+        assert not finding.leak_detected
+
+    def test_for_nodes_keeps_the_subclass(self, thresholds):
+        from repro.cluster.placement import RingPlanner
+
+        clone = RingPlanner(4, thresholds, DIM,
+                            uniform_shape=DLRM_DHE_UNIFORM_64).for_nodes(5)
+        assert isinstance(clone, RingPlanner)
+        assert clone.num_nodes == 5
+
+    def test_replans_are_incremental(self, thresholds, config):
+        # the property the epoch control plane leans on: replanning for
+        # one more node must move only ~1/5 of the primaries
+        from repro.cluster.placement import RingPlanner
+
+        planner = RingPlanner(4, thresholds, DIM,
+                              uniform_shape=DLRM_DHE_UNIFORM_64)
+        before = planner.plan(SIZES, config)
+        after = planner.for_nodes(5).plan(SIZES, config)
+        moved = sum(before.node_of(t) != after.node_of(t)
+                    for t in range(len(SIZES)))
+        assert 0 < moved <= len(SIZES) // 5 + 3

@@ -120,3 +120,59 @@ class TestProvisioning:
         digest = ShardRouter(2, replication=2).to_dict(num_tables=4)
         assert digest["replication"] == 2
         assert len(digest["owners"]) == 4
+
+
+class TestOwnersMemoisation:
+    def test_memoized_owners_match_ring_walk(self):
+        # the cache must be a pure speedup: every table's memoized owner
+        # set equals the unmemoized ring walk
+        router = ShardRouter(4, replication=2)
+        for table_id in range(NUM_TABLES):
+            assert router.owners_for(table_id) == \
+                router._compute_owners(table_id)
+
+    def test_memoized_owners_match_with_plan_primary(self, thresholds,
+                                                     config):
+        plan = ShardPlanner(4, thresholds, DIM,
+                            uniform_shape=DLRM_DHE_UNIFORM_64
+                            ).plan(SIZES, config)
+        router = ShardRouter(4, replication=2, plan=plan)
+        for table_id in range(NUM_TABLES):
+            assert router.owners_for(table_id) == \
+                router._compute_owners(table_id)
+
+    def test_cache_fills_once_per_table(self):
+        router = ShardRouter(4, replication=2)
+        for _ in range(3):
+            for table_id in range(NUM_TABLES):
+                router.owners_for(table_id)
+        assert len(router._owners_cache) == NUM_TABLES
+
+    def test_set_epoch_invalidates_cache(self):
+        router = ShardRouter(4, replication=2, epoch=0)
+        router.owners_for(0)
+        assert router._owners_cache
+        router.set_epoch(1)
+        assert not router._owners_cache
+        assert router.epoch == 1
+
+    def test_same_epoch_keeps_cache_warm(self):
+        router = ShardRouter(4, replication=2, epoch=5)
+        router.owners_for(0)
+        router.set_epoch(5)
+        assert 0 in router._owners_cache
+
+    def test_owners_alias_resolves_to_memoized_path(self):
+        router = ShardRouter(4, replication=2)
+        assert router.owners(7) == router.owners_for(7)
+        assert 7 in router._owners_cache
+
+    def test_negative_epoch_rejected(self):
+        with pytest.raises(ValueError, match="epoch must be >= 0"):
+            ShardRouter(4, epoch=-1)
+        router = ShardRouter(4)
+        with pytest.raises(ValueError, match="epoch must be >= 0"):
+            router.set_epoch(-2)
+
+    def test_to_dict_reports_epoch(self):
+        assert ShardRouter(2, epoch=3).to_dict(num_tables=1)["epoch"] == 3

@@ -185,3 +185,35 @@ class TestValidation:
                                     max_wait_seconds=1.0)
         with pytest.raises(ValueError):
             engine.serve(config, arrivals, bad_policy)
+
+
+class TestAllShedGuards:
+    def _all_shed_result(self, thresholds, config):
+        # a deadline far below one batch latency sheds every request
+        plan = ShardPlanner(4, thresholds, DIM,
+                            uniform_shape=DLRM_DHE_UNIFORM_64
+                            ).plan(SIZES, config)
+        router = ShardRouter(4, replication=2, plan=plan)
+        engine = ScatterGatherEngine(
+            SIZES, DIM, DLRM_DHE_UNIFORM_64, thresholds, router,
+            retry=RetryPolicy(deadline_seconds=0.001))
+        return engine.serve(config, RequestQueue.poisson(64, 2000.0, rng=2))
+
+    def test_throughput_is_zero_when_everything_sheds(self, thresholds,
+                                                      config):
+        result = self._all_shed_result(thresholds, config)
+        assert result.shed_requests == result.num_requests > 0
+        assert result.availability == 0.0
+        assert result.cluster_throughput() == 0.0
+        assert result.capacity_rps > 0.0  # capacity is a property of the
+        # topology, not of this (entirely shed) trace
+
+    def test_all_shed_report_is_nan_free(self, thresholds, config):
+        import json
+
+        result = self._all_shed_result(thresholds, config)
+        payload = result.to_dict(sla_seconds=0.020)
+        text = json.dumps(payload, allow_nan=False)  # raises on NaN/inf
+        assert "NaN" not in text
+        assert payload["sla_attainment"] == 0.0
+        assert payload["p99_seconds"] <= 0.001 + 1e-12

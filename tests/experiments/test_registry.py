@@ -18,7 +18,7 @@ from repro.experiments.registry import (
 ALL_IDS = {"fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
            "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "table1",
            "table2", "table5", "table6", "table7", "table8",
-           "llm-footprint", "chaos", "cluster"}
+           "llm-footprint", "chaos", "cluster", "migrate"}
 
 
 class TestRegistry:
@@ -229,6 +229,18 @@ class TestCluster:
         assert capacities[nodes.index(4)] > 3 * capacities[nodes.index(1)]
         assert "FAIL" not in result.notes
         assert "failover" in result.notes
+
+
+class TestMigrate:
+    def test_migration_story_and_gates(self):
+        result = run_experiment("migrate", num_requests=96)
+        moved = [int(m) for m in result.column("moved")]
+        bounds = [int(b) for b in result.column("bound")]
+        shed = [int(s) for s in result.column("shed")]
+        assert all(m <= b for m, b in zip(moved, bounds))
+        assert all(s == 0 for s in shed)
+        assert "FAIL" not in result.notes
+        assert "hot-first anti-pattern is caught" in result.notes
 
 
 class TestTable1:

@@ -125,3 +125,41 @@ class TestTelemetryAndSnapshot:
         assert snap["admitted"] == [0, 1]
         assert snap["failures"] == [0, 1]
         assert snap["states"] == [CLOSED, CLOSED]
+
+
+class TestFleetResizing:
+    def test_growth_preserves_breaker_state(self):
+        dispatcher = ResilientDispatcher(num_replicas=3,
+                                         breaker_config=CONFIG)
+        dispatcher.record_failure(1, 0.0)
+        dispatcher.record_failure(1, 0.0)  # replica 1 OPEN
+        dispatcher.ensure_replicas(5)
+        assert dispatcher.num_replicas == 5
+        # the sick replica stays evicted; the new ones join healthy
+        assert dispatcher.admitted(0.0) == [0, 2, 3, 4]
+
+    def test_growth_preserves_crash_windows(self):
+        dispatcher = ResilientDispatcher(num_replicas=2)
+        dispatcher.mark_down(0, until_seconds=1.0, now_seconds=0.0)
+        dispatcher.ensure_replicas(3)
+        assert 0 not in dispatcher.admitted(0.5)
+        assert 0 in dispatcher.admitted(1.0)
+
+    def test_shrink_is_a_no_op(self):
+        dispatcher = ResilientDispatcher(num_replicas=4)
+        dispatcher.ensure_replicas(2)
+        assert dispatcher.num_replicas == 4
+        assert dispatcher.admitted(0.0) == [0, 1, 2, 3]
+
+    def test_new_replicas_share_breaker_config(self):
+        dispatcher = ResilientDispatcher(num_replicas=1,
+                                         breaker_config=CONFIG)
+        dispatcher.ensure_replicas(2)
+        dispatcher.record_failure(1, 0.0)
+        dispatcher.record_failure(1, 0.0)  # CONFIG threshold is 2
+        assert dispatcher.admitted(0.0) == [0]
+
+    def test_resize_must_be_positive(self):
+        dispatcher = ResilientDispatcher(num_replicas=2)
+        with pytest.raises(ValueError):
+            dispatcher.ensure_replicas(0)

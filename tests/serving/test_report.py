@@ -136,3 +136,19 @@ class TestStatistics:
         report = make_report()
         assert report.mean_queue_delay == 0.0
         assert report.p95_queue_delay == 0.0
+
+
+class TestEmptyReportGuards:
+    def test_empty_arrays_answer_zero_not_nan(self):
+        report = ServingReport.from_components(
+            queue_delays=np.empty(0), service_latencies=np.empty(0),
+            num_batches=0, scan_features=0, dhe_features=0,
+            batch_time_total=0.0)
+        assert report.num_requests == 0
+        assert report.p50 == 0.0
+        assert report.p95 == 0.0
+        assert report.p99 == 0.0
+        assert report.mean_queue_delay == 0.0
+        assert report.p95_queue_delay == 0.0
+        assert report.sla_attainment(0.020) == 0.0
+        assert report.throughput() == 0.0
