@@ -112,9 +112,32 @@ class DHEEmbedding(EmbeddingGenerator):
         with registry.span("embedding.dhe.forward", batch=int(flat.size),
                            k=self.shape.k):
             encoded = self.encoder.encode(flat)
-            decoded = self.decoder(Tensor(encoded))
+            decoded = self._decode(encoded)
         registry.counter("embedding.dhe.queries_total").inc(int(flat.size))
         return decoded.reshape(*indices.shape, self.embedding_dim)
+
+    def _decode(self, encoded: np.ndarray) -> Tensor:
+        """Run the FC stack: eager by default, captured under a lazy runtime.
+
+        When a :mod:`repro.lazy` runtime is active and the module is in
+        eval mode, the decoder is recorded once per (batch shape, DHE
+        shape) and replayed from the runtime's graph cache — byte-identical
+        to the eager stack (the trace-parity tests pin this), but with one
+        fused kernel launch per layer instead of one Python dispatch per
+        tensor op. Training and default (no runtime) execution stay eager.
+        """
+        from repro.lazy.runtime import get_active_runtime
+
+        runtime = get_active_runtime()
+        if runtime is None or self.training or encoded.size == 0:
+            return self.decoder(Tensor(encoded))
+        from repro.lazy.capture import capture
+
+        key = ("dhe.decode", id(self), self.shape, encoded.shape)
+        graph = runtime.captured(key, lambda: capture(
+            lambda buf: self.decoder(Tensor(buf)), [encoded],
+            runtime=runtime, name=f"dhe.decode.b{encoded.shape[0]}"))
+        return Tensor(graph(encoded))
 
     def generate_traced(self, indices, tracer: MemoryTracer) -> np.ndarray:
         """DHE generation with its (shape-fixed) weight sweeps recorded.

@@ -23,7 +23,8 @@ from repro.costmodel.platform import DEFAULT_PLATFORM, PlatformModel
 from repro.embedding.base import EmbeddingGenerator
 from repro.nn.module import Parameter
 from repro.nn.tensor import Tensor
-from repro.oblivious.linear_scan import linear_scan_batch
+from repro.lazy.runtime import get_active_runtime
+from repro.oblivious.linear_scan import linear_scan_batch, linear_scan_batch_vectorized
 from repro.oblivious.trace import MemoryTracer, TracedArray
 from repro.telemetry.runtime import get_registry
 from repro.utils.rng import SeedLike, new_rng
@@ -57,9 +58,15 @@ class LinearScanEmbedding(EmbeddingGenerator):
         flat = indices.reshape(-1)
         with registry.span("embedding.scan.forward", batch=int(flat.size),
                            rows=self.num_embeddings):
-            onehot = np.zeros((flat.size, self.num_embeddings))
-            onehot[np.arange(flat.size), flat] = 1.0
-            out = Tensor(onehot) @ self.weight
+            if get_active_runtime() is not None and not self.training:
+                # Same masked matmul, replayed from the lazy graph cache
+                # (bit-identical; inference-only, so no grad graph needed).
+                out = Tensor(linear_scan_batch_vectorized(
+                    self.weight.data, flat))
+            else:
+                onehot = np.zeros((flat.size, self.num_embeddings))
+                onehot[np.arange(flat.size), flat] = 1.0
+                out = Tensor(onehot) @ self.weight
         registry.counter("embedding.scan.queries_total").inc(int(flat.size))
         registry.counter("embedding.scan.rows_swept_total").inc(
             int(flat.size) * self.num_embeddings)

@@ -21,6 +21,7 @@ from repro.experiments import (
     fig13_throughput,
     fig14_llm_finetune,
     fig15_llm_e2e,
+    lazy_harness,
     llm_footprint,
     migration_harness,
     table01_complexity,
@@ -56,6 +57,7 @@ EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
     "llm-footprint": llm_footprint.run,
     "chaos": chaos_harness.run,
     "cluster": cluster_harness.run,
+    "lazy": lazy_harness.run,
     "migrate": migration_harness.run,
 }
 

@@ -1,0 +1,143 @@
+"""Graph capture: record a function once, replay it allocation-free.
+
+This is the piece the serving hot paths use directly. ``capture(fn,
+examples)`` calls ``fn`` with placeholder :class:`LazyBuffer` inputs under
+``repro.nn``'s no-grad mode, so every tensor op *records* instead of
+executing; the resulting graph is fused by the runtime's scheduler into a
+:class:`CapturedGraph` that can be called like a function.
+
+Capture semantics worth knowing:
+
+* **weights are captured by reference.** A ``Parameter``'s array enters
+  the graph as a source buffer (often through a transpose *view*), so the
+  in-place updates the optimisers perform (``param.data -= ...``) are
+  visible to subsequent replays with no re-capture. Rebinding ``.data``
+  to a fresh array, however, silently orphans the capture — call
+  ``runtime.clear_cache()`` (or the owner's ``invalidate_captures()``)
+  after doing that.
+* **captures are inference-only.** Recording happens under no-grad; a
+  captured graph carries no autograd closures. Training paths stay eager.
+* **replays are byte-identical.** The runtime executes the same numpy
+  expressions eager execution would, so a captured graph is a drop-in for
+  the eager result — the trace-parity tests pin this for the DHE decoder,
+  the masked-onehot scan, and the DLRM MLPs.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Sequence
+
+import numpy as np
+
+from repro.lazy.graph import LazyBuffer
+from repro.lazy.runtime import NumpyRuntime, Runtime
+from repro.lazy.schedule import Schedule
+from repro.telemetry.runtime import get_registry
+
+
+class CapturedGraph:
+    """A compiled schedule plus its persistent buffers; callable."""
+
+    def __init__(self, schedule: Schedule, runtime: Runtime,
+                 name: str = "capture") -> None:
+        self.schedule = schedule
+        self.runtime = runtime
+        self.name = name
+        self.replays = 0
+        self._buffers: Dict[int, np.ndarray] = {}
+
+    # ------------------------------------------------------------------
+    @property
+    def signature(self) -> str:
+        return self.schedule.output.signature()
+
+    @property
+    def num_kernels(self) -> int:
+        return self.schedule.num_kernels
+
+    @property
+    def num_ops(self) -> int:
+        return self.schedule.num_ops
+
+    @property
+    def dispatch_ratio(self) -> float:
+        return self.schedule.dispatch_ratio
+
+    def buffer_bytes(self) -> int:
+        """Persistent buffer-pool footprint after warm-up."""
+        return sum(buffer.nbytes for buffer in self._buffers.values())
+
+    def reset_buffers(self) -> None:
+        self._buffers.clear()
+
+    def __repr__(self) -> str:
+        return (f"CapturedGraph({self.name!r}, ops={self.num_ops}, "
+                f"kernels={self.num_kernels}, replays={self.replays})")
+
+    # ------------------------------------------------------------------
+    def __call__(self, *arrays: np.ndarray) -> np.ndarray:
+        inputs = self.schedule.inputs
+        if len(arrays) != len(inputs):
+            raise ValueError(
+                f"capture {self.name!r} takes {len(inputs)} inputs, "
+                f"got {len(arrays)}")
+        bound = []
+        for placeholder, array in zip(inputs, arrays):
+            array = np.asarray(array)
+            if array.shape != placeholder.shape:
+                raise ValueError(
+                    f"capture {self.name!r} input {placeholder.name!r} "
+                    f"expects shape {placeholder.shape}, got {array.shape}; "
+                    f"captures are per-shape — cache one per batch shape")
+            if array.dtype != placeholder.dtype:
+                raise TypeError(
+                    f"capture {self.name!r} input {placeholder.name!r} "
+                    f"expects dtype {placeholder.dtype}, got {array.dtype}")
+            bound.append(array)
+        result = self.runtime.execute(self.schedule, bound, self._buffers)
+        self.replays += 1
+        registry = get_registry()
+        registry.counter("lazy.replays_total").inc()
+        registry.counter("lazy.kernels_executed_total").inc(
+            self.schedule.num_kernels)
+        # The output buffer is reused by the next replay; hand back a copy
+        # so callers own their result (eager semantics).
+        return np.array(result, copy=True)
+
+
+def capture(fn: Callable[..., object],
+            example_inputs: Sequence[np.ndarray],
+            runtime: Optional[Runtime] = None,
+            name: str = "capture") -> CapturedGraph:
+    """Record ``fn`` once against placeholders shaped like the examples.
+
+    ``fn`` receives one :class:`LazyBuffer` per example (wrap them in
+    ``Tensor`` freely — the ``repro.nn`` stack records through) and must
+    return a lazy result: a ``LazyBuffer`` or a ``Tensor`` whose payload
+    is one. Eager escapes (calling ``.item()``, branching on values)
+    cannot be recorded and raise here.
+    """
+    from repro.nn.tensor import no_grad  # deferred: tensor imports repro.lazy
+
+    runtime = runtime if runtime is not None else NumpyRuntime()
+    placeholders = []
+    for index, example in enumerate(example_inputs):
+        example = np.asarray(example)
+        placeholders.append(LazyBuffer.placeholder(
+            example.shape, example.dtype, name=f"{name}.in{index}"))
+
+    registry = get_registry()
+    with registry.span("lazy.capture", capture=name,
+                       inputs=len(placeholders)):
+        with no_grad():
+            result = fn(*placeholders)
+        output = result if isinstance(result, LazyBuffer) else getattr(
+            result, "data", result)
+        if not isinstance(output, LazyBuffer):
+            raise TypeError(
+                f"capture of {name!r} did not stay lazy: the function "
+                f"returned {type(result).__name__}; it must be a pure "
+                f"recordable computation over its inputs")
+        schedule = runtime.scheduler.compile(output, placeholders, name=name)
+    registry.counter("lazy.captures_total").inc()
+    return CapturedGraph(schedule, runtime, name=name)

@@ -1,0 +1,443 @@
+"""Lazy graph recording: the first layer of the record/fuse/realize pipeline.
+
+A :class:`LazyBuffer` is a node in a dataflow graph. Nothing is computed
+when one is created — arithmetic on lazy buffers only *records* the
+operation (a :class:`LazyOp`), and the graph is turned into numbers later
+by a scheduler + runtime (:mod:`repro.lazy.schedule`,
+:mod:`repro.lazy.runtime`).
+
+Why this matters here: the paper's oblivious hot paths (the DHE decoder
+stack, the masked-onehot linear scan) execute the *same* graph for every
+batch of a given shape — obliviousness means the structure cannot depend
+on the secret indices. A recorded graph can therefore be scheduled once,
+cached per (batch shape, table config), and replayed byte-identically,
+eliminating the per-op Python/autograd dispatch that eager execution pays
+on every one of the millions of lookups the serving path issues.
+
+Shapes and dtypes are inferred eagerly at record time (using zero-size
+numpy probes, so promotion semantics match numpy exactly); values are not.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+# ----------------------------------------------------------------------
+# Op tables
+# ----------------------------------------------------------------------
+#: unary elementwise ops: name -> ufunc
+UNARY_OPS: Dict[str, Callable] = {
+    "neg": np.negative,
+    "exp": np.exp,
+    "log": np.log,
+    "tanh": np.tanh,
+    "abs": np.absolute,
+    "sign": np.sign,
+}
+
+#: binary elementwise ops: name -> ufunc
+BINARY_OPS: Dict[str, Callable] = {
+    "add": np.add,
+    "sub": np.subtract,
+    "mul": np.multiply,
+    "div": np.true_divide,
+    "maximum": np.maximum,
+    "greater": np.greater,
+    "greater_equal": np.greater_equal,
+    "less": np.less,
+    "less_equal": np.less_equal,
+}
+
+#: elementwise ops that carry a scalar/tuple argument
+ARG_ELEMENTWISE_OPS = ("pow", "clip", "sigmoid")
+
+#: every op the scheduler may fuse into a single kernel
+ELEMENTWISE_OPS = frozenset(UNARY_OPS) | frozenset(BINARY_OPS) | frozenset(
+    ARG_ELEMENTWISE_OPS)
+
+#: ops that produce views — folded into kernel input bindings, zero kernels
+MOVEMENT_OPS = frozenset({"reshape", "transpose", "broadcast"})
+
+#: axis reductions — one kernel each
+REDUCE_OPS = frozenset({"sum", "max"})
+
+#: contractions — one kernel each
+CONTRACTION_OPS = frozenset({"matmul"})
+
+#: ufunc object -> lazy op name, for ``__array_ufunc__`` dispatch
+_UFUNC_TO_OP: Dict[Any, str] = {
+    np.add: "add", np.subtract: "sub", np.multiply: "mul",
+    np.true_divide: "div", np.maximum: "maximum",
+    np.greater: "greater", np.greater_equal: "greater_equal",
+    np.less: "less", np.less_equal: "less_equal",
+    np.negative: "neg", np.exp: "exp", np.log: "log", np.tanh: "tanh",
+    np.absolute: "abs", np.sign: "sign", np.matmul: "matmul",
+}
+
+
+@dataclass(frozen=True)
+class LazyOp:
+    """One recorded operation: opcode, source buffers, static argument."""
+
+    op: str
+    srcs: Tuple["LazyBuffer", ...]
+    arg: Any = None
+
+    def __repr__(self) -> str:
+        return f"LazyOp({self.op}, srcs={len(self.srcs)}, arg={self.arg!r})"
+
+
+def _matmul_shape(a: Tuple[int, ...], b: Tuple[int, ...]) -> Tuple[int, ...]:
+    """Result shape of ``a @ b`` under numpy's matmul rules."""
+    if not a or not b:
+        raise ValueError("matmul operands must be at least 1-D")
+    a_vec, b_vec = len(a) == 1, len(b) == 1
+    a2 = (1,) + a if a_vec else a
+    b2 = b + (1,) if b_vec else b
+    if a2[-1] != b2[-2]:
+        raise ValueError(f"matmul shape mismatch: {a} @ {b}")
+    batch = np.broadcast_shapes(a2[:-2], b2[:-2])
+    core: Tuple[int, ...] = (a2[-2], b2[-1])
+    if a_vec:
+        core = core[1:]
+    if b_vec:
+        core = core[:-1]
+    return tuple(batch) + core
+
+
+def _reduce_shape(shape: Tuple[int, ...], axis, keepdims: bool
+                  ) -> Tuple[int, ...]:
+    if axis is None:
+        return tuple(1 for _ in shape) if keepdims else ()
+    axes = axis if isinstance(axis, tuple) else (axis,)
+    axes = tuple(a % len(shape) for a in axes)
+    if keepdims:
+        return tuple(1 if i in axes else n for i, n in enumerate(shape))
+    return tuple(n for i, n in enumerate(shape) if i not in axes)
+
+
+def _normalize_reshape(shape: Tuple[int, ...], new_shape: Tuple[int, ...]
+                       ) -> Tuple[int, ...]:
+    new_shape = tuple(int(n) for n in new_shape)
+    if -1 in new_shape:
+        known = int(np.prod([n for n in new_shape if n != -1], dtype=np.int64))
+        total = int(np.prod(shape, dtype=np.int64))
+        if known == 0 or total % known:
+            raise ValueError(f"cannot reshape {shape} into {new_shape}")
+        new_shape = tuple(total // known if n == -1 else n for n in new_shape)
+    if int(np.prod(new_shape, dtype=np.int64)) != int(np.prod(shape,
+                                                              dtype=np.int64)):
+        raise ValueError(f"cannot reshape {shape} into {new_shape}")
+    return new_shape
+
+
+def _probe(dtype: np.dtype) -> np.ndarray:
+    """A zero-size array used to resolve numpy promotion exactly."""
+    return np.empty((0,), dtype=dtype)
+
+
+class LazyBuffer:
+    """A graph node: either a source array/placeholder or a recorded op.
+
+    Source buffers hold a reference to a concrete ``numpy`` array (weights,
+    tables — updated in place by the optimiser, so captures stay fresh) or
+    are *placeholders* bound to fresh arrays at every realization (the
+    per-batch inputs). Computed buffers hold a :class:`LazyOp`.
+    """
+
+    __slots__ = ("shape", "dtype", "op", "data", "name")
+
+    def __init__(self, shape: Tuple[int, ...], dtype,
+                 op: Optional[LazyOp] = None,
+                 data: Optional[np.ndarray] = None, name: str = "") -> None:
+        self.shape = tuple(int(n) for n in shape)
+        self.dtype = np.dtype(dtype)
+        self.op = op
+        self.data = data
+        self.name = name
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_data(cls, array: np.ndarray, name: str = "") -> "LazyBuffer":
+        """Wrap a concrete array as a source node (no copy)."""
+        array = np.asarray(array)
+        return cls(array.shape, array.dtype, data=array, name=name)
+
+    @classmethod
+    def placeholder(cls, shape: Tuple[int, ...], dtype,
+                    name: str = "") -> "LazyBuffer":
+        """An input slot: bound to a fresh array at each realization."""
+        return cls(tuple(shape), dtype, name=name)
+
+    @property
+    def is_source(self) -> bool:
+        return self.op is None
+
+    @property
+    def is_placeholder(self) -> bool:
+        return self.op is None and self.data is None
+
+    @property
+    def ndim(self) -> int:
+        return len(self.shape)
+
+    @property
+    def size(self) -> int:
+        return int(np.prod(self.shape, dtype=np.int64)) if self.shape else 1
+
+    def __repr__(self) -> str:
+        kind = (f"placeholder {self.name!r}" if self.is_placeholder
+                else "source" if self.is_source else self.op.op)
+        return f"LazyBuffer({kind}, shape={self.shape}, dtype={self.dtype})"
+
+    # ------------------------------------------------------------------
+    # Recording helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _wrap(value) -> "LazyBuffer":
+        if isinstance(value, LazyBuffer):
+            return value
+        return LazyBuffer.from_data(np.asarray(value))
+
+    def _binary(self, op: str, other, reverse: bool = False) -> "LazyBuffer":
+        other = LazyBuffer._wrap(other)
+        left, right = (other, self) if reverse else (self, other)
+        out_dtype = BINARY_OPS[op](_probe(left.dtype), _probe(right.dtype)).dtype
+        shape = np.broadcast_shapes(left.shape, right.shape)
+        return LazyBuffer(shape, out_dtype,
+                          op=LazyOp(op, (left, right)))
+
+    def _unary(self, op: str) -> "LazyBuffer":
+        out_dtype = UNARY_OPS[op](_probe(self.dtype)).dtype
+        return LazyBuffer(self.shape, out_dtype, op=LazyOp(op, (self,)))
+
+    # ------------------------------------------------------------------
+    # Elementwise arithmetic (mirrors the ndarray surface Tensor uses)
+    # ------------------------------------------------------------------
+    def __add__(self, other):
+        return self._binary("add", other)
+
+    def __radd__(self, other):
+        return self._binary("add", other, reverse=True)
+
+    def __sub__(self, other):
+        return self._binary("sub", other)
+
+    def __rsub__(self, other):
+        return self._binary("sub", other, reverse=True)
+
+    def __mul__(self, other):
+        return self._binary("mul", other)
+
+    def __rmul__(self, other):
+        return self._binary("mul", other, reverse=True)
+
+    def __truediv__(self, other):
+        return self._binary("div", other)
+
+    def __rtruediv__(self, other):
+        return self._binary("div", other, reverse=True)
+
+    def __neg__(self):
+        return self._unary("neg")
+
+    def __pow__(self, exponent):
+        if not np.isscalar(exponent):
+            raise TypeError("lazy ** only supports scalar exponents")
+        out_dtype = (_probe(self.dtype) ** exponent).dtype
+        return LazyBuffer(self.shape, out_dtype,
+                          op=LazyOp("pow", (self,), arg=exponent))
+
+    def __gt__(self, other):
+        return self._binary("greater", other)
+
+    def __ge__(self, other):
+        return self._binary("greater_equal", other)
+
+    def __lt__(self, other):
+        return self._binary("less", other)
+
+    def __le__(self, other):
+        return self._binary("less_equal", other)
+
+    def __matmul__(self, other):
+        return self.matmul(other)
+
+    def __rmatmul__(self, other):
+        return LazyBuffer._wrap(other).matmul(self)
+
+    def matmul(self, other) -> "LazyBuffer":
+        other = LazyBuffer._wrap(other)
+        shape = _matmul_shape(self.shape, other.shape)
+        out_dtype = np.result_type(self.dtype, other.dtype)
+        return LazyBuffer(shape, out_dtype, op=LazyOp("matmul", (self, other)))
+
+    # ------------------------------------------------------------------
+    # Non-operator elementwise
+    # ------------------------------------------------------------------
+    def exp(self) -> "LazyBuffer":
+        return self._unary("exp")
+
+    def log(self) -> "LazyBuffer":
+        return self._unary("log")
+
+    def tanh(self) -> "LazyBuffer":
+        return self._unary("tanh")
+
+    def sigmoid(self) -> "LazyBuffer":
+        """Numerically-stable sigmoid (realized with the eager expression)."""
+        return LazyBuffer(self.shape, np.dtype(np.float64),
+                          op=LazyOp("sigmoid", (self,)))
+
+    def clip(self, low=None, high=None, out=None, **kwargs) -> "LazyBuffer":
+        # matches the ndarray.clip method surface np.clip dispatches to
+        if out is not None or kwargs:
+            raise TypeError("lazy clip does not support out=/kwargs")
+        out_dtype = np.clip(_probe(self.dtype), low, high).dtype
+        return LazyBuffer(self.shape, out_dtype,
+                          op=LazyOp("clip", (self,), arg=(low, high)))
+
+    # ------------------------------------------------------------------
+    # Reductions
+    # ------------------------------------------------------------------
+    def _reduce(self, op: str, axis, keepdims: bool) -> "LazyBuffer":
+        shape = _reduce_shape(self.shape, axis, keepdims)
+        if op == "sum":
+            out_dtype = _probe(self.dtype).sum().dtype
+        else:
+            out_dtype = self.dtype
+        arg = (axis if not isinstance(axis, list) else tuple(axis), keepdims)
+        return LazyBuffer(shape, out_dtype, op=LazyOp(op, (self,), arg=arg))
+
+    def sum(self, axis=None, keepdims: bool = False) -> "LazyBuffer":
+        return self._reduce("sum", axis, keepdims)
+
+    def max(self, axis=None, keepdims: bool = False) -> "LazyBuffer":
+        if self.size == 0:
+            raise ValueError("zero-size array reduction over max")
+        return self._reduce("max", axis, keepdims)
+
+    def mean(self, axis=None, keepdims: bool = False) -> "LazyBuffer":
+        count = (self.size if axis is None else int(np.prod(
+            [self.shape[a] for a in (axis if isinstance(axis, tuple)
+                                     else (axis,))], dtype=np.int64)))
+        return self.sum(axis=axis, keepdims=keepdims) * (1.0 / count)
+
+    # ------------------------------------------------------------------
+    # Movement (views; never a kernel)
+    # ------------------------------------------------------------------
+    def reshape(self, *shape) -> "LazyBuffer":
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        new_shape = _normalize_reshape(self.shape, shape)
+        return LazyBuffer(new_shape, self.dtype,
+                          op=LazyOp("reshape", (self,), arg=new_shape))
+
+    def transpose(self, *axes) -> "LazyBuffer":
+        if not axes:
+            axes = tuple(reversed(range(self.ndim)))
+        elif len(axes) == 1 and isinstance(axes[0], (tuple, list, np.ndarray)):
+            axes = tuple(int(a) for a in axes[0])
+        if sorted(a % self.ndim for a in axes) != list(range(self.ndim)):
+            raise ValueError(f"bad transpose axes {axes} for ndim {self.ndim}")
+        axes = tuple(a % self.ndim for a in axes)
+        new_shape = tuple(self.shape[a] for a in axes)
+        return LazyBuffer(new_shape, self.dtype,
+                          op=LazyOp("transpose", (self,), arg=axes))
+
+    @property
+    def T(self) -> "LazyBuffer":
+        return self.transpose()
+
+    def broadcast_to(self, shape) -> "LazyBuffer":
+        shape = tuple(int(n) for n in shape)
+        np.broadcast_shapes(self.shape, shape)  # validates
+        return LazyBuffer(shape, self.dtype,
+                          op=LazyOp("broadcast", (self,), arg=shape))
+
+    # ------------------------------------------------------------------
+    # numpy interop: ndarray (ufunc) LazyBuffer records lazily
+    # ------------------------------------------------------------------
+    def __array_ufunc__(self, ufunc, method, *inputs, **kwargs):
+        if method != "__call__" or kwargs.get("out") is not None:
+            return NotImplemented
+        name = _UFUNC_TO_OP.get(ufunc)
+        if name is None:
+            return NotImplemented
+        if name == "matmul":
+            return LazyBuffer._wrap(inputs[0]).matmul(inputs[1])
+        if name in UNARY_OPS:
+            return LazyBuffer._wrap(inputs[0])._unary(name)
+        left, right = inputs
+        if isinstance(left, LazyBuffer):
+            return left._binary(name, right)
+        return LazyBuffer._wrap(left)._binary(name, right)
+
+    # ------------------------------------------------------------------
+    # Graph utilities
+    # ------------------------------------------------------------------
+    def toposort(self) -> List["LazyBuffer"]:
+        """All reachable nodes, parents before children."""
+        order: List[LazyBuffer] = []
+        visited = set()
+        stack: List[Tuple[LazyBuffer, bool]] = [(self, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                order.append(node)
+                continue
+            if id(node) in visited:
+                continue
+            visited.add(id(node))
+            stack.append((node, True))
+            if node.op is not None:
+                for src in node.op.srcs:
+                    if id(src) not in visited:
+                        stack.append((src, False))
+        return order
+
+    def signature(self, include_source_identity: bool = True) -> str:
+        """Structural content hash of the graph rooted at this buffer.
+
+        This is the graph-cache key material: two graphs with the same
+        signature schedule identically. ``include_source_identity`` mixes
+        in the identity of concrete source arrays (weights/tables), so a
+        capture against one table never answers for another; disable it to
+        compare pure structure across processes (tests do).
+        """
+        order = self.toposort()
+        index = {id(node): i for i, node in enumerate(order)}
+        hasher = hashlib.sha256()
+        for node in order:
+            if node.op is None:
+                identity = ("input" if node.data is None
+                            else id(node.data) if include_source_identity
+                            else "source")
+                line = f"src|{node.name}|{identity}|{node.shape}|{node.dtype}"
+            else:
+                srcs = ",".join(str(index[id(s)]) for s in node.op.srcs)
+                line = (f"{node.op.op}|{node.op.arg!r}|{srcs}"
+                        f"|{node.shape}|{node.dtype}")
+            hasher.update(line.encode())
+            hasher.update(b";")
+        return hasher.hexdigest()
+
+    def realize(self, runtime=None) -> np.ndarray:
+        """Convenience one-off realization (no placeholders allowed)."""
+        from repro.lazy.capture import CapturedGraph
+        from repro.lazy.runtime import NumpyRuntime
+
+        runtime = runtime if runtime is not None else NumpyRuntime()
+        schedule = runtime.scheduler.compile(self, inputs=())
+        return CapturedGraph(schedule, runtime, name="realize")()
+
+
+def count_dispatch_ops(output: LazyBuffer) -> int:
+    """Recorded op count — what eager execution would dispatch one by one."""
+    return sum(1 for node in output.toposort() if node.op is not None)

@@ -1,0 +1,224 @@
+"""Runtimes: the pluggable third layer of record/fuse/realize.
+
+A :class:`Runtime` owns a scheduler, executes compiled
+:class:`~repro.lazy.schedule.Schedule` objects, and keeps the process-wide
+graph cache. :class:`NumpyRuntime` is the default — numpy plays the role
+tinygrad's clang/GPU backends play, and a compiled-kernel runtime can slot
+in later by implementing the same three methods.
+
+Execution contract (what the parity tests pin):
+
+* realizing a schedule runs *exactly* the numpy expressions eager
+  execution would run, in the same order — outputs are byte-identical to
+  the eager path, not merely close;
+* after the first (warm-up) realization every computed node owns a
+  persistent output buffer; replays write into those buffers with
+  ``out=`` and allocate nothing, which is where the dispatch/allocation
+  win over eager comes from;
+* if the runtime carries a :class:`~repro.oblivious.trace.MemoryTracer`,
+  each kernel launch is reported using the schedule's compile-time trace
+  plan — input-independent by construction (see
+  :mod:`repro.lazy.schedule`).
+
+The *active* runtime is an ambient setting (:func:`use_runtime` /
+:func:`set_active_runtime`). Hot paths — ``DHEEmbedding.forward``, the
+vectorised linear scan — consult :func:`get_active_runtime` and fall back
+to eager execution when none is installed, so default behaviour is
+unchanged.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Callable, Dict, Hashable, Iterator, List, Optional, Sequence
+
+import numpy as np
+
+from repro.lazy.graph import (
+    BINARY_OPS,
+    MOVEMENT_OPS,
+    UNARY_OPS,
+    LazyBuffer,
+)
+from repro.lazy.schedule import Schedule, Scheduler
+from repro.oblivious.trace import MemoryTracer
+from repro.telemetry.runtime import get_registry
+
+
+def _sigmoid_exact(x: np.ndarray) -> np.ndarray:
+    """The numerically-stable piecewise sigmoid, bit-identical to eager."""
+    return np.where(x >= 0,
+                    1.0 / (1.0 + np.exp(-np.clip(x, 0, None))),
+                    np.exp(np.clip(x, None, 0))
+                    / (1.0 + np.exp(np.clip(x, None, 0))))
+
+
+def _exec_node(node: LazyBuffer, ins: List[np.ndarray],
+               out: Optional[np.ndarray]) -> np.ndarray:
+    """Run one recorded op, writing into ``out`` when a buffer exists."""
+    op = node.op.op
+    arg = node.op.arg
+    if out is not None and (out.shape != node.shape or out.dtype != node.dtype):
+        out = None  # defensive: never cast through a stale buffer
+    if op in BINARY_OPS:
+        fn = BINARY_OPS[op]
+        return fn(ins[0], ins[1]) if out is None else fn(ins[0], ins[1],
+                                                         out=out)
+    if op in UNARY_OPS:
+        fn = UNARY_OPS[op]
+        return fn(ins[0]) if out is None else fn(ins[0], out=out)
+    if op == "pow":
+        return (ins[0] ** arg if out is None
+                else np.power(ins[0], arg, out=out))
+    if op == "clip":
+        return np.clip(ins[0], arg[0], arg[1], out=out)
+    if op == "sigmoid":
+        result = _sigmoid_exact(ins[0])
+        if out is None:
+            return result
+        out[...] = result
+        return out
+    if op == "sum":
+        axis, keepdims = arg
+        return np.sum(ins[0], axis=axis, keepdims=keepdims, out=out)
+    if op == "max":
+        axis, keepdims = arg
+        return np.amax(ins[0], axis=axis, keepdims=keepdims, out=out)
+    if op == "matmul":
+        return (np.matmul(ins[0], ins[1]) if out is None
+                else np.matmul(ins[0], ins[1], out=out))
+    raise ValueError(f"runtime cannot execute op {op!r}")
+
+
+class Runtime:
+    """Protocol every lazy runtime implements (subclassing optional)."""
+
+    name: str = "abstract"
+    scheduler: Scheduler
+    tracer: Optional[MemoryTracer]
+
+    def execute(self, schedule: Schedule, bindings: Sequence[np.ndarray],
+                buffers: Dict[int, np.ndarray]) -> np.ndarray:
+        """Realize one schedule against bound inputs + persistent buffers."""
+        raise NotImplementedError
+
+    def captured(self, key: Hashable, builder: Callable[[], "object"]):
+        """Graph-cache lookup: return the cached capture or build + cache."""
+        raise NotImplementedError
+
+
+class NumpyRuntime(Runtime):
+    """Default runtime: fused schedules over numpy with buffer reuse."""
+
+    name = "numpy"
+
+    def __init__(self, scheduler: Optional[Scheduler] = None,
+                 tracer: Optional[MemoryTracer] = None) -> None:
+        self.scheduler = scheduler if scheduler is not None else Scheduler()
+        self.tracer = tracer
+        self._cache: Dict[Hashable, object] = {}
+
+    # ------------------------------------------------------------------
+    # Graph cache
+    # ------------------------------------------------------------------
+    def captured(self, key: Hashable, builder: Callable[[], "object"]):
+        graph = self._cache.get(key)
+        if graph is None:
+            graph = builder()
+            self._cache[key] = graph
+            get_registry().counter("lazy.cache_misses_total").inc()
+        else:
+            get_registry().counter("lazy.cache_hits_total").inc()
+        return graph
+
+    def cache_size(self) -> int:
+        return len(self._cache)
+
+    def cached_graphs(self) -> List["object"]:
+        """The cached captures, in insertion order (bench/tests introspect)."""
+        return list(self._cache.values())
+
+    def clear_cache(self) -> None:
+        """Drop every cached capture (e.g. after rebinding parameters)."""
+        self._cache.clear()
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def execute(self, schedule: Schedule, bindings: Sequence[np.ndarray],
+                buffers: Dict[int, np.ndarray]) -> np.ndarray:
+        values: Dict[int, np.ndarray] = {
+            id(placeholder): array
+            for placeholder, array in zip(schedule.inputs, bindings)}
+
+        def resolve(node: LazyBuffer) -> np.ndarray:
+            cached = values.get(id(node))
+            if cached is not None:
+                return cached
+            if node.op is None:
+                if node.data is None:
+                    raise RuntimeError(
+                        f"unbound placeholder {node.name!r} in schedule "
+                        f"{schedule.name!r}")
+                return node.data
+            opname = node.op.op
+            if opname in MOVEMENT_OPS:
+                src = resolve(node.op.srcs[0])
+                if opname == "reshape":
+                    view = src.reshape(node.op.arg)
+                elif opname == "transpose":
+                    view = src.transpose(node.op.arg)
+                else:
+                    view = np.broadcast_to(src, node.op.arg)
+                values[id(node)] = view
+                return view
+            raise RuntimeError(
+                f"value of {opname!r} requested before its kernel ran")
+
+        tracer = self.tracer
+        for kernel in schedule.kernels:
+            if tracer is not None:
+                if schedule.dynamic_trace is not None:
+                    head_inputs = [resolve(src)
+                                   for src in kernel.nodes[0].op.srcs]
+                    event = schedule.trace_events[kernel.index]
+                    tracer.record(event.op, event.region,
+                                  schedule.dynamic_trace(kernel, head_inputs))
+                else:
+                    event = schedule.trace_events[kernel.index]
+                    tracer.record(event.op, event.region, event.address)
+            for node in kernel.nodes:
+                ins = [resolve(src) for src in node.op.srcs]
+                result = _exec_node(node, ins, buffers.get(id(node)))
+                buffers.setdefault(id(node), result)
+                values[id(node)] = result
+        return resolve(schedule.output)
+
+
+# ----------------------------------------------------------------------
+# The ambient runtime: what the hot paths consult
+# ----------------------------------------------------------------------
+_ACTIVE_RUNTIME: Optional[Runtime] = None
+
+
+def get_active_runtime() -> Optional[Runtime]:
+    """The runtime hot paths record into, or ``None`` for eager execution."""
+    return _ACTIVE_RUNTIME
+
+
+def set_active_runtime(runtime: Optional[Runtime]) -> Optional[Runtime]:
+    """Install ``runtime`` process-wide; returns the previous one."""
+    global _ACTIVE_RUNTIME
+    previous = _ACTIVE_RUNTIME
+    _ACTIVE_RUNTIME = runtime
+    return previous
+
+
+@contextmanager
+def use_runtime(runtime: Runtime) -> Iterator[Runtime]:
+    """Scope a runtime: lazy capture inside, eager behaviour restored after."""
+    previous = set_active_runtime(runtime)
+    try:
+        yield runtime
+    finally:
+        set_active_runtime(previous)

@@ -1,0 +1,206 @@
+"""The scheduler: fuse a recorded lazy graph into an ordered kernel list.
+
+Second layer of the record/fuse/realize pipeline. The scheduler walks a
+:class:`~repro.lazy.graph.LazyBuffer` graph once and emits a
+:class:`Schedule` — an ordered list of :class:`Kernel` objects a runtime
+executes. Three rules:
+
+* **movement ops are free** — reshape/transpose/broadcast never become
+  kernels; they are folded into input bindings as numpy views;
+* **elementwise chains fuse** — maximal connected groups of elementwise
+  ops (the ``matmul -> +bias -> mask -> mul`` ReLU epilogue of every DHE
+  decoder layer) collapse into one kernel;
+* **contractions and reductions anchor kernels** — matmul/sum/max each
+  get their own kernel (numpy's BLAS is the "hardware" they run on).
+
+The schedule also carries the *trace plan*: the (op, region, address)
+events a runtime reports to a :class:`~repro.oblivious.trace.MemoryTracer`
+when executing. For the honest :class:`Scheduler` this plan is computed
+here, at compile time, from the graph structure alone — before any input
+value exists — so the launch trace *cannot* depend on the secrets, by
+construction. :class:`IndexLeakingScheduler` deliberately breaks that
+property and is kept in-tree as the negative control the leakage audit
+must catch.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.lazy.graph import (
+    CONTRACTION_OPS,
+    ELEMENTWISE_OPS,
+    MOVEMENT_OPS,
+    REDUCE_OPS,
+    LazyBuffer,
+)
+from repro.oblivious.trace import READ, AccessEvent
+
+#: region prefix for kernel-launch trace events
+TRACE_REGION_PREFIX = "lazy"
+
+
+@dataclass
+class Kernel:
+    """One executable unit: a fused group or a single heavy op."""
+
+    index: int
+    kind: str                      # "fused-elementwise" | "matmul" | "reduce"
+    nodes: List[LazyBuffer]        # members in execution order; last = output
+
+    @property
+    def output(self) -> LazyBuffer:
+        return self.nodes[-1]
+
+    @property
+    def fused_ops(self) -> int:
+        return len(self.nodes)
+
+    def describe(self) -> str:
+        ops = "+".join(node.op.op for node in self.nodes)
+        return f"[{self.index}] {self.kind}({ops}) -> {self.output.shape}"
+
+
+@dataclass
+class Schedule:
+    """The compiled plan: kernels in order plus the static trace plan."""
+
+    name: str
+    output: LazyBuffer
+    inputs: Tuple[LazyBuffer, ...]
+    kernels: List[Kernel]
+    num_ops: int                   # recorded ops == eager dispatch count
+    trace_events: List[AccessEvent] = field(default_factory=list)
+    #: set only by leaky schedulers: (kernel, kernel inputs) -> address.
+    #: ``None`` means the static ``trace_events`` plan is authoritative.
+    dynamic_trace: Optional[Callable[[Kernel, Sequence[np.ndarray]], int]] = None
+
+    @property
+    def num_kernels(self) -> int:
+        return len(self.kernels)
+
+    @property
+    def dispatch_ratio(self) -> float:
+        """Eager ops per kernel launch — the fusion win the bench reports."""
+        return self.num_ops / max(1, self.num_kernels)
+
+    def describe(self) -> str:
+        lines = [f"schedule {self.name!r}: {self.num_ops} ops -> "
+                 f"{self.num_kernels} kernels"]
+        lines += ["  " + kernel.describe() for kernel in self.kernels]
+        return "\n".join(lines)
+
+
+class Scheduler:
+    """The honest fusing scheduler (compile-time trace plan)."""
+
+    name = "fusing"
+
+    def compile(self, output: LazyBuffer,
+                inputs: Sequence[LazyBuffer] = (),
+                name: str = "graph") -> Schedule:
+        order = output.toposort()
+        for placeholder in inputs:
+            if not placeholder.is_placeholder:
+                raise ValueError("schedule inputs must be placeholders")
+        reachable = {id(node) for node in order}
+        for placeholder in inputs:
+            if id(placeholder) not in reachable:
+                raise ValueError(
+                    f"input {placeholder!r} is not part of the graph")
+
+        kernels: List[Kernel] = []
+        kernel_of: Dict[int, int] = {}   # node id -> kernel index (-1: free)
+        num_ops = 0
+
+        for node in order:
+            if node.op is None:
+                kernel_of[id(node)] = -1
+                continue
+            num_ops += 1
+            opname = node.op.op
+            if opname in MOVEMENT_OPS:
+                # Views ride on whatever kernel computes their source.
+                kernel_of[id(node)] = kernel_of[id(node.op.srcs[0])]
+                continue
+            src_kernels = [kernel_of[id(src)] for src in node.op.srcs]
+            target = -1
+            if opname in ELEMENTWISE_OPS:
+                # Merge into the latest elementwise group among our sources,
+                # provided every other dependency is computed no later.
+                candidates = [
+                    k for src, k in zip(node.op.srcs, src_kernels)
+                    if k >= 0 and kernels[k].kind == "fused-elementwise"]
+                if candidates:
+                    best = max(candidates)
+                    if all(k <= best for k in src_kernels):
+                        target = best
+            if target >= 0:
+                kernels[target].nodes.append(node)
+                kernel_of[id(node)] = target
+                continue
+            if opname in CONTRACTION_OPS:
+                kind = "matmul"
+            elif opname in REDUCE_OPS:
+                kind = "reduce"
+            elif opname in ELEMENTWISE_OPS:
+                kind = "fused-elementwise"
+            else:
+                raise ValueError(f"unschedulable op {opname!r}")
+            kernel = Kernel(index=len(kernels), kind=kind, nodes=[node])
+            kernels.append(kernel)
+            kernel_of[id(node)] = kernel.index
+
+        schedule = Schedule(name=name, output=output, inputs=tuple(inputs),
+                            kernels=kernels, num_ops=num_ops)
+        schedule.trace_events = self.trace_plan(schedule)
+        return schedule
+
+    # ------------------------------------------------------------------
+    def trace_plan(self, schedule: Schedule) -> List[AccessEvent]:
+        """The kernel-launch trace, fixed at compile time.
+
+        One READ per kernel, addressed by kernel index. Because this list
+        is finalized before any input array exists, the launch sequence a
+        tracer observes is a pure function of (graph structure) = (batch
+        shape, table config) — never of the secret indices.
+        """
+        region = f"{TRACE_REGION_PREFIX}.{schedule.name}"
+        return [AccessEvent(READ, region, kernel.index)
+                for kernel in schedule.kernels]
+
+
+class IndexLeakingScheduler(Scheduler):
+    """Negative control: a scheduler whose launches depend on input values.
+
+    It stands in for any "optimisation" that keys execution on observed
+    data — a result cache keyed on the secret indices, value-conditional
+    kernel dispatch, input-dependent early exit. The kernel-launch address
+    it reports mixes in the first element of the kernel's first bound
+    input, so two different secrets produce two different traces and the
+    :class:`~repro.telemetry.audit.LeakageAuditor` flags it (exact-mode
+    divergence). Kept in-tree so the audit gate is caught-by-construction:
+    the bench *requires* this scheduler to be flagged.
+    """
+
+    name = "index-leaking"
+
+    def compile(self, output: LazyBuffer,
+                inputs: Sequence[LazyBuffer] = (),
+                name: str = "graph") -> Schedule:
+        schedule = super().compile(output, inputs, name=name)
+
+        def leak(kernel: Kernel, bound_inputs: Sequence[np.ndarray]) -> int:
+            salt = 0
+            for array in bound_inputs:
+                if array.size:
+                    salt = zlib.crc32(np.ascontiguousarray(array).tobytes()) & 0xFFFF
+                    break
+            return kernel.index + salt
+
+        schedule.dynamic_trace = leak
+        return schedule

@@ -24,7 +24,16 @@ from repro.nn.losses import bce_with_logits, cross_entropy, mse
 from repro.nn.module import Module, Parameter
 from repro.nn.optim import Adam, AdamW, CosineSchedule, Optimizer, SGD
 from repro.nn.serialization import load_state, save_state
-from repro.nn.tensor import Tensor, as_tensor, ones, randn, unbroadcast, zeros
+from repro.nn.tensor import (
+    Tensor,
+    as_tensor,
+    is_grad_enabled,
+    no_grad,
+    ones,
+    randn,
+    unbroadcast,
+    zeros,
+)
 
 __all__ = [
     "functional",
@@ -55,6 +64,8 @@ __all__ = [
     "save_state",
     "Tensor",
     "as_tensor",
+    "is_grad_enabled",
+    "no_grad",
     "ones",
     "randn",
     "unbroadcast",

@@ -13,13 +13,22 @@ Design notes
   reduced back to the operand shape with :func:`unbroadcast`.
 * Only float arrays participate in differentiation; integer tensors (e.g.
   token ids) flow through as plain data.
+* The payload may also be a :class:`~repro.lazy.graph.LazyBuffer`: under
+  graph capture (:func:`repro.lazy.capture`) every forward op *records*
+  into the lazy graph instead of executing, because ``LazyBuffer``
+  mirrors the ndarray operator surface these ops use. Lazy tensors are
+  inference-only — capture runs under :func:`no_grad`, and the autograd
+  machinery refuses lazy payloads loudly.
 """
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional, Sequence, Tuple, Union
+from contextlib import contextmanager
+from typing import Callable, Iterator, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
+
+from repro.lazy.graph import LazyBuffer
 
 ArrayLike = Union["Tensor", np.ndarray, float, int, list, tuple]
 
@@ -31,7 +40,19 @@ def scatter_add(array: np.ndarray, indices, values: np.ndarray) -> None:
     framework's training path (embedding-gather backward). Keeping it
     behind a patchable function lets the security tests instrument it and
     prove that DHE training never calls it (§IV-C3).
+
+    ``values`` must cast safely into ``array``'s dtype: ``np.add.at``
+    would otherwise truncate silently (e.g. float64 gradients into a
+    float32 table), which is rejected here — upcast the destination or
+    downcast the values explicitly instead.
     """
+    values = np.asarray(values)
+    if values.dtype != array.dtype and not np.can_cast(
+            values.dtype, array.dtype, casting="safe"):
+        raise TypeError(
+            f"scatter_add would truncate: values dtype {values.dtype} does "
+            f"not cast safely to array dtype {array.dtype}; upcast the "
+            f"array or cast the values explicitly")
     np.add.at(array, indices, values)
 
 
@@ -54,7 +75,35 @@ def as_tensor(value: ArrayLike, dtype=None) -> "Tensor":
     """Coerce ``value`` to a :class:`Tensor` (no copy when already one)."""
     if isinstance(value, Tensor):
         return value
+    if isinstance(value, LazyBuffer):
+        return Tensor(value)
     return Tensor(np.asarray(value, dtype=dtype))
+
+
+# ----------------------------------------------------------------------
+# Grad mode: disabled during inference capture, enabled by default
+# ----------------------------------------------------------------------
+_grad_enabled: bool = True
+
+
+def is_grad_enabled() -> bool:
+    return _grad_enabled
+
+
+@contextmanager
+def no_grad() -> Iterator[None]:
+    """Disable graph construction: forward ops return plain tensors.
+
+    Used by lazy graph capture (captures are inference-only) and usable
+    directly to cut autograd bookkeeping from inference loops.
+    """
+    global _grad_enabled
+    previous = _grad_enabled
+    _grad_enabled = False
+    try:
+        yield
+    finally:
+        _grad_enabled = previous
 
 
 class Tensor:
@@ -74,7 +123,13 @@ class Tensor:
     ) -> None:
         if isinstance(data, Tensor):
             data = data.data
-        self.data = np.asarray(data)
+        if isinstance(data, LazyBuffer):
+            if requires_grad:
+                raise TypeError("lazy tensors are inference-only and cannot "
+                                "require grad")
+            self.data = data
+        else:
+            self.data = np.asarray(data)
         if requires_grad and not np.issubdtype(self.data.dtype, np.floating):
             raise TypeError(
                 f"only floating tensors can require grad, got dtype {self.data.dtype}"
@@ -108,18 +163,31 @@ class Tensor:
     def T(self) -> "Tensor":
         return self.transpose()
 
+    @property
+    def is_lazy(self) -> bool:
+        """True when this tensor records into a lazy graph."""
+        return isinstance(self.data, LazyBuffer)
+
     def __len__(self) -> int:
-        return len(self.data)
+        return len(self.data) if not self.is_lazy else self.data.shape[0]
 
     def __repr__(self) -> str:
         grad_flag = ", requires_grad=True" if self.requires_grad else ""
-        return f"Tensor(shape={self.shape}, dtype={self.dtype}{grad_flag})"
+        lazy_flag = ", lazy=True" if self.is_lazy else ""
+        return f"Tensor(shape={self.shape}, dtype={self.dtype}{grad_flag}{lazy_flag})"
 
     def numpy(self) -> np.ndarray:
-        """Return the underlying array (shared, not copied)."""
+        """Return the underlying array (shared, not copied).
+
+        For a lazy tensor this is the :class:`LazyBuffer` graph node, not
+        numbers — realize through a captured graph to get values.
+        """
         return self.data
 
     def item(self) -> float:
+        if self.is_lazy:
+            raise TypeError("cannot read a value out of a lazy tensor during "
+                            "capture; .item() is an eager escape")
         return float(self.data.reshape(-1)[0]) if self.data.size == 1 else self.data.item()
 
     def detach(self) -> "Tensor":
@@ -130,6 +198,9 @@ class Tensor:
     # Autograd machinery
     # ------------------------------------------------------------------
     def _accumulate(self, grad: np.ndarray) -> None:
+        if self.is_lazy:
+            raise RuntimeError("autograd reached a lazy tensor; captures are "
+                               "inference-only")
         grad = np.asarray(grad, dtype=self.data.dtype)
         if self.grad is None:
             self.grad = grad.copy()
@@ -142,6 +213,9 @@ class Tensor:
         ``grad`` defaults to ones (so calling ``loss.backward()`` on a scalar
         loss works with no arguments).
         """
+        if self.is_lazy:
+            raise RuntimeError("cannot backpropagate through a lazy tensor; "
+                               "captures are inference-only")
         if grad is None:
             grad = np.ones_like(self.data, dtype=self.data.dtype)
         else:
@@ -179,6 +253,8 @@ class Tensor:
 
     @staticmethod
     def _needs_graph(*tensors: "Tensor") -> bool:
+        if not _grad_enabled:
+            return False
         return any(t.requires_grad or t._parents for t in tensors)
 
     # ------------------------------------------------------------------
@@ -238,13 +314,27 @@ class Tensor:
     def __pow__(self, exponent: float) -> "Tensor":
         if not np.isscalar(exponent):
             raise TypeError("Tensor ** only supports scalar exponents")
-        out_data = self.data ** exponent
+        # 0 ** negative legitimately produces inf; keep numpy's value but
+        # not its warning (callers relying on it should test isfinite).
+        with np.errstate(divide="ignore"):
+            out_data = self.data ** exponent
         if not Tensor._needs_graph(self):
             return Tensor(out_data)
         out = Tensor(out_data, _parents=(self,))
 
         def backward(grad: np.ndarray) -> None:
-            self._accumulate(grad * exponent * self.data ** (exponent - 1))
+            # d/dx x**p = p * x**(p-1) is undefined at x == 0 for p < 1
+            # (and for p == 0). Rather than emit inf/nan into the graph,
+            # clamp the local derivative to 0 exactly at the boundary —
+            # the subgradient convention sqrt-at-zero training code
+            # expects. Everywhere else the formula is untouched.
+            with np.errstate(divide="ignore", invalid="ignore"):
+                local = exponent * self.data ** (exponent - 1)
+            local = np.asarray(local)
+            bad = ~np.isfinite(local) & (np.asarray(self.data) == 0)
+            if bad.any():
+                local = np.where(bad, 0.0, local)
+            self._accumulate(grad * local)
 
         out._backward = backward
         return out
@@ -306,7 +396,11 @@ class Tensor:
         if not Tensor._needs_graph(self):
             return Tensor(out_data)
         out = Tensor(out_data, _parents=(self,))
-        out._backward = lambda grad: self._accumulate(grad * out_data)
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad * out_data)
+
+        out._backward = backward
         return out
 
     def log(self) -> "Tensor":
@@ -314,7 +408,11 @@ class Tensor:
         if not Tensor._needs_graph(self):
             return Tensor(out_data)
         out = Tensor(out_data, _parents=(self,))
-        out._backward = lambda grad: self._accumulate(grad / self.data)
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad / self.data)
+
+        out._backward = backward
         return out
 
     def sqrt(self) -> "Tensor":
@@ -325,7 +423,11 @@ class Tensor:
         if not Tensor._needs_graph(self):
             return Tensor(out_data)
         out = Tensor(out_data, _parents=(self,))
-        out._backward = lambda grad: self._accumulate(grad * (1.0 - out_data ** 2))
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad * (1.0 - out_data ** 2))
+
+        out._backward = backward
         return out
 
     def relu(self) -> "Tensor":
@@ -334,10 +436,16 @@ class Tensor:
         if not Tensor._needs_graph(self):
             return Tensor(out_data)
         out = Tensor(out_data, _parents=(self,))
-        out._backward = lambda grad: self._accumulate(grad * mask)
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad * mask)
+
+        out._backward = backward
         return out
 
     def sigmoid(self) -> "Tensor":
+        if self.is_lazy:
+            return Tensor(self.data.sigmoid())
         # Numerically stable piecewise evaluation.
         x = self.data
         out_data = np.where(x >= 0, 1.0 / (1.0 + np.exp(-np.clip(x, 0, None))),
@@ -345,7 +453,11 @@ class Tensor:
         if not Tensor._needs_graph(self):
             return Tensor(out_data)
         out = Tensor(out_data, _parents=(self,))
-        out._backward = lambda grad: self._accumulate(grad * out_data * (1.0 - out_data))
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad * out_data * (1.0 - out_data))
+
+        out._backward = backward
         return out
 
     def abs(self) -> "Tensor":
@@ -353,7 +465,11 @@ class Tensor:
         if not Tensor._needs_graph(self):
             return Tensor(out_data)
         out = Tensor(out_data, _parents=(self,))
-        out._backward = lambda grad: self._accumulate(grad * np.sign(self.data))
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad * np.sign(self.data))
+
+        out._backward = backward
         return out
 
     def clip(self, low: float, high: float) -> "Tensor":
@@ -362,7 +478,11 @@ class Tensor:
             return Tensor(out_data)
         mask = (self.data >= low) & (self.data <= high)
         out = Tensor(out_data, _parents=(self,))
-        out._backward = lambda grad: self._accumulate(grad * mask)
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad * mask)
+
+        out._backward = backward
         return out
 
     # ------------------------------------------------------------------
@@ -428,7 +548,11 @@ class Tensor:
         if not Tensor._needs_graph(self):
             return Tensor(out_data)
         out = Tensor(out_data, _parents=(self,))
-        out._backward = lambda grad: self._accumulate(grad.reshape(self.shape))
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad.reshape(self.shape))
+
+        out._backward = backward
         return out
 
     def transpose(self, *axes) -> "Tensor":
@@ -441,7 +565,11 @@ class Tensor:
             return Tensor(out_data)
         inverse = np.argsort(axes)
         out = Tensor(out_data, _parents=(self,))
-        out._backward = lambda grad: self._accumulate(grad.transpose(inverse))
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad.transpose(inverse))
+
+        out._backward = backward
         return out
 
     def swapaxes(self, a: int, b: int) -> "Tensor":

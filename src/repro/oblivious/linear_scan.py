@@ -74,4 +74,21 @@ def linear_scan_batch_vectorized(table_data: np.ndarray,
         raise IndexError("index out of range in linear_scan_batch_vectorized")
     onehot = np.zeros((indices.size, table_data.shape[0]), dtype=table_data.dtype)
     onehot[np.arange(indices.size), indices] = 1.0
-    return onehot @ table_data
+
+    # Under an active lazy runtime the masked matmul replays from the graph
+    # cache, keyed on (table identity, batch shape): same arithmetic, same
+    # full-sweep pattern, no per-call dispatch. Empty batches short-circuit
+    # eagerly (nothing to capture). Imports deferred: repro.lazy's scheduler
+    # imports repro.oblivious.trace, whose package initialises this module.
+    from repro.lazy.runtime import get_active_runtime
+
+    runtime = get_active_runtime()
+    if runtime is None or indices.size == 0:
+        return onehot @ table_data
+    from repro.lazy.capture import capture
+
+    key = ("scan.matmul", id(table_data), onehot.shape)
+    graph = runtime.captured(key, lambda: capture(
+        lambda mask: mask @ table_data, [onehot], runtime=runtime,
+        name=f"scan.matmul.b{indices.size}"))
+    return graph(onehot)

@@ -11,6 +11,7 @@ interference, and per-request queueing + service accounting.
 from repro.serving.backends import (
     BACKEND_TECHNIQUES,
     ExecutionBackend,
+    LazyMeasuredBackend,
     MeasuredBackend,
     ModelledBackend,
     resolve_backend,
@@ -31,6 +32,7 @@ from repro.serving.server import SecureDlrmServer
 __all__ = [
     "BACKEND_TECHNIQUES",
     "ExecutionBackend",
+    "LazyMeasuredBackend",
     "MeasuredBackend",
     "ModelledBackend",
     "resolve_backend",

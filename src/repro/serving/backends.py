@@ -3,14 +3,17 @@
 Everything that asks "how long does embedding generation take under this
 configuration?" — the serving engine, the offline profiler (Algorithm 2),
 DLRM's inference accounting, and the figure benches — goes through the
-:class:`ExecutionBackend` protocol. Two implementations answer:
+:class:`ExecutionBackend` protocol. Three implementations answer:
 
 * :class:`ModelledBackend` — the calibrated analytic platform model
   (:mod:`repro.costmodel.latency`), standing in for the paper's on-SGX
   measurements;
 * :class:`MeasuredBackend` — wall-clock timing of this library's executable
   :class:`~repro.embedding.base.EmbeddingGenerator` objects, driven through
-  their ``batched_forward`` seam.
+  their ``batched_forward`` seam;
+* :class:`LazyMeasuredBackend` — the same timing with a
+  :mod:`repro.lazy` graph-capture runtime active, so the oblivious hot
+  paths replay cached fused graphs (``"measured-lazy"``).
 
 Before this seam existed the per-table latency logic was re-implemented by
 the server, the profiler, and the experiment scripts; now each of them asks
@@ -185,6 +188,46 @@ class MeasuredBackend(ExecutionBackend):
                              repeats=self.repeats)
 
 
+class LazyMeasuredBackend(MeasuredBackend):
+    """Wall-clock latency with the lazy graph-capture runtime active.
+
+    Identical to :class:`MeasuredBackend` except that every timed call runs
+    under an ambient :class:`repro.lazy.NumpyRuntime`: the oblivious hot
+    paths (DHE decode, vectorised scan) replay cached fused graphs instead
+    of dispatching op by op. Generators are timed in eval mode (captures
+    are inference-only) and each capture is warmed up outside the timed
+    region, so the numbers reflect steady-state replay — the regime a
+    serving loop lives in — not one-off capture cost.
+    """
+
+    name = "measured-lazy"
+
+    def __init__(self, uniform_shape: Optional[DheShape] = None,
+                 repeats: int = 3, runtime=None) -> None:
+        super().__init__(uniform_shape, repeats)
+        from repro.lazy import NumpyRuntime
+
+        self.runtime = runtime if runtime is not None else NumpyRuntime()
+
+    def generator_latency(self, generator, batch: int,
+                          threads: int = 1) -> float:
+        from repro.lazy import use_runtime
+
+        check_positive("batch", batch)
+        was_training = getattr(generator, "training", False)
+        generator.eval()
+        rng = np.random.default_rng(generator.num_embeddings)
+        indices = rng.integers(0, generator.num_embeddings, size=batch)
+        try:
+            with use_runtime(self.runtime):
+                generator.batched_forward(indices)  # warm-up: capture + alloc
+                return time_callable(
+                    lambda: generator.batched_forward(indices),
+                    repeats=self.repeats)
+        finally:
+            generator.train(was_training)
+
+
 BackendLike = Union[str, ExecutionBackend]
 
 
@@ -202,8 +245,10 @@ def resolve_backend(backend: BackendLike,
             return ModelledBackend(uniform_shape, platform)
         if backend == "measured":
             return MeasuredBackend(uniform_shape)
+        if backend == "measured-lazy":
+            return LazyMeasuredBackend(uniform_shape)
         raise ValueError(f"unknown backend {backend!r}; "
-                         f"known: 'modelled', 'measured'")
+                         f"known: 'modelled', 'measured', 'measured-lazy'")
     if hasattr(backend, "technique_latency") and \
             hasattr(backend, "generator_latency"):
         return backend

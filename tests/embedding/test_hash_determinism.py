@@ -1,0 +1,78 @@
+"""``UniversalHashEncoder.encode`` must be deterministic *across processes*.
+
+The encoder is seeded Carter-Wegman arithmetic — nothing may depend on
+Python's per-process ``hash()`` randomisation (``PYTHONHASHSEED``), object
+ids, or dict ordering. A regression here silently breaks every cross-node
+guarantee the cluster layer makes (replicas answering for the same table
+must produce identical embeddings) and the byte-identical artifact gates.
+"""
+
+import hashlib
+import os
+import pathlib
+import subprocess
+import sys
+
+import numpy as np
+
+import repro
+from repro.embedding.dhe import UniversalHashEncoder
+
+_SRC_DIR = str(pathlib.Path(repro.__file__).resolve().parent.parent)
+
+_SNIPPET = """
+import hashlib
+import numpy as np
+from repro.embedding.dhe import UniversalHashEncoder
+
+encoder = UniversalHashEncoder(k=32, num_buckets=4096, rng={seed})
+indices = np.arange(0, 5000, 7, dtype=np.uint64)
+print(hashlib.sha256(encoder.encode(indices).tobytes()).hexdigest())
+print(hashlib.sha256(encoder.hash_values(indices).tobytes()).hexdigest())
+"""
+
+
+def _digests_in_subprocess(seed: int, hash_seed: str) -> list:
+    env = dict(os.environ,
+               PYTHONPATH=_SRC_DIR, PYTHONHASHSEED=hash_seed)
+    result = subprocess.run(
+        [sys.executable, "-c", _SNIPPET.format(seed=seed)],
+        capture_output=True, text=True, check=True, env=env)
+    return result.stdout.split()
+
+
+def _digests_in_process(seed: int) -> list:
+    encoder = UniversalHashEncoder(k=32, num_buckets=4096, rng=seed)
+    indices = np.arange(0, 5000, 7, dtype=np.uint64)
+    return [hashlib.sha256(encoder.encode(indices).tobytes()).hexdigest(),
+            hashlib.sha256(encoder.hash_values(indices).tobytes()).hexdigest()]
+
+
+class TestCrossProcessDeterminism:
+    def test_same_seed_same_digest_across_hash_randomization(self):
+        # two subprocesses with *different* PYTHONHASHSEED values: if any
+        # step leaned on hash(), these digests would diverge
+        first = _digests_in_subprocess(seed=123, hash_seed="1")
+        second = _digests_in_subprocess(seed=123, hash_seed="2718281828")
+        assert first == second
+
+    def test_subprocess_matches_this_process(self):
+        assert _digests_in_subprocess(seed=123, hash_seed="0") == \
+            _digests_in_process(seed=123)
+
+    def test_different_seeds_differ(self):
+        assert _digests_in_process(seed=1) != _digests_in_process(seed=2)
+
+
+class TestEncoderProperties:
+    def test_encode_range_and_shape(self):
+        encoder = UniversalHashEncoder(k=8, num_buckets=64, rng=0)
+        encoded = encoder.encode(np.arange(100))
+        assert encoded.shape == (100, 8)
+        assert encoded.min() >= -1.0 and encoded.max() <= 1.0
+
+    def test_hash_values_stable_under_repeat_calls(self):
+        encoder = UniversalHashEncoder(k=8, num_buckets=64, rng=0)
+        indices = np.arange(50)
+        np.testing.assert_array_equal(encoder.hash_values(indices),
+                                      encoder.hash_values(indices))

@@ -1,0 +1,57 @@
+"""The serving seam: ``measured-lazy`` as just another ExecutionBackend."""
+
+import pytest
+
+from repro.lazy import NumpyRuntime
+from repro.serving.backends import (
+    LazyMeasuredBackend,
+    MeasuredBackend,
+    resolve_backend,
+)
+from repro.costmodel.latency import DheShape
+
+SHAPE = DheShape(k=16, fc_sizes=(16,), out_dim=4)
+
+
+class TestResolution:
+    def test_resolve_by_name(self):
+        backend = resolve_backend("measured-lazy", uniform_shape=SHAPE)
+        assert isinstance(backend, LazyMeasuredBackend)
+        assert backend.name == "measured-lazy"
+        assert isinstance(backend, MeasuredBackend)  # drop-in for callers
+
+    def test_unknown_name_lists_lazy_option(self):
+        with pytest.raises(ValueError, match="measured-lazy"):
+            resolve_backend("warp-speed")
+
+    def test_instance_passthrough(self):
+        backend = LazyMeasuredBackend(SHAPE)
+        assert resolve_backend(backend) is backend
+
+
+class TestLatencies:
+    def test_technique_latency_positive_and_cached(self):
+        backend = LazyMeasuredBackend(SHAPE, repeats=1)
+        first = backend.technique_latency("dhe-uniform", 64, 4, batch=8)
+        assert first > 0.0
+        # the runtime cached the capture; the generator cache holds one entry
+        assert backend.runtime.cache_size() >= 1
+        cached = backend.runtime.cache_size()
+        backend.technique_latency("dhe-uniform", 64, 4, batch=8)
+        assert backend.runtime.cache_size() == cached  # replay, no re-capture
+
+    def test_scan_latency_positive(self):
+        backend = LazyMeasuredBackend(SHAPE, repeats=1)
+        assert backend.technique_latency("scan", 64, 4, batch=8) > 0.0
+
+    def test_generator_left_in_original_mode(self):
+        backend = LazyMeasuredBackend(SHAPE, repeats=1)
+        backend.technique_latency("dhe-uniform", 64, 4, batch=4)
+        generator = backend._generator("dhe-uniform", 64, 4)
+        assert generator.training  # restored to the default training mode
+
+    def test_external_runtime_is_used(self):
+        runtime = NumpyRuntime()
+        backend = LazyMeasuredBackend(SHAPE, repeats=1, runtime=runtime)
+        backend.technique_latency("dhe-uniform", 64, 4, batch=4)
+        assert runtime.cache_size() >= 1

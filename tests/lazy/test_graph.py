@@ -1,0 +1,145 @@
+"""Graph-recording tests: shapes, dtypes, movement, hashing — no execution."""
+
+import numpy as np
+import pytest
+
+from repro.lazy.graph import LazyBuffer, count_dispatch_ops
+
+
+class TestRecording:
+    def test_arithmetic_records_instead_of_computing(self):
+        a = LazyBuffer.placeholder((3, 4), np.float64, name="a")
+        out = (a + 1.0) * 2.0
+        assert out.op.op == "mul"
+        assert out.op.srcs[0].op.op == "add"
+        assert out.shape == (3, 4)
+        assert count_dispatch_ops(out) == 2
+
+    def test_source_wraps_without_copy(self):
+        array = np.ones((2, 2))
+        buf = LazyBuffer.from_data(array)
+        assert buf.data is array
+        assert buf.is_source and not buf.is_placeholder
+
+    def test_placeholder_flags(self):
+        buf = LazyBuffer.placeholder((2,), np.float64)
+        assert buf.is_source and buf.is_placeholder
+
+    def test_dtype_promotion_matches_numpy(self):
+        a = LazyBuffer.placeholder((2,), np.float32)
+        b = LazyBuffer.placeholder((2,), np.int64)
+        assert (a + b).dtype == (np.zeros(2, np.float32)
+                                 + np.zeros(2, np.int64)).dtype
+        assert (a > b).dtype == np.dtype(bool)
+
+    def test_broadcast_shape_inference(self):
+        a = LazyBuffer.placeholder((4, 1), np.float64)
+        b = LazyBuffer.placeholder((3,), np.float64)
+        assert (a * b).shape == (4, 3)
+
+    def test_matmul_shapes(self):
+        a = LazyBuffer.placeholder((5, 8), np.float64)
+        b = LazyBuffer.placeholder((8, 3), np.float64)
+        assert (a @ b).shape == (5, 3)
+        with pytest.raises(ValueError):
+            _ = b @ a
+
+    def test_reduce_shapes(self):
+        a = LazyBuffer.placeholder((2, 5), np.float64)
+        assert a.sum().shape == ()
+        assert a.sum(axis=1).shape == (2,)
+        assert a.max(axis=0, keepdims=True).shape == (1, 5)
+
+    def test_zero_size_max_raises_like_numpy(self):
+        a = LazyBuffer.placeholder((0, 4), np.float64)
+        with pytest.raises(ValueError):
+            a.max()
+
+    def test_pow_requires_scalar(self):
+        a = LazyBuffer.placeholder((2,), np.float64)
+        with pytest.raises(TypeError):
+            a ** np.ones(2)
+
+
+class TestMovement:
+    def test_reshape_records_view_op(self):
+        a = LazyBuffer.placeholder((2, 6), np.float64)
+        out = a.reshape(3, 4)
+        assert out.op.op == "reshape" and out.shape == (3, 4)
+
+    def test_reshape_infers_minus_one(self):
+        a = LazyBuffer.placeholder((2, 6), np.float64)
+        assert a.reshape(-1).shape == (12,)
+        with pytest.raises(ValueError):
+            a.reshape(5, -1)
+
+    def test_transpose_default_reverses(self):
+        a = LazyBuffer.placeholder((2, 3, 4), np.float64)
+        assert a.T.shape == (4, 3, 2)
+        assert a.transpose(0, 2, 1).shape == (2, 4, 3)
+        with pytest.raises(ValueError):
+            a.transpose(0, 0, 1)
+
+    def test_broadcast_to(self):
+        a = LazyBuffer.placeholder((1, 4), np.float64)
+        assert a.broadcast_to((3, 4)).shape == (3, 4)
+        with pytest.raises(ValueError):
+            a.broadcast_to((3, 5))
+
+
+class TestUfuncDispatch:
+    def test_numpy_ufunc_on_lazy_records(self):
+        a = LazyBuffer.placeholder((3,), np.float64)
+        assert np.exp(a).op.op == "exp"
+        assert np.tanh(a).op.op == "tanh"
+
+    def test_ndarray_op_lazy_records(self):
+        a = LazyBuffer.placeholder((3,), np.float64)
+        out = np.ones(3) + a
+        assert isinstance(out, LazyBuffer) and out.op.op == "add"
+        out = np.ones((2, 3)) @ LazyBuffer.placeholder((3,), np.float64)
+        assert isinstance(out, LazyBuffer) and out.op.op == "matmul"
+
+    def test_unknown_ufunc_rejected(self):
+        a = LazyBuffer.placeholder((3,), np.float64)
+        with pytest.raises(TypeError):
+            np.arctan2(a, a)
+
+
+class TestGraphUtilities:
+    def test_toposort_parents_first(self):
+        a = LazyBuffer.placeholder((2,), np.float64)
+        out = (a + 1.0) * (a + 1.0).exp()
+        order = out.toposort()
+        position = {id(node): i for i, node in enumerate(order)}
+        for node in order:
+            if node.op is not None:
+                assert all(position[id(src)] < position[id(node)]
+                           for src in node.op.srcs)
+
+    def test_signature_structure_invariant_across_builds(self):
+        def build():
+            x = LazyBuffer.placeholder((4, 4), np.float64, name="x")
+            return ((x @ np.eye(4)) + 1.0).sum(axis=1)
+
+        sig_a = build().signature(include_source_identity=False)
+        sig_b = build().signature(include_source_identity=False)
+        assert sig_a == sig_b
+
+    def test_signature_distinguishes_source_arrays(self):
+        x = LazyBuffer.placeholder((4,), np.float64, name="x")
+        table_a, table_b = np.eye(4), np.eye(4)
+        sig_a = (x @ table_a).signature()
+        sig_b = (x @ table_b).signature()
+        assert sig_a != sig_b
+
+    def test_signature_distinguishes_structure(self):
+        x = LazyBuffer.placeholder((4,), np.float64, name="x")
+        assert ((x + 1.0).signature(include_source_identity=False)
+                != (x * 1.0).signature(include_source_identity=False))
+
+    def test_realize_without_placeholders(self):
+        buf = LazyBuffer.from_data(np.arange(6.0).reshape(2, 3))
+        out = (buf * 2.0).sum(axis=0).realize()
+        np.testing.assert_array_equal(out, np.arange(6.0).reshape(2, 3)
+                                      .sum(axis=0) * 2.0)

@@ -1,0 +1,170 @@
+"""Runtime/capture tests: parity, buffer reuse, cache, ambient installs."""
+
+import numpy as np
+import pytest
+
+from repro.lazy import (
+    NumpyRuntime,
+    capture,
+    get_active_runtime,
+    set_active_runtime,
+    use_runtime,
+)
+from repro.nn.layers import MLP
+from repro.nn.tensor import Tensor
+from repro.oblivious.trace import MemoryTracer
+
+
+@pytest.fixture
+def mlp():
+    model = MLP((6, 12, 3), rng=0)
+    model.eval()
+    return model
+
+
+class TestCaptureParity:
+    def test_replay_is_byte_identical_to_eager(self, mlp, rng):
+        x = rng.normal(size=(4, 6))
+        eager = mlp(Tensor(x)).data
+        graph = capture(lambda b: mlp(Tensor(b)), [x], name="mlp")
+        assert graph(x).tobytes() == eager.tobytes()
+        assert graph(x).tobytes() == eager.tobytes()  # and on replay
+
+    def test_new_inputs_compute_fresh_results(self, mlp, rng):
+        x = rng.normal(size=(4, 6))
+        graph = capture(lambda b: mlp(Tensor(b)), [x], name="mlp")
+        graph(x)
+        y = rng.normal(size=(4, 6))
+        assert graph(y).tobytes() == mlp(Tensor(y)).data.tobytes()
+
+    def test_result_is_owned_not_a_view_of_the_pool(self, mlp, rng):
+        x = rng.normal(size=(4, 6))
+        graph = capture(lambda b: mlp(Tensor(b)), [x], name="mlp")
+        first = graph(x)
+        snapshot = first.copy()
+        graph(rng.normal(size=(4, 6)))  # replay overwrites pool buffers
+        np.testing.assert_array_equal(first, snapshot)
+
+    def test_weight_updates_flow_without_recapture(self, mlp, rng):
+        x = rng.normal(size=(4, 6))
+        graph = capture(lambda b: mlp(Tensor(b)), [x], name="mlp")
+        before = graph(x)
+        for param in mlp.parameters():
+            param.data -= 0.25  # in-place, optimizer-style
+        after = graph(x)
+        assert not np.array_equal(before, after)
+        assert after.tobytes() == mlp(Tensor(x)).data.tobytes()
+
+    def test_eager_escape_is_rejected(self):
+        with pytest.raises(TypeError, match="did not stay lazy"):
+            capture(lambda b: np.zeros(3), [np.zeros(3)], name="escape")
+
+    def test_item_during_capture_raises(self):
+        with pytest.raises(TypeError, match="eager escape"):
+            capture(lambda b: Tensor(b) * Tensor(b).item(),
+                    [np.ones(3)], name="escape")
+
+
+class TestInputValidation:
+    def test_wrong_shape_points_at_per_shape_caching(self, mlp, rng):
+        x = rng.normal(size=(4, 6))
+        graph = capture(lambda b: mlp(Tensor(b)), [x], name="mlp")
+        with pytest.raises(ValueError, match="per-shape"):
+            graph(rng.normal(size=(5, 6)))
+
+    def test_wrong_dtype_rejected(self, mlp, rng):
+        x = rng.normal(size=(4, 6))
+        graph = capture(lambda b: mlp(Tensor(b)), [x], name="mlp")
+        with pytest.raises(TypeError):
+            graph(x.astype(np.float32))
+
+    def test_wrong_arity_rejected(self, mlp, rng):
+        x = rng.normal(size=(4, 6))
+        graph = capture(lambda b: mlp(Tensor(b)), [x], name="mlp")
+        with pytest.raises(ValueError):
+            graph(x, x)
+
+
+class TestBufferReuse:
+    def test_pool_allocates_once_and_stays_flat(self, mlp, rng):
+        x = rng.normal(size=(4, 6))
+        graph = capture(lambda b: mlp(Tensor(b)), [x], name="mlp")
+        assert graph.buffer_bytes() == 0  # nothing until warm-up
+        graph(x)
+        warm = graph.buffer_bytes()
+        assert warm > 0
+        ids = {key: id(buf) for key, buf in graph._buffers.items()}
+        graph(x)
+        graph(x)
+        assert graph.buffer_bytes() == warm
+        assert {key: id(buf) for key, buf in graph._buffers.items()} == ids
+
+    def test_reset_buffers(self, mlp, rng):
+        x = rng.normal(size=(4, 6))
+        graph = capture(lambda b: mlp(Tensor(b)), [x], name="mlp")
+        graph(x)
+        graph.reset_buffers()
+        assert graph.buffer_bytes() == 0
+        assert graph(x).tobytes() == mlp(Tensor(x)).data.tobytes()
+
+
+class TestGraphCache:
+    def test_captured_builds_once_per_key(self, mlp, rng):
+        runtime = NumpyRuntime()
+        x = rng.normal(size=(4, 6))
+        builds = []
+
+        def builder():
+            builds.append(1)
+            return capture(lambda b: mlp(Tensor(b)), [x], runtime=runtime)
+
+        first = runtime.captured(("mlp", x.shape), builder)
+        second = runtime.captured(("mlp", x.shape), builder)
+        assert first is second
+        assert len(builds) == 1
+        assert runtime.cache_size() == 1
+
+    def test_clear_cache(self, mlp, rng):
+        runtime = NumpyRuntime()
+        runtime.captured("key", lambda: object())
+        runtime.clear_cache()
+        assert runtime.cache_size() == 0
+
+
+class TestAmbientRuntime:
+    def test_default_is_none(self):
+        assert get_active_runtime() is None
+
+    def test_use_runtime_scopes_and_restores(self):
+        runtime = NumpyRuntime()
+        with use_runtime(runtime) as active:
+            assert active is runtime
+            assert get_active_runtime() is runtime
+        assert get_active_runtime() is None
+
+    def test_use_runtime_restores_on_error(self):
+        with pytest.raises(RuntimeError):
+            with use_runtime(NumpyRuntime()):
+                raise RuntimeError("boom")
+        assert get_active_runtime() is None
+
+    def test_set_active_runtime_returns_previous(self):
+        runtime = NumpyRuntime()
+        assert set_active_runtime(runtime) is None
+        assert set_active_runtime(None) is runtime
+
+
+class TestTracedExecution:
+    def test_tracer_sees_static_kernel_launches(self, mlp, rng):
+        x = rng.normal(size=(4, 6))
+        tracer = MemoryTracer()
+        runtime = NumpyRuntime(tracer=tracer)
+        graph = capture(lambda b: mlp(Tensor(b)), [x], runtime=runtime,
+                        name="mlp")
+        graph(x)
+        events = tracer.snapshot()
+        assert len(events) == graph.num_kernels
+        assert all(event.region == "lazy.mlp" for event in events)
+        tracer.clear()
+        graph(rng.normal(size=(4, 6)))  # different values, same launches
+        assert tracer.snapshot() == events

@@ -1,0 +1,103 @@
+"""Scheduler tests: fusion decisions, kernel ordering, trace plans."""
+
+import numpy as np
+import pytest
+
+from repro.lazy.graph import LazyBuffer
+from repro.lazy.schedule import IndexLeakingScheduler, Scheduler
+from repro.oblivious.trace import READ
+
+
+def _placeholder(shape=(4, 4), name="x"):
+    return LazyBuffer.placeholder(shape, np.float64, name=name)
+
+
+class TestFusion:
+    def test_elementwise_chain_fuses_to_one_kernel(self):
+        x = _placeholder()
+        out = ((x + 1.0) * 2.0 - 3.0).exp()
+        schedule = Scheduler().compile(out, [x])
+        assert schedule.num_ops == 4
+        assert schedule.num_kernels == 1
+        assert schedule.kernels[0].kind == "fused-elementwise"
+        assert schedule.dispatch_ratio == 4.0
+
+    def test_matmul_anchors_its_own_kernel(self):
+        x = _placeholder()
+        out = (x @ np.eye(4)) + 1.0
+        schedule = Scheduler().compile(out, [x])
+        kinds = [kernel.kind for kernel in schedule.kernels]
+        assert kinds == ["matmul", "fused-elementwise"]
+
+    def test_relu_epilogue_fuses_despite_two_consumers(self):
+        # relu is recorded as mask = pre > 0; out = pre * mask — the
+        # pre-activation feeds two elementwise consumers and the whole
+        # epilogue must still collapse into the linear layer's add group.
+        x = _placeholder()
+        pre = (x @ np.eye(4)) + 1.0
+        out = pre * (pre > 0.0)
+        schedule = Scheduler().compile(out, [x])
+        kinds = [kernel.kind for kernel in schedule.kernels]
+        assert kinds == ["matmul", "fused-elementwise"]
+        assert schedule.kernels[1].fused_ops == 3  # add, greater, mul
+
+    def test_movement_ops_are_free(self):
+        x = _placeholder((2, 8))
+        out = (x.reshape(4, 4).transpose() + 1.0).reshape(-1)
+        schedule = Scheduler().compile(out, [x])
+        assert schedule.num_kernels == 1
+        assert schedule.num_ops == 4  # reshape, transpose, add, reshape
+
+    def test_reduce_anchors_kernel(self):
+        x = _placeholder()
+        out = (x + 1.0).sum(axis=1)
+        schedule = Scheduler().compile(out, [x])
+        kinds = [kernel.kind for kernel in schedule.kernels]
+        assert kinds == ["fused-elementwise", "reduce"]
+
+    def test_kernel_order_respects_dependencies(self):
+        # diamond with a matmul on one arm: the join op must not merge
+        # into a group that would run before the matmul's kernel.
+        x = _placeholder()
+        left = x + 1.0
+        right = left @ np.eye(4)
+        out = left * right  # depends on kernel(left) AND kernel(right)
+        schedule = Scheduler().compile(out, [x])
+        computed_in = {}
+        for kernel in schedule.kernels:
+            for node in kernel.nodes:
+                computed_in[id(node)] = kernel.index
+        for kernel in schedule.kernels:
+            for node in kernel.nodes:
+                for src in node.op.srcs:
+                    if id(src) in computed_in:
+                        assert computed_in[id(src)] <= kernel.index
+
+    def test_inputs_must_be_placeholders_and_reachable(self):
+        x = _placeholder()
+        out = x + 1.0
+        with pytest.raises(ValueError):
+            Scheduler().compile(out, [LazyBuffer.from_data(np.ones(2))])
+        with pytest.raises(ValueError):
+            Scheduler().compile(out, [_placeholder(name="unused")])
+
+
+class TestTracePlan:
+    def test_static_plan_one_read_per_kernel(self):
+        x = _placeholder()
+        out = ((x @ np.eye(4)) + 1.0).sum()
+        schedule = Scheduler().compile(out, [x], name="plan")
+        assert len(schedule.trace_events) == schedule.num_kernels
+        for index, event in enumerate(schedule.trace_events):
+            assert event.op == READ
+            assert event.region == "lazy.plan"
+            assert event.address == index
+        assert schedule.dynamic_trace is None
+
+    def test_leaking_scheduler_sets_dynamic_trace(self):
+        x = _placeholder()
+        schedule = IndexLeakingScheduler().compile(x + 1.0, [x])
+        assert schedule.dynamic_trace is not None
+        addr_a = schedule.dynamic_trace(schedule.kernels[0], [np.ones(4)])
+        addr_b = schedule.dynamic_trace(schedule.kernels[0], [np.zeros(4)])
+        assert addr_a != addr_b  # content-dependent: that is the leak

@@ -1,0 +1,88 @@
+"""Edge-case coverage for ``repro.nn.functional`` and pooled lookups:
+empty batches, length-1 softmax axes, and all-masked pooled rows."""
+
+import numpy as np
+import pytest
+
+from repro.nn import functional as F
+from repro.nn.layers import MLP, LayerNorm, Linear
+from repro.nn.tensor import Tensor
+
+
+class TestEmptyBatch:
+    def test_linear_empty_batch(self):
+        layer = Linear(5, 3, rng=0)
+        out = layer(Tensor(np.empty((0, 5))))
+        assert out.shape == (0, 3)
+
+    def test_mlp_empty_batch_forward_and_backward(self):
+        mlp = MLP((5, 8, 2), rng=0)
+        out = mlp(Tensor(np.empty((0, 5))))
+        assert out.shape == (0, 2)
+        out.sum().backward()  # zero-row gradients, but the graph must run
+        for param in mlp.parameters():
+            assert param.grad is not None
+            assert np.all(param.grad == 0.0)
+
+    def test_softmax_empty_batch(self):
+        out = F.softmax(Tensor(np.empty((0, 4))))
+        assert out.shape == (0, 4)
+
+    def test_layer_norm_empty_batch(self):
+        layer = LayerNorm(4)
+        assert layer(Tensor(np.empty((0, 4)))).shape == (0, 4)
+
+    def test_relu_gelu_empty(self):
+        empty = Tensor(np.empty((0, 3)))
+        assert F.relu(empty).shape == (0, 3)
+        assert F.gelu(empty).shape == (0, 3)
+
+
+class TestLengthOneSoftmaxAxis:
+    def test_softmax_over_singleton_axis_is_exactly_one(self):
+        x = Tensor(np.array([[-1e30], [0.0], [1e30]]))
+        out = F.softmax(x, axis=-1)
+        np.testing.assert_array_equal(out.data, np.ones((3, 1)))
+
+    def test_log_softmax_over_singleton_axis_is_exactly_zero(self):
+        x = Tensor(np.array([[7.0], [-7.0]]))
+        out = F.log_softmax(x, axis=-1)
+        np.testing.assert_array_equal(out.data, np.zeros((2, 1)))
+
+    def test_singleton_axis_gradient_is_zero(self):
+        # softmax over one element is constant 1 -> zero gradient
+        x = Tensor(np.array([[3.0], [5.0]]), requires_grad=True)
+        F.softmax(x, axis=-1).sum().backward()
+        np.testing.assert_allclose(x.grad, np.zeros((2, 1)), atol=1e-12)
+
+
+class TestPooledMaskedRows:
+    @pytest.fixture
+    def table(self):
+        from repro.embedding.table import TableEmbedding
+
+        return TableEmbedding(8, 4, rng=0)
+
+    def test_all_masked_row_rejected(self, table):
+        indices = np.zeros((2, 3), dtype=np.int64)
+        with pytest.raises(ValueError, match=r"lengths must be in \[1"):
+            table.forward_pooled(indices, lengths=[0, 2])
+
+    def test_over_length_rejected(self, table):
+        indices = np.zeros((2, 3), dtype=np.int64)
+        with pytest.raises(ValueError, match=r"lengths must be in \[1"):
+            table.forward_pooled(indices, lengths=[2, 4])
+
+    def test_padding_is_masked_but_still_looked_up(self, table):
+        # rows reduce over their true lengths; pads don't affect values
+        indices = np.array([[1, 2, 3], [4, 5, 6]])
+        short = table.generate_pooled(indices, lengths=[1, 3])
+        np.testing.assert_allclose(short[0], table.generate([1])[0])
+        np.testing.assert_allclose(
+            short[1], table.generate([4, 5, 6]).sum(axis=0))
+
+    def test_mean_uses_true_lengths(self, table):
+        indices = np.array([[1, 2, 0]])
+        pooled = table.generate_pooled(indices, mode="mean", lengths=[2])
+        np.testing.assert_allclose(
+            pooled[0], table.generate([1, 2]).mean(axis=0))

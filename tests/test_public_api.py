@@ -66,6 +66,6 @@ def test_registry_covers_every_experiment_module():
     directory = os.path.dirname(experiments_package.__file__)
     modules = [name for name in os.listdir(directory)
                if name.startswith(("fig", "table", "llm_", "chaos_",
-                                   "cluster_", "migration_"))
+                                   "cluster_", "migration_", "lazy_"))
                and name.endswith(".py")]
     assert len(modules) == len(EXPERIMENTS)
