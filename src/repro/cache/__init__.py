@@ -1,0 +1,50 @@
+"""Oblivious-safe embedding caching: residency from public metadata only.
+
+See :mod:`repro.cache.policy` for the admission policies,
+:mod:`repro.cache.audit` for the leakage gate, and
+``python -m repro.cache.bench`` for the gated latency bench.
+"""
+
+from repro.cache.audit import (
+    CacheLeakageError,
+    audit_cache,
+    cache_subject,
+    check_oblivious_cache,
+    default_cache_workloads,
+    replay_cache,
+)
+from repro.cache.policy import (
+    CACHE_KINDS,
+    CACHE_REGION,
+    BatchMetadata,
+    BatchResultCache,
+    CachePolicy,
+    CachePricer,
+    CacheStats,
+    DecoderWeightCache,
+    IndexKeyedLRUCache,
+    SecretIndependentCache,
+    StaticResidencyCache,
+    resolve_cache,
+)
+
+__all__ = [
+    "CACHE_KINDS",
+    "CACHE_REGION",
+    "BatchMetadata",
+    "BatchResultCache",
+    "CacheLeakageError",
+    "CachePolicy",
+    "CachePricer",
+    "CacheStats",
+    "DecoderWeightCache",
+    "IndexKeyedLRUCache",
+    "SecretIndependentCache",
+    "StaticResidencyCache",
+    "audit_cache",
+    "cache_subject",
+    "check_oblivious_cache",
+    "default_cache_workloads",
+    "replay_cache",
+    "resolve_cache",
+]

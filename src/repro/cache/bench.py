@@ -1,0 +1,347 @@
+"""``python -m repro.cache.bench`` — the gated oblivious-caching sim.
+
+Serves the Fig 13 Terabyte workload through the
+:class:`~repro.serving.engine.ExecutionEngine` for ``EPOCHS`` plan epochs,
+each epoch executing the same Poisson arrival trace twice (a primary serve
+plus a hedged mirror — the double-serve pattern the migration engine
+already uses), under four scenarios: no cache, static whole-table
+residency, DHE decoder-weight reuse (cold-per-epoch vs shared-across-
+epochs), and batch-level result sharing. Five gates with teeth:
+
+* **latency_improvement** — static residency beats the uncached baseline
+  on merged p50 *and* p99, and batch-result sharing beats it on p50 (its
+  mirror serves hit; the primary misses bound the tail);
+* **decoder_reuse** — sharing one decoder-weight cache across epochs
+  admits each decoder exactly once (cold re-materialises per epoch) and
+  spends strictly less busy time;
+* **skew_invariance** — every policy's full counter set (hits, misses,
+  admissions, evictions, bytes resident) is identical across the
+  hot-head / hot-tail / uniform index profiles: occupancy never follows
+  the secret;
+* **audit_oblivious** — all three policies pass the exact-mode
+  :class:`~repro.telemetry.audit.LeakageAuditor` replay of
+  :mod:`repro.cache.audit`;
+* **leak_detector_teeth** — the in-tree
+  :class:`~repro.cache.policy.IndexKeyedLRUCache` negative control is
+  flagged, and :func:`~repro.cache.audit.check_oblivious_cache` raises
+  :class:`~repro.cache.audit.CacheLeakageError` on it.
+
+The latency win is index-independent by construction — the same numbers
+hold on every skew profile, which is the whole point: skewed production
+traffic gets the cache win *without* the cache learning the skew.
+
+The JSON report contains only modelled, seed-determined quantities — two
+runs with the same seed produce byte-identical files (CI ``cmp``-gates
+this). Wall-clock is printed to stdout as information only.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.cache.audit import (
+    CacheLeakageError,
+    cache_subject,
+    check_oblivious_cache,
+    default_cache_workloads,
+    replay_cache,
+)
+from repro.cache.policy import (
+    BatchResultCache,
+    CachePolicy,
+    DecoderWeightCache,
+    IndexKeyedLRUCache,
+    SecretIndependentCache,
+    StaticResidencyCache,
+)
+from repro.costmodel import DLRM_DHE_UNIFORM_16, DLRM_DHE_UNIFORM_64
+from repro.data import TERABYTE_SPEC, DlrmDatasetSpec
+from repro.oblivious.trace import MemoryTracer
+from repro.serving.batcher import BatchingPolicy
+from repro.serving.engine import ExecutionEngine, ServingConfig
+from repro.serving.report import ServingReport
+from repro.serving.requests import RequestQueue
+from repro.telemetry.audit import LeakageAuditor
+
+NUM_REQUESTS = 512
+RATE_RPS = 2000.0
+BATCH = 32
+EPOCHS = 3
+#: pin budget of the static-residency scenario
+BUDGET_BYTES = 64 * 1024 * 1024
+#: arrival-epoch length of the batch-shared scenario
+EPOCH_SECONDS = 0.05
+#: capacity of the negative-control index LRU (rows)
+LRU_CAPACITY_ROWS = 256
+
+SKEW_NAMES = ("hot-head", "hot-tail", "uniform")
+
+
+def build_model(spec: DlrmDatasetSpec, batch: int):
+    """(uniform shape, thresholds) exactly as the cluster sim prices them."""
+    from repro.hybrid import OfflineProfiler, build_threshold_database
+
+    dim = spec.embedding_dim
+    uniform = DLRM_DHE_UNIFORM_16 if dim == 16 else DLRM_DHE_UNIFORM_64
+    profiler = OfflineProfiler(uniform)
+    profile = profiler.profile(techniques=("scan", "dhe-varied"),
+                               dims=(dim,), batches=(batch,),
+                               threads_list=(1,))
+    thresholds = build_threshold_database(
+        profile, dhe_technique="dhe-varied", dims=(dim,), batches=(batch,),
+        threads_list=(1,))
+    return uniform, thresholds
+
+
+def _summary(name: str, reports: Sequence[ServingReport],
+             cache: Optional[SecretIndependentCache] = None
+             ) -> Dict[str, object]:
+    merged = ServingReport.merge(list(reports))
+    summary: Dict[str, object] = {
+        "name": name,
+        "num_requests": merged.num_requests,
+        "num_batches": merged.num_batches,
+        "p50_seconds": merged.p50,
+        "p95_seconds": merged.p95,
+        "p99_seconds": merged.p99,
+        "busy_seconds": merged.batch_time_total,
+        "throughput_rps": merged.throughput(),
+        "cache_hits": merged.cache_hits,
+        "cache_misses": merged.cache_misses,
+        "cache_hit_rate": merged.cache_hit_rate,
+    }
+    if cache is not None:
+        summary["cache"] = cache.stats.to_dict()
+    return summary
+
+
+def run_bench(seed: int = 0, spec: DlrmDatasetSpec = TERABYTE_SPEC,
+              num_requests: int = NUM_REQUESTS, rate_rps: float = RATE_RPS,
+              batch: int = BATCH, epochs: int = EPOCHS) -> Dict[str, object]:
+    """The full scenario sweep + gates; deterministic for a given seed."""
+    dim = spec.embedding_dim
+    sizes = spec.table_sizes
+    uniform, thresholds = build_model(spec, batch)
+    config = ServingConfig(batch_size=batch, threads=1)
+    policy = BatchingPolicy(max_batch_size=batch, max_wait_seconds=0.002)
+    # One arrival trace for every scenario and epoch: scenarios differ
+    # only in admission policy, epochs model successive plan epochs that
+    # replay comparable traffic.
+    arrivals = RequestQueue.poisson(num_requests, rate_rps, rng=seed)
+
+    def engine(cache=None) -> ExecutionEngine:
+        return ExecutionEngine(sizes, dim, uniform, thresholds, varied=True,
+                               cache=cache)
+
+    # --- no-cache baseline ---------------------------------------------
+    base_engine = engine()
+    base_reports = [base_engine.serve(config, arrivals, policy)
+                    for _ in range(2 * epochs)]
+
+    # --- static whole-table residency ----------------------------------
+    residency = StaticResidencyCache(BUDGET_BYTES)
+    residency_engine = engine(cache=residency)
+    residency_reports = [residency_engine.serve(config, arrivals, policy)
+                         for _ in range(2 * epochs)]
+
+    # --- decoder-weight reuse: cold per epoch vs shared across epochs ---
+    cold_reports: List[ServingReport] = []
+    cold_admissions = 0
+    for _ in range(epochs):
+        cold_cache = DecoderWeightCache()
+        cold_engine = engine(cache=cold_cache)
+        cold_reports.append(cold_engine.serve(config, arrivals, policy))
+        cold_reports.append(cold_engine.serve(config, arrivals, policy))
+        cold_admissions += cold_cache.stats.admissions
+    shared_cache = DecoderWeightCache()
+    shared_reports: List[ServingReport] = []
+    for _ in range(epochs):
+        shared_engine = engine(cache=shared_cache)  # fresh engine, one cache
+        shared_reports.append(shared_engine.serve(config, arrivals, policy))
+        shared_reports.append(shared_engine.serve(config, arrivals, policy))
+
+    # --- batch-level result sharing (primary + hedged mirror) -----------
+    batch_cache = BatchResultCache(epoch_seconds=EPOCH_SECONDS,
+                                   keep_generations=1)
+    batch_engine = engine(cache=batch_cache)
+    batch_reports: List[ServingReport] = []
+    for _ in range(epochs):
+        batch_reports.append(batch_engine.serve(config, arrivals, policy))
+        batch_reports.append(batch_engine.serve(config, arrivals, policy))
+        batch_cache.advance_generation()
+
+    scenarios = [
+        _summary("baseline", base_reports),
+        _summary("static-residency", residency_reports, residency),
+        _summary("decoder-reuse-cold", cold_reports),
+        _summary("decoder-reuse-shared", shared_reports, shared_cache),
+        _summary("batch-shared", batch_reports, batch_cache),
+    ]
+    by_name = {scenario["name"]: scenario for scenario in scenarios}
+
+    # --- gate: latency improvement --------------------------------------
+    base = by_name["baseline"]
+    latency_ok = (
+        by_name["static-residency"]["p50_seconds"] < base["p50_seconds"]
+        and by_name["static-residency"]["p99_seconds"] < base["p99_seconds"]
+        and by_name["batch-shared"]["p50_seconds"] < base["p50_seconds"])
+
+    # --- gate: decoder reuse (counted builds, not wall-clock) ------------
+    _, num_dhe = residency_engine.allocation_counts(config)
+    shared_stats = shared_cache.stats
+    decoder_ok = (shared_stats.admissions == num_dhe
+                  and cold_admissions == num_dhe * epochs
+                  and shared_stats.hits > 0
+                  and by_name["decoder-reuse-shared"]["busy_seconds"]
+                  < by_name["decoder-reuse-cold"]["busy_seconds"])
+
+    # --- gate: skew invariance (full counter set, per policy) ------------
+    factories: Dict[str, Callable[[Optional[MemoryTracer]],
+                                  SecretIndependentCache]] = {
+        "static-residency": lambda t: StaticResidencyCache(BUDGET_BYTES,
+                                                           tracer=t),
+        "decoder-reuse": lambda t: DecoderWeightCache(tracer=t),
+        "batch-shared": lambda t: BatchResultCache(
+            epoch_seconds=EPOCH_SECONDS, tracer=t),
+    }
+    workloads = default_cache_workloads()
+    skew_stats: Dict[str, List[Dict[str, object]]] = {}
+    for name, factory in factories.items():
+        per_skew = []
+        for workload in workloads:
+            probe = factory(None)
+            replay_cache(probe, workload)
+            per_skew.append(probe.stats.to_dict())
+        skew_stats[name] = per_skew
+    skew_ok = all(
+        all(stats == per_skew[0] for stats in per_skew[1:])
+        for per_skew in skew_stats.values())
+
+    # --- gates: leakage audit + detector teeth ---------------------------
+    auditor = LeakageAuditor()
+    audit_report = auditor.run(
+        [cache_subject(factory, workloads, name=name)
+         for name, factory in factories.items()]
+        + [cache_subject(
+            lambda t: IndexKeyedLRUCache(LRU_CAPACITY_ROWS, tracer=t),
+            workloads, name="index-keyed-lru", expect_oblivious=False)])
+    audit_ok = all(audit_report.finding(name).passed for name in factories)
+    lru_flagged = audit_report.finding("index-keyed-lru").leak_detected
+    try:
+        check_oblivious_cache(
+            lambda t: IndexKeyedLRUCache(LRU_CAPACITY_ROWS, tracer=t),
+            workloads, name="index-keyed-lru")
+        lru_raised = False
+    except CacheLeakageError:
+        lru_raised = True
+    teeth_ok = lru_flagged and lru_raised
+
+    gates = {
+        "latency_improvement": latency_ok,
+        "decoder_reuse": decoder_ok,
+        "skew_invariance": skew_ok,
+        "audit_oblivious": audit_ok,
+        "leak_detector_teeth": teeth_ok,
+    }
+    gates["passed"] = all(gates.values())
+
+    return {
+        "seed": seed,
+        "spec": spec.name,
+        "num_requests": num_requests,
+        "rate_rps": rate_rps,
+        "batch_size": batch,
+        "epochs": epochs,
+        "budget_bytes": BUDGET_BYTES,
+        "epoch_seconds": EPOCH_SECONDS,
+        "lru_capacity_rows": LRU_CAPACITY_ROWS,
+        "skews": list(SKEW_NAMES),
+        "dhe_features": num_dhe,
+        "decoder_admissions_cold": cold_admissions,
+        "decoder_admissions_shared": shared_stats.admissions,
+        "scenarios": scenarios,
+        "skew_stats": skew_stats,
+        "audit": audit_report.to_dict(),
+        "gates": gates,
+    }
+
+
+def render(report: Dict[str, object]) -> str:
+    """Human-readable sweep summary (deterministic, mirrors the JSON)."""
+    lines = [f"cache bench (seed={report['seed']}, spec={report['spec']}, "
+             f"{report['num_requests']} requests x "
+             f"{report['epochs']} epochs x 2 serves @ "
+             f"{report['rate_rps']:.0f} rps)"]
+    for scenario in report["scenarios"]:
+        hit_rate = scenario["cache_hit_rate"]
+        cached = scenario["cache_hits"] is not None
+        lines.append(
+            f"  {scenario['name']:>21}: "
+            f"p50={scenario['p50_seconds'] * 1e3:.3f} ms  "
+            f"p99={scenario['p99_seconds'] * 1e3:.3f} ms  "
+            f"busy={scenario['busy_seconds']:.3f} s  "
+            + (f"hit-rate={hit_rate:.3f}" if cached else "uncached"))
+    lines.append(
+        f"  decoder admissions: shared={report['decoder_admissions_shared']} "
+        f"cold={report['decoder_admissions_cold']} "
+        f"(DHE features={report['dhe_features']})")
+    gates = report["gates"]
+    verdicts = "  ".join(f"{name}={'PASS' if ok else 'FAIL'}"
+                         for name, ok in gates.items() if name != "passed")
+    lines.append(f"  gates: {verdicts}")
+    return "\n".join(lines)
+
+
+def _wallclock_note(seed: int) -> str:
+    """Informational wall-clock of one cached vs uncached serve (stdout
+    only, never in the JSON)."""
+    import time
+
+    spec = TERABYTE_SPEC
+    uniform, thresholds = build_model(spec, BATCH)
+    config = ServingConfig(batch_size=BATCH)
+    arrivals = RequestQueue.poisson(NUM_REQUESTS, RATE_RPS, rng=seed)
+    plain = ExecutionEngine(spec.table_sizes, spec.embedding_dim, uniform,
+                            thresholds)
+    cached = ExecutionEngine(spec.table_sizes, spec.embedding_dim, uniform,
+                             thresholds,
+                             cache=CachePolicy("static-residency",
+                                               budget_bytes=BUDGET_BYTES))
+    start = time.perf_counter()
+    plain.serve(config, arrivals)
+    plain_s = time.perf_counter() - start
+    start = time.perf_counter()
+    cached.serve(config, arrivals)
+    cached_s = time.perf_counter() - start
+    return (f"wall-clock (informational, one serve): uncached "
+            f"{plain_s * 1e3:.1f}ms vs cached {cached_s * 1e3:.1f}ms "
+            f"simulator overhead")
+
+
+def main(argv=None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        description="Oblivious-safe caching sweep: latency win, skew "
+                    "invariance, and leakage gates.")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--json", metavar="PATH",
+                        help="write the deterministic bench report")
+    parser.add_argument("--no-timing", action="store_true",
+                        help="skip the informational wall-clock comparison")
+    args = parser.parse_args(argv)
+
+    report = run_bench(seed=args.seed)
+    print(render(report))
+    if not args.no_timing:
+        print(_wallclock_note(args.seed))
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    return 0 if report["gates"]["passed"] else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

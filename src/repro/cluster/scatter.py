@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -42,6 +42,28 @@ from repro.serving.requests import RequestQueue
 from repro.telemetry.runtime import get_registry
 from repro.utils.rng import SeedLike
 from repro.utils.validation import check_non_negative
+
+if TYPE_CHECKING:  # runtime import deferred (repro.cache imports serving)
+    from repro.cache.policy import CachePolicy
+
+
+def _gathered_cache_fields(shard_reports) -> Dict[str, Optional[int]]:
+    """Summed cache counters for the gathered front-end report.
+
+    Mirrors :meth:`ServingReport.merge`: counters sum across shards, and
+    the gathered report stays uncached (all ``None``) only when no shard
+    tracked a cache.
+    """
+    reports = list(shard_reports.values())
+    if not any(r.tracks_cache for r in reports):
+        return {"cache_hits": None, "cache_misses": None,
+                "cache_bytes_resident": None}
+    return {
+        "cache_hits": sum(r.cache_hits or 0 for r in reports),
+        "cache_misses": sum(r.cache_misses or 0 for r in reports),
+        "cache_bytes_resident": sum(r.cache_bytes_resident or 0
+                                    for r in reports),
+    }
 
 
 class ClusterUnavailableError(RuntimeError):
@@ -187,9 +209,20 @@ class ScatterGatherEngine:
                  mlp_overhead_seconds: float = MLP_OVERHEAD_SECONDS,
                  gather_overhead_seconds: float = 5e-5,
                  retry: Optional[RetryPolicy] = None,
-                 dispatcher: Optional[ResilientDispatcher] = None) -> None:
+                 dispatcher: Optional[ResilientDispatcher] = None,
+                 cache: Optional["CachePolicy"] = None) -> None:
         if not table_sizes:
             raise ValueError("scatter-gather needs at least one table")
+        if cache is not None:
+            from repro.cache.policy import CachePolicy
+
+            if not isinstance(cache, CachePolicy):
+                # A shared instance would alias batch keys across shards
+                # (every shard sees the same public arrival metadata), so
+                # the fleet takes a policy and builds one cache per shard.
+                raise TypeError(
+                    "ScatterGatherEngine takes a CachePolicy (one cache is "
+                    "built per shard), not a cache instance")
         check_non_negative("mlp_overhead_seconds", mlp_overhead_seconds)
         check_non_negative("gather_overhead_seconds", gather_overhead_seconds)
         self.table_sizes = tuple(table_sizes)
@@ -206,6 +239,7 @@ class ScatterGatherEngine:
         self.gather_overhead_seconds = gather_overhead_seconds
         self.retry = retry
         self.dispatcher = dispatcher
+        self.cache = cache
         self._engines: Dict[Tuple[int, ...], ExecutionEngine] = {}
 
     # ------------------------------------------------------------------
@@ -217,7 +251,8 @@ class ScatterGatherEngine:
             self._engines[key] = ExecutionEngine(
                 sizes, self.embedding_dim, self.uniform_shape,
                 self.thresholds, varied=self.varied, backend=self.backend,
-                platform=self.platform, mlp_overhead_seconds=0.0)
+                platform=self.platform, mlp_overhead_seconds=0.0,
+                cache=self.cache)
         return self._engines[key]
 
     def current_assignment(self, now_seconds: float = 0.0, owner_map=None
@@ -332,7 +367,8 @@ class ScatterGatherEngine:
                               for r in shard_reports.values()),
             dhe_features=sum(r.dhe_features for r in shard_reports.values()),
             batch_time_total=max(r.batch_time_total
-                                 for r in shard_reports.values()))
+                                 for r in shard_reports.values()),
+            **_gathered_cache_fields(shard_reports))
         fleet = ServingReport.merge(list(shard_reports.values()))
         registry = get_registry()
         if registry.enabled:

@@ -67,6 +67,9 @@ REPLICATIONS = (1, 2)
 #: stand-in for "down for the whole run" that stays JSON-representable
 FOREVER_SECONDS = 1e9
 
+#: per-shard pin budget for the sim's static-residency cache cell
+CACHE_BUDGET_BYTES = 64 * 1024 * 1024
+
 #: the skew profiles the sweep replays placement under
 SKEW_NAMES = ("hot-head", "hot-tail", "uniform")
 
@@ -228,6 +231,45 @@ def run_cluster(seed: int = 0, spec: DlrmDatasetSpec = TERABYTE_SPEC,
         }
 
     # ------------------------------------------------------------------
+    # Gate: oblivious-safe caching on the top topology. Static whole-table
+    # residency (audited: occupancy ignores the request stream) must cut
+    # fleet busy time without inflating the gathered p99.
+    from repro.cache import CachePolicy, StaticResidencyCache
+    from repro.cache.audit import check_oblivious_cache
+
+    cache_policy = CachePolicy("static-residency",
+                               budget_bytes=CACHE_BUDGET_BYTES)
+    cache_finding = check_oblivious_cache(
+        lambda tracer: StaticResidencyCache(cache_policy.budget_bytes,
+                                            tracer=tracer),
+        name="static-residency")
+    cached_planner = ShardPlanner(top_nodes, thresholds, dim, uniform)
+    cached_router = ShardRouter(top_nodes, replication=top_repl,
+                                plan=cached_planner.plan(sizes, config))
+    cached_engine = ScatterGatherEngine(sizes, dim, uniform, thresholds,
+                                        cached_router, retry=retry,
+                                        cache=cache_policy)
+    cached = cached_engine.serve(config, arrivals, policy)
+    cache_ok = (cached.p99 <= top.p99
+                and (cached.report.cache_hits or 0) > 0
+                and cached.fleet.batch_time_total < top.fleet.batch_time_total)
+    caching = {
+        "policy": cache_policy.kind,
+        "budget_bytes": cache_policy.budget_bytes,
+        "audit_passed": cache_finding.passed,
+        "audit_divergence": cache_finding.divergence,
+        "cache_hits": cached.report.cache_hits,
+        "cache_misses": cached.report.cache_misses,
+        "cache_hit_rate": cached.report.cache_hit_rate,
+        "cache_bytes_resident": cached.report.cache_bytes_resident,
+        "p99_seconds": cached.p99,
+        "uncached_p99_seconds": top.p99,
+        "fleet_busy_seconds": cached.fleet.batch_time_total,
+        "uncached_fleet_busy_seconds": top.fleet.batch_time_total,
+        "improved": cache_ok,
+    }
+
+    # ------------------------------------------------------------------
     # Gate with teeth: the frequency-keyed anti-pattern must be *caught*.
     leaky = FrequencyKeyedPlanner(max(node_counts), thresholds, dim, uniform)
     negative = audit_placement(leaky, sizes, config,
@@ -242,6 +284,8 @@ def run_cluster(seed: int = 0, spec: DlrmDatasetSpec = TERABYTE_SPEC,
         "scaling": scaling_ok,
         "p99_inflation": p99_ok,
         "failover_zero_loss": failover_ok,
+        "cache_improvement": cache_ok,
+        "cache_audit": cache_finding.passed,
         "leak_detector_teeth": negative_ok,
     }
     gates["passed"] = all(gates.values())
@@ -269,6 +313,7 @@ def run_cluster(seed: int = 0, spec: DlrmDatasetSpec = TERABYTE_SPEC,
         "topologies": topologies,
         "cells": cells,
         "failover": failover,
+        "caching": caching,
         "negative_audit": negative.to_dict(),
         "gates": gates,
     }
@@ -292,6 +337,15 @@ def render(report: Dict[str, object]) -> str:
                  f"(floor {report['scaling_floor']:.1f}x)  "
                  f"p99 inflation {report['p99_inflation']:.2f}x "
                  f"(ceiling {report['p99_inflation_ceiling']:.1f}x)")
+    caching = report["caching"]
+    lines.append(
+        f"  caching ({caching['policy']}): "
+        f"hit_rate={caching['cache_hit_rate']:.3f}  "
+        f"fleet busy {caching['uncached_fleet_busy_seconds']:.3f}s -> "
+        f"{caching['fleet_busy_seconds']:.3f}s  "
+        f"p99 {caching['uncached_p99_seconds'] * 1e3:.3f} -> "
+        f"{caching['p99_seconds'] * 1e3:.3f} ms  "
+        f"audit={'PASS' if caching['audit_passed'] else 'FAIL'}")
     failover = report["failover"]
     if failover["applicable"]:
         lines.append(f"  failover: killed node {failover['victim']} of "

@@ -5,6 +5,7 @@ from __future__ import annotations
 from typing import Callable, Dict, List
 
 from repro.experiments import (
+    cache_harness,
     chaos_harness,
     cluster_harness,
     fig02_taxonomy,
@@ -55,6 +56,7 @@ EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
     "table7": table07_e2e_latency.run,
     "table8": table08_meta.run,
     "llm-footprint": llm_footprint.run,
+    "cache": cache_harness.run,
     "chaos": chaos_harness.run,
     "cluster": cluster_harness.run,
     "lazy": lazy_harness.run,

@@ -9,6 +9,7 @@ interference, and per-request queueing + service accounting.
 """
 
 from repro.serving.backends import (
+    BACKEND_NAMES,
     BACKEND_TECHNIQUES,
     ExecutionBackend,
     LazyMeasuredBackend,
@@ -30,6 +31,7 @@ from repro.serving.engine import ExecutionEngine, ServingConfig
 from repro.serving.server import SecureDlrmServer
 
 __all__ = [
+    "BACKEND_NAMES",
     "BACKEND_TECHNIQUES",
     "ExecutionBackend",
     "LazyMeasuredBackend",

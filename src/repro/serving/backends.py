@@ -127,10 +127,14 @@ class MeasuredBackend(ExecutionBackend):
     name = "measured"
 
     def __init__(self, uniform_shape: Optional[DheShape] = None,
-                 repeats: int = 3) -> None:
+                 repeats: int = 3, weight_cache=None) -> None:
         check_positive("repeats", repeats)
         self.uniform_shape = uniform_shape
         self.repeats = repeats
+        #: optional :class:`repro.cache.policy.DecoderWeightCache`; when
+        #: set, generator objects (public model state) are shared through
+        #: it across backend instances instead of the private dict.
+        self.weight_cache = weight_cache
         self._generators: Dict[Tuple[str, int, int], object] = {}
 
     def _uniform(self) -> DheShape:
@@ -169,6 +173,9 @@ class MeasuredBackend(ExecutionBackend):
 
     def _generator(self, technique: str, size: int, dim: int):
         key = (technique, size, dim)
+        if self.weight_cache is not None:
+            return self.weight_cache.generator(
+                key, lambda: self._build(technique, size, dim))
         if key not in self._generators:
             self._generators[key] = self._build(technique, size, dim)
         return self._generators[key]
@@ -203,11 +210,17 @@ class LazyMeasuredBackend(MeasuredBackend):
     name = "measured-lazy"
 
     def __init__(self, uniform_shape: Optional[DheShape] = None,
-                 repeats: int = 3, runtime=None) -> None:
-        super().__init__(uniform_shape, repeats)
-        from repro.lazy import NumpyRuntime
+                 repeats: int = 3, runtime=None, weight_cache=None) -> None:
+        super().__init__(uniform_shape, repeats, weight_cache=weight_cache)
+        if runtime is None and weight_cache is not None:
+            # Captured graphs are public; share one runtime (and so one
+            # graph cache) across every backend built on this cache.
+            runtime = weight_cache.shared_runtime()
+        if runtime is None:
+            from repro.lazy import NumpyRuntime
 
-        self.runtime = runtime if runtime is not None else NumpyRuntime()
+            runtime = NumpyRuntime()
+        self.runtime = runtime
 
     def generator_latency(self, generator, batch: int,
                           threads: int = 1) -> float:
@@ -230,15 +243,20 @@ class LazyMeasuredBackend(MeasuredBackend):
 
 BackendLike = Union[str, ExecutionBackend]
 
+#: every name :func:`resolve_backend` accepts, in resolution order — the
+#: single registry the error message and the docs enumerate from
+BACKEND_NAMES = ("modelled", "measured", "measured-lazy")
+
 
 def resolve_backend(backend: BackendLike,
                     uniform_shape: Optional[DheShape] = None,
                     platform: PlatformModel = DEFAULT_PLATFORM
                     ) -> ExecutionBackend:
-    """Turn ``"modelled"``/``"measured"`` or a backend instance into a backend.
+    """Turn a name from :data:`BACKEND_NAMES` or an instance into a backend.
 
     Any duck-typed object with ``technique_latency``/``generator_latency``
-    passes through unchanged.
+    passes through unchanged. An unknown name raises :class:`ValueError`
+    listing every valid name.
     """
     if isinstance(backend, str):
         if backend == "modelled":
@@ -247,8 +265,9 @@ def resolve_backend(backend: BackendLike,
             return MeasuredBackend(uniform_shape)
         if backend == "measured-lazy":
             return LazyMeasuredBackend(uniform_shape)
-        raise ValueError(f"unknown backend {backend!r}; "
-                         f"known: 'modelled', 'measured', 'measured-lazy'")
+        raise ValueError(
+            f"unknown backend {backend!r}; known: "
+            + ", ".join(repr(name) for name in BACKEND_NAMES))
     if hasattr(backend, "technique_latency") and \
             hasattr(backend, "generator_latency"):
         return backend

@@ -30,6 +30,7 @@ from repro.utils.rng import SeedLike
 from repro.utils.validation import check_positive, check_positive_finite
 
 if TYPE_CHECKING:  # runtime imports are deferred: hybrid imports serving
+    from repro.cache.policy import CachePolicy, SecretIndependentCache
     from repro.hybrid.allocator import FeatureAllocation
     from repro.hybrid.thresholds import ThresholdDatabase
     from repro.resilience.policy import ResiliencePolicy
@@ -62,10 +63,17 @@ class ExecutionEngine:
                  backend: BackendLike = "modelled",
                  platform: PlatformModel = DEFAULT_PLATFORM,
                  mlp_overhead_seconds: float = MLP_OVERHEAD_SECONDS,
-                 resilience: Optional[ResiliencePolicy] = None) -> None:
+                 resilience: Optional[ResiliencePolicy] = None,
+                 cache: Optional[Union["CachePolicy",
+                                       "SecretIndependentCache"]] = None
+                 ) -> None:
         if not table_sizes:
             raise ValueError("engine needs at least one sparse feature")
         check_positive("embedding_dim", embedding_dim)
+        if cache is not None and resilience is not None:
+            raise ValueError(
+                "cache and resilience cannot be combined on one engine yet; "
+                "serve the cached and the fault-injected paths separately")
         self.table_sizes = tuple(table_sizes)
         self.embedding_dim = embedding_dim
         self.uniform_shape = uniform_shape
@@ -75,6 +83,8 @@ class ExecutionEngine:
         self.mlp_overhead_seconds = mlp_overhead_seconds
         self.backend = resolve_backend(backend, uniform_shape, platform)
         self.resilience = resilience
+        self.cache = cache
+        self._cache_instance: Optional[SecretIndependentCache] = None
 
     # ------------------------------------------------------------------
     # Allocation (Algorithm 3) for the live configuration
@@ -132,6 +142,8 @@ class ExecutionEngine:
         if policy is None:
             policy = BatchingPolicy(max_batch_size=config.batch_size,
                                     max_wait_seconds=0.0)
+        if self.cache is not None:
+            return self._serve_cached(config, queue, policy)
         registry = get_registry()
         with registry.span("serve", requests=len(queue),
                            batch_size=config.batch_size,
@@ -170,6 +182,97 @@ class ExecutionEngine:
         self._report_serve(registry, report)
         return report
 
+    # ------------------------------------------------------------------
+    # The opt-in oblivious-safe cached path (repro.cache)
+    # ------------------------------------------------------------------
+    @property
+    def cache_instance(self) -> Optional[SecretIndependentCache]:
+        """The live cache (resolved from a :class:`CachePolicy` on first use).
+
+        A pre-built cache instance is shared verbatim — that is how one
+        :class:`~repro.cache.policy.DecoderWeightCache` persists decoder
+        weights across per-epoch engines.
+        """
+        if self.cache is None:
+            return None
+        if self._cache_instance is None:
+            from repro.cache.policy import resolve_cache
+
+            self._cache_instance = resolve_cache(self.cache)
+        return self._cache_instance
+
+    def _cache_pricer(self, config: ServingConfig):
+        from repro.cache.policy import CachePricer
+
+        return CachePricer(backend=self.backend,
+                           embedding_dim=self.embedding_dim,
+                           batch_size=config.batch_size,
+                           threads=config.threads, varied=self.varied,
+                           overhead_seconds=self.mlp_overhead_seconds,
+                           uniform_shape=self.uniform_shape,
+                           platform=self.platform)
+
+    def _serve_cached(self, config: ServingConfig, queue: RequestQueue,
+                      policy: BatchingPolicy) -> ServingReport:
+        """The cached pipeline: plan admission, schedule, execute lookups.
+
+        Scheduling always reserves the cache's (constant) declared service
+        slot, so queueing is never understated by an optimistic hit
+        forecast; per-batch *executed* time is where hits pay off. The
+        uncached :meth:`serve` path is untouched — byte-identical to the
+        pre-cache engine.
+        """
+        from repro.cache.policy import BatchMetadata
+
+        cache = self.cache_instance
+        registry = get_registry()
+        with registry.span("serve", requests=len(queue),
+                           batch_size=config.batch_size,
+                           threads=config.threads, cache=cache.name):
+            allocations = self.allocations(config)
+            before = cache.stats.snapshot()
+            with registry.span("serve.price_batch"):
+                cache.plan(allocations, config, self._cache_pricer(config))
+                service = cache.schedule_seconds()
+            with registry.span("serve.schedule"):
+                batches = DynamicBatcher(policy).schedule(
+                    queue.arrivals, lambda size: service)
+            setup = cache.serve_setup_seconds()
+            queue_delays = np.empty(len(queue), dtype=np.float64)
+            service_latencies = np.empty(len(queue), dtype=np.float64)
+            executed_times: List[float] = []
+            epoch_len = cache.epoch_seconds
+            per_epoch_counts: dict = {}
+            for position, batch in enumerate(batches):
+                epoch = (int(batch.start_seconds // epoch_len)
+                         if math.isfinite(epoch_len) else 0)
+                index_in_epoch = per_epoch_counts.get(epoch, 0)
+                per_epoch_counts[epoch] = index_in_epoch + 1
+                meta = BatchMetadata(epoch=epoch,
+                                     index_in_epoch=index_in_epoch,
+                                     size=config.batch_size)
+                executed = cache.batch_seconds(meta)
+                if position == 0:
+                    executed += setup
+                window = slice(batch.first, batch.last)
+                queue_delays[window] = (batch.start_seconds
+                                        - queue.arrivals[window])
+                service_latencies[window] = executed
+                executed_times.append(executed)
+            with registry.span("serve.allocate"):
+                scans, dhes = self.allocation_counts(config)
+            busy_time = math.fsum(executed_times)
+        after = cache.stats
+        report = ServingReport.from_components(
+            queue_delays=queue_delays, service_latencies=service_latencies,
+            num_batches=len(batches), scan_features=scans,
+            dhe_features=dhes, batch_time_total=busy_time,
+            cache_hits=after.hits - before.hits,
+            cache_misses=after.misses - before.misses,
+            cache_bytes_resident=after.bytes_resident)
+        self._report_serve(registry, report)
+        return report
+
     def _execute_resilient(self, batches, arrivals, service, registry):
         """Run the schedule through the fault-aware executor (lazy import)."""
         from repro.resilience.policy import execute_with_resilience
@@ -194,6 +297,9 @@ class ExecutionEngine:
             report.latencies)
         registry.gauge("serving.scan_features").set(report.scan_features)
         registry.gauge("serving.dhe_features").set(report.dhe_features)
+        if report.tracks_cache:
+            registry.gauge("serving.cache_hit_rate").set(
+                report.cache_hit_rate)
 
     def serve_closed(self, num_requests: int,
                      config: ServingConfig) -> ServingReport:

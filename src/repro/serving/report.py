@@ -31,12 +31,21 @@ class ServingReport:
     batch_time_total: float          # replica busy time (sum of batch service)
     queue_delays: Optional[np.ndarray] = None      # per-request seconds
     service_latencies: Optional[np.ndarray] = None  # per-request seconds
+    # Cache accounting (None on uncached runs — distinct from a cached run
+    # that happened to see zero lookups):
+    cache_hits: Optional[int] = None
+    cache_misses: Optional[int] = None
+    cache_bytes_resident: Optional[int] = None
 
     @classmethod
     def from_components(cls, queue_delays: np.ndarray,
                         service_latencies: np.ndarray, num_batches: int,
                         scan_features: int, dhe_features: int,
-                        batch_time_total: float) -> "ServingReport":
+                        batch_time_total: float,
+                        cache_hits: Optional[int] = None,
+                        cache_misses: Optional[int] = None,
+                        cache_bytes_resident: Optional[int] = None
+                        ) -> "ServingReport":
         """Build a report from per-request queueing + service arrays."""
         queue_delays = np.asarray(queue_delays, dtype=np.float64)
         service_latencies = np.asarray(service_latencies, dtype=np.float64)
@@ -50,7 +59,9 @@ class ServingReport:
                    scan_features=scan_features, dhe_features=dhe_features,
                    batch_time_total=batch_time_total,
                    queue_delays=queue_delays,
-                   service_latencies=service_latencies)
+                   service_latencies=service_latencies,
+                   cache_hits=cache_hits, cache_misses=cache_misses,
+                   cache_bytes_resident=cache_bytes_resident)
 
     @classmethod
     def merge(cls, reports: Sequence["ServingReport"]) -> "ServingReport":
@@ -68,6 +79,15 @@ class ServingReport:
         model partition the feature set, so the sums recover the model's
         totals) and busy time (``throughput()`` of the merged report is the
         fleet-aggregate rate, requests over summed busy time).
+
+        Cache counters add too — hit *counts* sum and the merged hit rate
+        is recomputed from the summed counters (:attr:`cache_hit_rate`),
+        never an average of per-report rates, which would weight a
+        two-lookup shard the same as a two-million-lookup one. A report
+        without cache fields (an uncached constituent) contributes zero to
+        the sums; the merged report keeps cache fields if *any*
+        constituent carried them, and stays uncached (``None``) only when
+        none did.
         """
         reports = list(reports)
         if not reports:
@@ -80,6 +100,14 @@ class ServingReport:
         if all(r.service_latencies is not None for r in reports):
             service_latencies = np.concatenate([r.service_latencies
                                                 for r in reports])
+        cache_hits: Optional[int] = None
+        cache_misses: Optional[int] = None
+        cache_bytes_resident: Optional[int] = None
+        if any(r.tracks_cache for r in reports):
+            cache_hits = sum(r.cache_hits or 0 for r in reports)
+            cache_misses = sum(r.cache_misses or 0 for r in reports)
+            cache_bytes_resident = sum(r.cache_bytes_resident or 0
+                                       for r in reports)
         return cls(
             num_requests=sum(r.num_requests for r in reports),
             num_batches=sum(r.num_batches for r in reports),
@@ -88,7 +116,9 @@ class ServingReport:
             dhe_features=sum(r.dhe_features for r in reports),
             batch_time_total=math.fsum(r.batch_time_total for r in reports),
             queue_delays=queue_delays,
-            service_latencies=service_latencies)
+            service_latencies=service_latencies,
+            cache_hits=cache_hits, cache_misses=cache_misses,
+            cache_bytes_resident=cache_bytes_resident)
 
     # ------------------------------------------------------------------
     # Percentiles and ratios are NaN-free: a report with no requests (an
@@ -124,6 +154,26 @@ class ServingReport:
         if self.queue_delays is None or self.queue_delays.size == 0:
             return 0.0
         return float(np.percentile(self.queue_delays, 95))
+
+    @property
+    def tracks_cache(self) -> bool:
+        """Whether this report carries cache accounting at all."""
+        return (self.cache_hits is not None
+                or self.cache_misses is not None
+                or self.cache_bytes_resident is not None)
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Hits over lookups, recomputed from the counters.
+
+        0.0 both for uncached reports and for cached runs with no lookups;
+        check :attr:`tracks_cache` to tell the two apart.
+        """
+        hits = self.cache_hits or 0
+        lookups = hits + (self.cache_misses or 0)
+        if lookups == 0:
+            return 0.0
+        return hits / lookups
 
     def sla_attainment(self, sla_seconds: float) -> float:
         check_positive("sla_seconds", sla_seconds)

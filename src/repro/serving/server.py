@@ -9,7 +9,7 @@ per-table scan/DHE loop is gone.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Optional, Sequence, Tuple, Union
 
 from repro.costmodel.latency import DheShape
 from repro.costmodel.platform import DEFAULT_PLATFORM, PlatformModel
@@ -21,6 +21,7 @@ from repro.telemetry.runtime import get_registry
 from repro.utils.rng import SeedLike
 
 if TYPE_CHECKING:  # runtime import deferred: hybrid imports serving
+    from repro.cache.policy import CachePolicy, SecretIndependentCache
     from repro.hybrid.thresholds import ThresholdDatabase
     from repro.resilience.policy import ResiliencePolicy
 
@@ -34,14 +35,17 @@ class SecureDlrmServer:
                  varied: bool = True,
                  platform: PlatformModel = DEFAULT_PLATFORM,
                  backend: BackendLike = "modelled",
-                 resilience: Optional[ResiliencePolicy] = None) -> None:
+                 resilience: Optional[ResiliencePolicy] = None,
+                 cache: Optional[Union["CachePolicy",
+                                       "SecretIndependentCache"]] = None
+                 ) -> None:
         if not table_sizes:
             raise ValueError("server needs at least one sparse feature")
         self.engine = ExecutionEngine(table_sizes, embedding_dim,
                                       uniform_shape, thresholds,
                                       varied=varied, backend=backend,
                                       platform=platform,
-                                      resilience=resilience)
+                                      resilience=resilience, cache=cache)
         self.table_sizes = self.engine.table_sizes
         self.embedding_dim = embedding_dim
         self.uniform_shape = uniform_shape

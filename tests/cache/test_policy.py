@@ -1,0 +1,258 @@
+"""Admission policies: budgets, determinism, and secret-independence."""
+
+import pytest
+
+from repro.cache.audit import (
+    AUDIT_TABLE_SIZES,
+    audit_allocations,
+    audit_pricer,
+)
+from repro.cache.policy import (
+    CACHE_KINDS,
+    BatchMetadata,
+    BatchResultCache,
+    CachePolicy,
+    DecoderWeightCache,
+    IndexKeyedLRUCache,
+    SecretIndependentCache,
+    StaticResidencyCache,
+    resolve_cache,
+)
+from repro.costmodel.memory import table_bytes
+from repro.serving.engine import ServingConfig
+
+
+@pytest.fixture(scope="module")
+def pricer():
+    return audit_pricer()
+
+
+@pytest.fixture(scope="module")
+def allocations():
+    return audit_allocations()
+
+
+@pytest.fixture
+def config(pricer):
+    return ServingConfig(batch_size=pricer.batch_size)
+
+
+def meta(epoch=0, index=0, size=8):
+    return BatchMetadata(epoch=epoch, index_in_epoch=index, size=size)
+
+
+class TestCachePolicy:
+    def test_unknown_kind_lists_valid_kinds(self):
+        with pytest.raises(ValueError) as excinfo:
+            CachePolicy("hot-lru")
+        message = str(excinfo.value)
+        for kind in CACHE_KINDS:
+            assert repr(kind) in message
+
+    def test_builds_every_kind(self):
+        built = {kind: CachePolicy(kind).build() for kind in CACHE_KINDS}
+        assert isinstance(built["static-residency"], StaticResidencyCache)
+        assert isinstance(built["decoder-reuse"], DecoderWeightCache)
+        assert isinstance(built["batch-shared"], BatchResultCache)
+
+    def test_index_lru_is_not_buildable(self):
+        with pytest.raises(ValueError, match="side channel"):
+            CachePolicy("index-keyed-lru")
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            CachePolicy("static-residency", budget_bytes=0)
+        with pytest.raises(ValueError):
+            CachePolicy("batch-shared", epoch_seconds=0.0)
+
+
+class TestResolveCache:
+    def test_none_passthrough(self):
+        assert resolve_cache(None) is None
+
+    def test_policy_builds(self):
+        cache = resolve_cache(CachePolicy("decoder-reuse"))
+        assert isinstance(cache, DecoderWeightCache)
+
+    def test_instance_passthrough(self):
+        cache = DecoderWeightCache()
+        assert resolve_cache(cache) is cache
+
+    def test_duck_typed_passthrough(self):
+        class Fake:
+            def plan(self, *args, **kwargs):
+                pass
+
+            def schedule_seconds(self):
+                return 1.0
+
+            def batch_seconds(self, meta, indices=None):
+                return 1.0
+
+        fake = Fake()
+        assert resolve_cache(fake) is fake
+
+    def test_not_a_cache(self):
+        with pytest.raises(TypeError):
+            resolve_cache(42)
+
+
+class TestStaticResidency:
+    def test_respects_budget(self, allocations, config, pricer):
+        budget = table_bytes(AUDIT_TABLE_SIZES[0], pricer.embedding_dim) \
+            + table_bytes(AUDIT_TABLE_SIZES[1], pricer.embedding_dim)
+        cache = StaticResidencyCache(budget)
+        cache.plan(allocations, config, pricer)
+        assert cache.resident_tables == (0, 1)
+        assert cache.stats.bytes_resident <= budget
+
+    def test_pins_smallest_tables_first(self, allocations, config, pricer):
+        cache = StaticResidencyCache(
+            table_bytes(AUDIT_TABLE_SIZES[0], pricer.embedding_dim))
+        cache.plan(allocations, config, pricer)
+        assert cache.resident_tables == (0,)
+
+    def test_dhe_feature_pays_full_table_bytes(self, config, pricer,
+                                               allocations):
+        # The 65536-row DHE feature's decoder is tiny, but pinning the
+        # table must pay the materialised table, not the decoder.
+        big = allocations[-1]
+        assert big.technique != "scan"
+        assert pricer.table_footprint_bytes(big) \
+            == table_bytes(big.table_size, pricer.embedding_dim)
+        assert pricer.table_footprint_bytes(big) > pricer.footprint_bytes(big)
+
+    def test_resident_features_get_cheaper(self, allocations, config, pricer):
+        cache = StaticResidencyCache(2 ** 40)   # everything fits
+        cache.plan(allocations, config, pricer)
+        assert cache.schedule_seconds() < pricer.batch_seconds(allocations)
+
+    def test_workload_is_ignored(self, allocations, config, pricer):
+        plain = StaticResidencyCache(2 ** 24)
+        plain.plan(allocations, config, pricer)
+        skewed = StaticResidencyCache(2 ** 24)
+        skewed.plan(allocations, config, pricer, workload=[0] * 1024)
+        assert skewed.resident_tables == plain.resident_tables
+        assert skewed.schedule_seconds() == plain.schedule_seconds()
+
+    def test_hits_and_misses_count_features(self, allocations, config,
+                                            pricer):
+        cache = StaticResidencyCache(2 ** 24)
+        cache.plan(allocations, config, pricer)
+        resident = len(cache.resident_tables)
+        cache.batch_seconds(meta())
+        cache.batch_seconds(meta(index=1))
+        assert cache.stats.hits == 2 * resident
+        assert cache.stats.misses == 2 * (len(allocations) - resident)
+
+    def test_replanning_does_not_recount_admissions(self, allocations,
+                                                    config, pricer):
+        cache = StaticResidencyCache(2 ** 24)
+        cache.plan(allocations, config, pricer)
+        once = cache.stats.admissions
+        cache.plan(allocations, config, pricer)
+        assert cache.stats.admissions == once
+
+
+class TestDecoderWeightCache:
+    def test_second_plan_hits_every_decoder(self, allocations, config,
+                                            pricer):
+        cache = DecoderWeightCache()
+        cache.plan(allocations, config, pricer)
+        dhe = sum(1 for a in allocations if a.technique != "scan")
+        assert cache.stats.misses == dhe
+        assert cache.serve_setup_seconds() > 0.0
+        cache.plan(allocations, config, pricer)
+        assert cache.stats.hits == dhe
+        assert cache.serve_setup_seconds() == 0.0
+
+    def test_generator_store_shares_objects(self):
+        cache = DecoderWeightCache()
+        builds = []
+
+        def builder():
+            builds.append(1)
+            return object()
+
+        first = cache.generator(("dhe-varied", 4096, 16), builder)
+        second = cache.generator(("dhe-varied", 4096, 16), builder)
+        assert first is second
+        assert len(builds) == 1
+        assert cache.generators_built() == 1
+        assert cache.stats.hits == 1 and cache.stats.misses == 1
+
+    def test_shared_runtime_is_singleton(self):
+        cache = DecoderWeightCache()
+        assert cache.shared_runtime() is cache.shared_runtime()
+
+
+class TestBatchResultCache:
+    def test_same_batch_key_hits(self, allocations, config, pricer):
+        cache = BatchResultCache()
+        cache.plan(allocations, config, pricer)
+        miss = cache.batch_seconds(meta())
+        hit = cache.batch_seconds(meta())
+        assert hit < miss
+        assert cache.stats.hits == 1 and cache.stats.misses == 1
+
+    def test_distinct_metadata_misses(self, allocations, config, pricer):
+        cache = BatchResultCache()
+        cache.plan(allocations, config, pricer)
+        cache.batch_seconds(meta())
+        cache.batch_seconds(meta(epoch=1))
+        cache.batch_seconds(meta(index=1))
+        cache.batch_seconds(meta(size=4))
+        assert cache.stats.misses == 4 and cache.stats.hits == 0
+
+    def test_generation_roll_evicts_out_of_scope(self, allocations, config,
+                                                 pricer):
+        cache = BatchResultCache(keep_generations=1)
+        cache.plan(allocations, config, pricer)
+        cache.batch_seconds(meta())
+        cache.advance_generation()          # still within keep_generations
+        assert cache.entries() == 1
+        cache.batch_seconds(meta())          # re-admitted under generation 1
+        cache.advance_generation()
+        assert cache.stats.evictions == 1
+        assert cache.entries() == 1
+        cache.advance_generation()
+        assert cache.entries() == 0
+        assert cache.stats.bytes_resident == 0
+
+    def test_schedule_is_conservative_full_price(self, allocations, config,
+                                                 pricer):
+        cache = BatchResultCache()
+        cache.plan(allocations, config, pricer)
+        assert cache.schedule_seconds() \
+            == pytest.approx(pricer.batch_seconds(allocations))
+
+
+class TestIndexKeyedLRU:
+    def test_behaves_as_an_lru(self, allocations, config, pricer):
+        cache = IndexKeyedLRUCache(2)
+        cache.plan(allocations, config, pricer)
+        cache.batch_seconds(meta(), indices=[1, 2, 1, 3])
+        # 1,2 admitted; 1 hits; 3 evicts 2 (LRU order after the 1-hit).
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 3
+        assert cache.stats.evictions == 1
+        cache.batch_seconds(meta(), indices=[2])
+        assert cache.stats.misses == 4
+
+    def test_stats_follow_the_secret(self, allocations, config, pricer):
+        hot = IndexKeyedLRUCache(8)
+        hot.plan(allocations, config, pricer)
+        hot.batch_seconds(meta(), indices=[0] * 16)
+        cold = IndexKeyedLRUCache(8)
+        cold.plan(allocations, config, pricer)
+        cold.batch_seconds(meta(), indices=list(range(16)))
+        assert hot.stats.to_dict() != cold.stats.to_dict()
+
+
+class TestProtocolDefaults:
+    def test_defaults(self):
+        cache = SecretIndependentCache()
+        assert cache.serve_setup_seconds() == 0.0
+        cache.advance_generation()           # no-op by default
+        with pytest.raises(NotImplementedError):
+            cache.schedule_seconds()

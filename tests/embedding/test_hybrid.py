@@ -52,6 +52,62 @@ class TestRepresentationEquivalence:
                                    refreshed, atol=1e-12)
 
 
+class TestThresholdBoundaries:
+    """Cost-model crossover boundaries applied to live hybrids: a table
+    exactly at the scan/DHE threshold, one row past it, and the degenerate
+    single-row table."""
+
+    def make_hybrid(self, size):
+        return HybridEmbedding(DHEEmbedding(size, 4, k=8, fc_sizes=(8,),
+                                            rng=0))
+
+    def test_table_exactly_at_threshold_scans(self):
+        # The allocation rule is inclusive (size <= threshold -> scan):
+        # when the cost model says the representations tie, the cheaper-to-
+        # refresh table wins.
+        from repro.hybrid.allocator import (
+            allocate_by_threshold,
+            apply_allocations,
+        )
+
+        hybrid = self.make_hybrid(64)
+        apply_allocations([hybrid], allocate_by_threshold((64,),
+                                                          threshold=64))
+        assert hybrid.active == TECHNIQUE_SCAN
+
+    def test_one_row_past_threshold_stays_dhe(self):
+        from repro.hybrid.allocator import (
+            allocate_by_threshold,
+            apply_allocations,
+        )
+
+        hybrid = self.make_hybrid(65)
+        apply_allocations([hybrid], allocate_by_threshold((65,),
+                                                          threshold=64))
+        assert hybrid.active == TECHNIQUE_DHE
+
+    def test_boundary_selection_preserves_outputs(self):
+        # Flipping representation exactly at the crossover must not change
+        # the embeddings the table serves.
+        hybrid = self.make_hybrid(64)
+        indices = np.array([0, 31, 63])
+        dhe_out = hybrid.generate(indices)
+        hybrid.select(TECHNIQUE_SCAN)
+        np.testing.assert_allclose(hybrid.generate(indices), dhe_out,
+                                   atol=1e-12)
+
+    def test_single_row_table_both_representations(self):
+        hybrid = self.make_hybrid(1)
+        indices = np.array([0, 0])
+        dhe_out = hybrid.generate(indices)
+        hybrid.select(TECHNIQUE_SCAN)
+        scan_out = hybrid.generate(indices)
+        np.testing.assert_allclose(scan_out, dhe_out, atol=1e-12)
+        np.testing.assert_allclose(scan_out[0], scan_out[1], atol=0)
+        assert hybrid.footprint_bytes() > 0
+        assert hybrid.modelled_latency(batch=1) > 0.0
+
+
 class TestActiveAccounting:
     def test_latency_follows_active(self, hybrid):
         dhe_latency = hybrid.modelled_latency(batch=32)

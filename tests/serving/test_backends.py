@@ -100,6 +100,22 @@ class TestResolveBackend:
         with pytest.raises(ValueError, match="unknown backend"):
             resolve_backend("guess")
 
+    def test_unknown_name_lists_every_valid_backend(self):
+        from repro.serving.backends import BACKEND_NAMES
+
+        with pytest.raises(ValueError) as excinfo:
+            resolve_backend("measured-lzay")
+        message = str(excinfo.value)
+        assert "'measured-lzay'" in message
+        for name in BACKEND_NAMES:
+            assert repr(name) in message
+
+    def test_registry_names_all_resolve(self):
+        from repro.serving.backends import BACKEND_NAMES
+
+        for name in BACKEND_NAMES:
+            assert resolve_backend(name).name == name
+
     def test_not_a_backend(self):
         with pytest.raises(TypeError):
             resolve_backend(42)

@@ -123,6 +123,59 @@ class TestMerge:
             ServingReport.merge([])
 
 
+class TestMergeCacheFields:
+    def make_cached_report(self, hits, misses, resident=1024):
+        return ServingReport.from_components(
+            queue_delays=np.array([0.0]), service_latencies=np.array([1.0]),
+            num_batches=1, scan_features=1, dhe_features=1,
+            batch_time_total=1.0, cache_hits=hits, cache_misses=misses,
+            cache_bytes_resident=resident)
+
+    def make_uncached_report(self):
+        return ServingReport.from_components(
+            queue_delays=np.array([0.0]), service_latencies=np.array([1.0]),
+            num_batches=1, scan_features=1, dhe_features=1,
+            batch_time_total=1.0)
+
+    def test_counters_sum_and_hit_rate_is_recomputed(self):
+        # 90% and 10% hit rates over equal lookup counts: the recomputed
+        # rate is 50%, which an average-of-averages would also give — so
+        # use unequal counts where averaging (0.5) and recomputing (0.75)
+        # disagree.
+        merged = ServingReport.merge([
+            self.make_cached_report(hits=90, misses=0, resident=100),
+            self.make_cached_report(hits=0, misses=30, resident=200),
+        ])
+        assert merged.cache_hits == 90
+        assert merged.cache_misses == 30
+        assert merged.cache_bytes_resident == 300
+        assert merged.cache_hit_rate == pytest.approx(0.75)
+        assert merged.tracks_cache
+
+    def test_mixed_cached_and_uncached_merge_cleanly(self):
+        merged = ServingReport.merge([
+            self.make_uncached_report(),
+            self.make_cached_report(hits=4, misses=2),
+        ])
+        assert merged.cache_hits == 4
+        assert merged.cache_misses == 2
+        assert merged.tracks_cache
+
+    def test_all_uncached_stays_untracked(self):
+        merged = ServingReport.merge([self.make_uncached_report(),
+                                      self.make_uncached_report()])
+        assert merged.cache_hits is None
+        assert merged.cache_misses is None
+        assert merged.cache_bytes_resident is None
+        assert not merged.tracks_cache
+        assert merged.cache_hit_rate == 0.0
+
+    def test_zero_lookup_hit_rate_is_zero(self):
+        report = self.make_cached_report(hits=0, misses=0)
+        assert report.tracks_cache
+        assert report.cache_hit_rate == 0.0
+
+
 class TestStatistics:
     def test_percentiles_and_sla(self):
         report = make_report()

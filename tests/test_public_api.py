@@ -19,6 +19,7 @@ PACKAGES = [
     "repro.serving",
     "repro.resilience",
     "repro.cluster",
+    "repro.cache",
     "repro.experiments",
     "repro.experiments.registry",
     "repro.telemetry",
@@ -66,6 +67,7 @@ def test_registry_covers_every_experiment_module():
     directory = os.path.dirname(experiments_package.__file__)
     modules = [name for name in os.listdir(directory)
                if name.startswith(("fig", "table", "llm_", "chaos_",
-                                   "cluster_", "migration_", "lazy_"))
+                                   "cluster_", "migration_", "lazy_",
+                                   "cache_"))
                and name.endswith(".py")]
     assert len(modules) == len(EXPERIMENTS)
