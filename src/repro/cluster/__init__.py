@@ -6,11 +6,28 @@ simulated cluster: capacity-aware, traffic-blind placement
 and breaker-driven failover (:mod:`repro.cluster.router`), cross-shard
 scatter-gather execution (:mod:`repro.cluster.scatter`), the plan-epoch
 control plane with live, audited table migration
-(:mod:`repro.cluster.epoch`, :mod:`repro.cluster.migration`), and the
+(:mod:`repro.cluster.epoch`, :mod:`repro.cluster.migration`), the
+self-healing elastic autoscaler (:mod:`repro.cluster.autoscale`), and the
 gated sweeps (``python -m repro.cluster.sim``,
-``python -m repro.cluster.migrate``).
+``python -m repro.cluster.migrate``,
+``python -m repro.cluster.autoscale``).
 """
 
+from repro.cluster.autoscale import (
+    AUTOSCALE_REGION,
+    Autoscaler,
+    AutoscaleConfig,
+    ClusterSignals,
+    HotLoadChasingController,
+    ScaleDecision,
+    ScalingLeakageError,
+    SignalPlane,
+    Supervisor,
+    audit_scaling,
+    check_oblivious_scaling,
+    default_scaling_workloads,
+    scaling_subject,
+)
 from repro.cluster.epoch import (
     EpochControlPlane,
     PlanEpoch,
@@ -18,6 +35,7 @@ from repro.cluster.epoch import (
 )
 from repro.cluster.migration import (
     MIGRATION_REGION,
+    BandwidthContentionModel,
     HotFirstMigrationPlanner,
     MigrationEngine,
     MigrationPlanner,
@@ -56,10 +74,24 @@ from repro.cluster.scatter import (
 )
 
 __all__ = [
+    "AUTOSCALE_REGION",
+    "Autoscaler",
+    "AutoscaleConfig",
+    "ClusterSignals",
+    "HotLoadChasingController",
+    "ScaleDecision",
+    "ScalingLeakageError",
+    "SignalPlane",
+    "Supervisor",
+    "audit_scaling",
+    "check_oblivious_scaling",
+    "default_scaling_workloads",
+    "scaling_subject",
     "EpochControlPlane",
     "PlanEpoch",
     "UnknownEpochError",
     "MIGRATION_REGION",
+    "BandwidthContentionModel",
     "HotFirstMigrationPlanner",
     "MigrationEngine",
     "MigrationPlanner",

@@ -1,0 +1,56 @@
+"""Self-healing elastic autoscaling over the plan-epoch control plane.
+
+A secret-free control loop: the :class:`~repro.cluster.autoscale.signals
+.SignalPlane` snapshots whole-fleet aggregates on the simulated clock,
+the :class:`~repro.cluster.autoscale.controller.Autoscaler` derives
+target node counts with hysteresis and cooldown (audited: decisions must
+replay byte-identically under contrasting skew profiles), and the
+:class:`~repro.cluster.autoscale.supervisor.Supervisor` re-replicates
+dead nodes' tables through the same audited migration path every planned
+reshape uses. The gated storm lives in ``python -m
+repro.cluster.autoscale``.
+"""
+
+from repro.cluster.autoscale.controller import (
+    ACTION_BLOCKED,
+    ACTION_DOWN,
+    ACTION_HOLD,
+    ACTION_UP,
+    AUTOSCALE_REGION,
+    Autoscaler,
+    AutoscaleConfig,
+    HotLoadChasingController,
+    ScaleDecision,
+    ScalingLeakageError,
+    audit_scaling,
+    check_oblivious_scaling,
+    default_scaling_workloads,
+    scaling_subject,
+)
+from repro.cluster.autoscale.signals import ClusterSignals, SignalPlane
+from repro.cluster.autoscale.supervisor import Supervisor
+
+# repro.cluster.autoscale.sim is deliberately NOT imported here: it is the
+# ``python -m repro.cluster.autoscale`` entry point (via __main__) and
+# importing it eagerly would drag the experiment machinery into every
+# ``import repro.cluster``.
+
+__all__ = [
+    "ACTION_BLOCKED",
+    "ACTION_DOWN",
+    "ACTION_HOLD",
+    "ACTION_UP",
+    "AUTOSCALE_REGION",
+    "Autoscaler",
+    "AutoscaleConfig",
+    "HotLoadChasingController",
+    "ScaleDecision",
+    "ScalingLeakageError",
+    "audit_scaling",
+    "check_oblivious_scaling",
+    "default_scaling_workloads",
+    "scaling_subject",
+    "ClusterSignals",
+    "SignalPlane",
+    "Supervisor",
+]

@@ -1,0 +1,6 @@
+"""``python -m repro.cluster.autoscale`` — the gated autoscale storm."""
+
+from repro.cluster.autoscale.sim import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

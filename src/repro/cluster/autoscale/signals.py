@@ -1,0 +1,179 @@
+"""The autoscaler's signal plane: secret-free aggregates, nothing else.
+
+An elastic control loop is only as oblivious as its inputs. The moment a
+scale decision reads anything keyed on request *content* — per-table hit
+counts, per-user queue depth, which embeddings were hot — the fleet size
+itself becomes a side channel (a scale-up that fires because table 17 got
+popular tells the adversary table 17 got popular). The
+:class:`SignalPlane` therefore snapshots only whole-fleet aggregates that
+are public under the paper's threat model:
+
+* **offered vs achieved throughput** and the provisioned
+  :attr:`~repro.cluster.scatter.ClusterServingReport.capacity_rps` — batch
+  counts and pipeline pricing, both functions of the (frequency-blind)
+  plan and the public arrival clock;
+* **queue depth** as the mean gathered queue delay — padded batches mean
+  the queue length is a function of arrival times only;
+* **replica health** from
+  :meth:`~repro.resilience.dispatch.ResilientDispatcher.health_summary` —
+  whole-fleet breaker/crash counts, never per-request state.
+
+Every snapshot is stamped with the simulated tick and exported to the
+telemetry registry as ``autoscale.*`` gauges; the
+:class:`~repro.cluster.autoscale.controller.Autoscaler` consumes the
+frozen :class:`ClusterSignals` and nothing besides.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.cluster.scatter import ClusterServingReport
+from repro.resilience.dispatch import ResilientDispatcher
+from repro.telemetry.runtime import get_registry
+from repro.utils.validation import check_positive
+
+
+@dataclass(frozen=True)
+class ClusterSignals:
+    """One decision interval's secret-free aggregate view of the fleet."""
+
+    tick: int
+    now_seconds: float
+    offered_rps: float
+    achieved_rps: float
+    capacity_rps: float
+    utilisation: float
+    queue_delay_seconds: float
+    shed_requests: int
+    current_nodes: int
+    replication: int
+    healthy_nodes: int
+    open_breakers: int
+    half_open_breakers: int
+    crashed_nodes: int
+
+    def __post_init__(self) -> None:
+        if self.tick < 0:
+            raise ValueError(f"tick must be >= 0, got {self.tick}")
+        check_positive("current_nodes", self.current_nodes)
+        check_positive("replication", self.replication)
+
+    @property
+    def unhealthy_nodes(self) -> int:
+        """Replicas currently out of rotation for any reason."""
+        return self.open_breakers + self.half_open_breakers \
+            + self.crashed_nodes
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "tick": self.tick,
+            "now_seconds": self.now_seconds,
+            "offered_rps": self.offered_rps,
+            "achieved_rps": self.achieved_rps,
+            "capacity_rps": self.capacity_rps,
+            "utilisation": self.utilisation,
+            "queue_delay_seconds": self.queue_delay_seconds,
+            "shed_requests": self.shed_requests,
+            "current_nodes": self.current_nodes,
+            "replication": self.replication,
+            "healthy_nodes": self.healthy_nodes,
+            "open_breakers": self.open_breakers,
+            "half_open_breakers": self.half_open_breakers,
+            "crashed_nodes": self.crashed_nodes,
+        }
+
+
+class SignalPlane:
+    """Assembles :class:`ClusterSignals` on a simulated-clock cadence.
+
+    The plane owns the tick counter (one snapshot per decision interval)
+    and the only dispatcher view it ever reads is
+    :meth:`~repro.resilience.dispatch.ResilientDispatcher.health_summary`
+    — aggregate counts. Both entry points produce identical shapes:
+    :meth:`observe` digests a full scatter-gather interval report, and
+    :meth:`snapshot` takes the same aggregates as scalars for intervals
+    that were served by something other than a plain ``serve`` call (a
+    migration window, where the interval's numbers come from a
+    :class:`~repro.cluster.migration.MigrationReport`).
+    """
+
+    def __init__(self, dispatcher: Optional[ResilientDispatcher] = None,
+                 interval_seconds: float = 0.25) -> None:
+        check_positive("interval_seconds", interval_seconds)
+        self.dispatcher = dispatcher
+        self.interval_seconds = interval_seconds
+        self._tick = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def tick(self) -> int:
+        """The tick the *next* snapshot will be stamped with."""
+        return self._tick
+
+    def snapshot(self, offered_rps: float, achieved_rps: float,
+                 capacity_rps: float, queue_delay_seconds: float,
+                 shed_requests: int, current_nodes: int, replication: int,
+                 now_seconds: float = 0.0) -> ClusterSignals:
+        """Freeze one interval's aggregates; advance the tick."""
+        utilisation = (offered_rps / capacity_rps
+                       if capacity_rps > 0.0 and offered_rps >= 0.0
+                       else 0.0)
+        health = (self.dispatcher.health_summary(now_seconds)
+                  if self.dispatcher is not None
+                  else {"healthy": current_nodes, "open_breakers": 0,
+                        "half_open_breakers": 0, "crashed": 0})
+        signals = ClusterSignals(
+            tick=self._tick, now_seconds=now_seconds,
+            offered_rps=offered_rps, achieved_rps=achieved_rps,
+            capacity_rps=capacity_rps, utilisation=utilisation,
+            queue_delay_seconds=queue_delay_seconds,
+            shed_requests=shed_requests, current_nodes=current_nodes,
+            replication=replication, healthy_nodes=health["healthy"],
+            open_breakers=health["open_breakers"],
+            half_open_breakers=health["half_open_breakers"],
+            crashed_nodes=health["crashed"])
+        self._tick += 1
+        self._export(signals)
+        return signals
+
+    def observe(self, result: ClusterServingReport, offered_rps: float,
+                replication: int, current_nodes: Optional[int] = None,
+                capacity_rps: Optional[float] = None,
+                now_seconds: float = 0.0) -> ClusterSignals:
+        """Snapshot a served interval straight from its gathered report.
+
+        ``capacity_rps`` defaults to the report's *live* capacity (what
+        the surviving shards can sustain); the sim overrides it with the
+        plan's provisioned capacity so that a node kill shows up in the
+        health counts, not as a phantom utilisation spike — otherwise a
+        death would reset the scale-down streak it is supposed to block.
+        """
+        answered = max(0, result.num_requests - result.shed_requests)
+        return self.snapshot(
+            offered_rps=offered_rps,
+            achieved_rps=answered / self.interval_seconds,
+            capacity_rps=(result.capacity_rps if capacity_rps is None
+                          else capacity_rps),
+            queue_delay_seconds=result.report.mean_queue_delay,
+            shed_requests=result.shed_requests,
+            current_nodes=(result.num_shards if current_nodes is None
+                           else current_nodes),
+            replication=replication, now_seconds=now_seconds)
+
+    # ------------------------------------------------------------------
+    def _export(self, signals: ClusterSignals) -> None:
+        registry = get_registry()
+        if not registry.enabled:
+            return
+        registry.gauge("autoscale.offered_rps").set(signals.offered_rps)
+        registry.gauge("autoscale.achieved_rps").set(signals.achieved_rps)
+        registry.gauge("autoscale.capacity_rps").set(signals.capacity_rps)
+        registry.gauge("autoscale.utilisation").set(signals.utilisation)
+        registry.gauge("autoscale.queue_delay_seconds").set(
+            signals.queue_delay_seconds)
+        registry.gauge("autoscale.current_nodes").set(signals.current_nodes)
+        registry.gauge("autoscale.healthy_nodes").set(signals.healthy_nodes)
+        registry.gauge("autoscale.crashed_nodes").set(signals.crashed_nodes)
+        registry.counter("autoscale.snapshots_total").inc()

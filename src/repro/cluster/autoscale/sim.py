@@ -1,0 +1,518 @@
+"""The autoscale simulator: load ramp + node-kill storm, gated.
+
+Drives the full self-healing elastic loop end to end on the simulated
+clock: a Poisson load ramp pushes a 2-node fleet into saturation, the
+:class:`~repro.cluster.autoscale.controller.Autoscaler` grows it through
+successive plan epochs (each cutover executed live by the
+:class:`~repro.cluster.migration.MigrationEngine` under bandwidth
+contention), a node is killed mid-run and the
+:class:`~repro.cluster.autoscale.supervisor.Supervisor` re-replicates its
+tables before the controller is allowed to scale back down. The gates are
+the elastic counterpart of ``repro.cluster.sim``'s:
+
+* **convergence** — after the ramp hits peak rate, achieved throughput
+  recovers to >= ``CONVERGENCE_FLOOR`` x offered within
+  ``CONVERGENCE_BUDGET_TICKS`` decision intervals, and holds there on the
+  final plateau;
+* **p99 under events** — every scale/heal interval's window p99 stays
+  <= ``P99_EVENT_CEILING`` x the most recent steady interval's p99;
+* **heal, zero loss** — the node kill at replication 2 sheds nothing
+  (failover), the heal migration sheds nothing (double-serve), and the
+  fleet ends the storm at full replication health;
+* **scaling audit** — the controller's decision trace is byte-identical
+  across hot-head / hot-tail / uniform skew profiles in exact mode
+  (:func:`~repro.cluster.autoscale.controller.check_oblivious_scaling`),
+  and the workload-chasing
+  :class:`~repro.cluster.autoscale.controller.HotLoadChasingController`
+  negative control is *caught*;
+* **audited reshapes** — every plan passes the placement audit and every
+  executed migration (scale and heal alike) passes the migration audit;
+* **counter integrity** — the autoscale event counters on the merged
+  fleet report equal the events the run actually performed (summed,
+  never averaged, across interval reports).
+
+Everything derives from one seed; two runs emit byte-identical JSON
+(serialised with ``allow_nan=False`` — the report is NaN/inf-free by
+construction) and CI pins that with ``cmp``.
+
+CLI::
+
+    python -m repro.cluster.autoscale --seed 7 --json autoscale.json
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional, Sequence
+
+from repro.cluster.autoscale.controller import (
+    ACTION_DOWN,
+    ACTION_UP,
+    Autoscaler,
+    AutoscaleConfig,
+    HotLoadChasingController,
+    audit_scaling,
+    check_oblivious_scaling,
+    default_scaling_workloads,
+)
+from repro.cluster.autoscale.signals import ClusterSignals, SignalPlane
+from repro.cluster.autoscale.supervisor import Supervisor
+from repro.cluster.epoch import EpochControlPlane, PlanEpoch
+from repro.cluster.migration import (
+    BandwidthContentionModel,
+    MigrationEngine,
+    audit_migration,
+)
+from repro.cluster.placement import check_oblivious_placement
+from repro.cluster.scatter import ClusterServingReport, ScatterGatherEngine
+from repro.cluster.sim import build_model, plan_digest
+from repro.data import TERABYTE_SPEC, DlrmDatasetSpec
+from repro.resilience.dispatch import ResilientDispatcher
+from repro.resilience.retry import RetryPolicy
+from repro.serving import ServingConfig
+from repro.serving.batcher import BatchingPolicy
+from repro.serving.requests import RequestQueue
+
+#: the autoscale gates CI enforces (ISSUE 8 acceptance criteria)
+CONVERGENCE_FLOOR = 0.9        # achieved / offered after the ramp
+CONVERGENCE_BUDGET_TICKS = 6   # intervals allowed to reach the floor
+P99_EVENT_CEILING = 2.0        # event-window p99 vs latest steady p99
+
+INTERVAL_SECONDS = 0.25        # one decision interval of simulated time
+RAMP_RATES = (2000.0, 4000.0, 6000.0)
+PEAK_RATE = 8000.0
+PEAK_TICKS = 7
+TROUGH_RATE = 2500.0
+TROUGH_TICKS = 10
+KILL_TICK = 11                 # node kill lands inside the trough
+VICTIM = 0
+
+START_NODES = 2
+MIN_NODES = 2
+MAX_NODES = 5
+REPLICATION = 2
+HIGH_UTILISATION = 0.85
+LOW_UTILISATION = 0.28
+BREACH_TICKS = 2
+COOLDOWN_TICKS = 1
+STEP_SIZE = 4                  # tables per migration step
+
+BATCH = 32
+SLA_SECONDS = 0.020
+DEADLINE_SECONDS = 0.050
+
+#: stand-in for "down for the whole run" that stays JSON-representable
+FOREVER_SECONDS = 1e9
+
+
+def rate_schedule() -> List[float]:
+    """The offered-load timeline: ramp, peak plateau, trough."""
+    return (list(RAMP_RATES) + [PEAK_RATE] * PEAK_TICKS
+            + [TROUGH_RATE] * TROUGH_TICKS)
+
+
+def _fleet_capacity(engine: ScatterGatherEngine, config: ServingConfig,
+                    owner_map) -> float:
+    """*Provisioned* capacity of an owner map (no traffic, health-blind).
+
+    Replicates what :meth:`ScatterGatherEngine.serve` prices — per-shard
+    batch latency of the routed table sets through the two-stage pipeline
+    — but against the plan's full owner assignment, deliberately ignoring
+    replica health: a dead node must surface in the signals' crash counts
+    (where it blocks scale-down), not as a phantom utilisation spike that
+    resets the controller's streaks.
+    """
+    routed, _ = owner_map.assignment(len(engine.table_sizes), 0.0, None)
+    latency = {node: engine.shard_engine(tuple(routed[node]))
+               .batch_latency(config)
+               for node in sorted(routed)}
+    return engine.capacity_rps(config, latency)
+
+
+def run_autoscale(seed: int = 0, spec: DlrmDatasetSpec = TERABYTE_SPEC,
+                  batch: int = BATCH, sla_seconds: float = SLA_SECONDS
+                  ) -> Dict[str, object]:
+    """Run the load ramp + kill storm; return the JSON-stable report."""
+    rates = rate_schedule()
+    ticks = len(rates)
+    config = ServingConfig(batch_size=batch, threads=1,
+                           sla_seconds=sla_seconds)
+    policy = BatchingPolicy(max_batch_size=batch, max_wait_seconds=0.002)
+    retry = RetryPolicy(deadline_seconds=DEADLINE_SECONDS)
+    dim = spec.embedding_dim
+    sizes = spec.table_sizes
+    uniform, thresholds = build_model(spec, batch)
+    skews = default_scaling_workloads(len(sizes))
+
+    # ------------------------------------------------------------------
+    # Plans come from the ring planner (incremental reshards) and every
+    # node count's plan passes the placement audit before it may serve.
+    base_planner = None
+    plans: Dict[int, object] = {}
+    plan_audits: List[Dict[str, object]] = []
+    placement_ok = True
+
+    def plan_for(nodes: int):
+        nonlocal base_planner, placement_ok
+        if nodes not in plans:
+            from repro.cluster.placement import RingPlanner
+
+            if base_planner is None:
+                base_planner = RingPlanner(nodes, thresholds, dim, uniform)
+            planner = (base_planner if base_planner.num_nodes == nodes
+                       else base_planner.for_nodes(nodes))
+            finding = check_oblivious_placement(planner, sizes, config,
+                                                workloads=skews)
+            placement_ok = placement_ok and finding.passed
+            plans[nodes] = planner.plan(sizes, config)
+            plan_audits.append({
+                "num_nodes": nodes,
+                "plan_digest": plan_digest(plans[nodes]),
+                "audit_divergence": finding.divergence,
+                "audit_passed": finding.passed,
+            })
+        return plans[nodes]
+
+    dispatcher = ResilientDispatcher(num_replicas=START_NODES,
+                                     min_replicas=MIN_NODES)
+    epoch0 = PlanEpoch.create(0, plan_for(START_NODES),
+                              replication=REPLICATION)
+    control = EpochControlPlane(epoch0, dispatcher=dispatcher)
+    engine = ScatterGatherEngine(sizes, dim, uniform, thresholds,
+                                 epoch0.router, retry=retry,
+                                 dispatcher=dispatcher)
+    autoscale_config = AutoscaleConfig(
+        min_nodes=MIN_NODES, max_nodes=MAX_NODES,
+        high_utilisation=HIGH_UTILISATION,
+        low_utilisation=LOW_UTILISATION, breach_ticks=BREACH_TICKS,
+        cooldown_ticks=COOLDOWN_TICKS)
+    autoscaler = Autoscaler(autoscale_config)
+    supervisor = Supervisor(dispatcher, confirm_ticks=1)
+    plane = SignalPlane(dispatcher, interval_seconds=INTERVAL_SECONDS)
+    contention = BandwidthContentionModel()
+
+    pending: Optional[MigrationEngine] = None
+    pending_kind: Optional[str] = None
+    pending_dead: List[int] = []
+    # Event counters accumulate here and are stamped onto the next serve
+    # interval's report, so the merged fleet report sums to the run total.
+    stamp = {"scale_up_events": 0, "scale_down_events": 0, "heal_events": 0}
+
+    timeline: List[ClusterSignals] = []
+    cells: List[Dict[str, object]] = []
+    interval_reports: List[ClusterServingReport] = []
+    migration_audits: List[Dict[str, object]] = []
+    migration_ok = True
+    steady_p99 = 0.0
+    p99_events_ok = True
+    kill_shed = 0
+    heal_shed = 0
+    heal_unroutable = 0
+    replication_restored = False
+
+    for tick in range(ticks):
+        now = tick * INTERVAL_SECONDS
+        rate = rates[tick]
+        num_requests = int(round(rate * INTERVAL_SECONDS))
+        queue = RequestQueue.poisson(num_requests, rate,
+                                     rng=seed * 1000 + tick)
+        if tick == KILL_TICK:
+            dispatcher.mark_down(VICTIM, until_seconds=FOREVER_SECONDS,
+                                 now_seconds=now)
+        cell: Dict[str, object] = {
+            "tick": tick,
+            "rate_rps": rate,
+            "num_requests": num_requests,
+            "killed": tick == KILL_TICK,
+        }
+
+        if pending is not None:
+            migration = pending.execute(engine, config, queue, policy)
+            control.retire_through(
+                control.current.epoch - 1,
+                shrink_dispatcher=pending_kind == ACTION_DOWN)
+            if pending_kind == "heal":
+                supervisor.mark_replaced(pending_dead)
+                heal_shed += migration.shed_requests
+                heal_unroutable += migration.unroutable_events
+                health = dispatcher.health_summary(now)
+                replication_restored = (health["healthy"]
+                                        == health["num_replicas"])
+                pending_dead = []
+            capacity = _fleet_capacity(engine, config,
+                                       control.current.router)
+            answered = max(0, migration.num_requests
+                           - migration.shed_requests)
+            signals = plane.snapshot(
+                offered_rps=rate,
+                achieved_rps=answered / INTERVAL_SECONDS,
+                capacity_rps=capacity,
+                # Queue and service are not separable inside a migration
+                # window; the control law reads utilisation only.
+                queue_delay_seconds=0.0,
+                shed_requests=migration.shed_requests,
+                current_nodes=control.current.num_nodes,
+                replication=control.current.replication,
+                now_seconds=now)
+            p99 = migration.window_p99
+            inflation = (p99 / steady_p99 if steady_p99 > 0.0 else 0.0)
+            p99_events_ok = (p99_events_ok
+                             and inflation <= P99_EVENT_CEILING)
+            cell.update({
+                "kind": pending_kind,
+                "source_epoch": migration.source_epoch,
+                "target_epoch": migration.target_epoch,
+                "tables_moved": migration.tables_moved,
+                "bytes_modelled": migration.bytes_modelled,
+                "num_steps": migration.num_steps,
+                "shed_requests": migration.shed_requests,
+                "unroutable_events": migration.unroutable_events,
+                "p99_seconds": p99,
+                "steady_p99_seconds": steady_p99,
+                "p99_inflation": inflation,
+            })
+            pending = None
+            pending_kind = None
+        else:
+            result = engine.serve(config, queue, policy,
+                                  owner_map=control.current.router)
+            result.scale_up_events = stamp["scale_up_events"]
+            result.scale_down_events = stamp["scale_down_events"]
+            result.heal_events = stamp["heal_events"]
+            stamp = {"scale_up_events": 0, "scale_down_events": 0,
+                     "heal_events": 0}
+            interval_reports.append(result)
+            signals = plane.observe(
+                result, offered_rps=rate,
+                replication=control.current.replication,
+                current_nodes=control.current.num_nodes,
+                capacity_rps=_fleet_capacity(engine, config,
+                                             control.current.router),
+                now_seconds=now)
+            steady_p99 = result.p99
+            if tick == KILL_TICK:
+                kill_shed = result.shed_requests
+            cell.update({
+                "kind": "serve",
+                "epoch": control.current.epoch,
+                "shed_requests": result.shed_requests,
+                "p99_seconds": result.p99,
+                "mean_queue_delay_seconds": result.report.mean_queue_delay,
+            })
+
+        timeline.append(signals)
+        decision = autoscaler.decide(signals)
+        if decision.action in (ACTION_UP, ACTION_DOWN):
+            source = control.current
+            target = control.advance(plan_for(decision.target_nodes))
+            candidate = MigrationEngine(source, target,
+                                        step_size=STEP_SIZE,
+                                        contention=contention)
+            if candidate.move_set():
+                finding = audit_migration(
+                    candidate, name=f"{decision.action}-tick{tick}")
+                migration_ok = migration_ok and finding.passed
+                migration_audits.append({
+                    "tick": tick,
+                    "kind": decision.action,
+                    "tables": len(candidate.move_set()),
+                    "audit_divergence": finding.divergence,
+                    "audit_passed": finding.passed,
+                })
+                pending = candidate
+                pending_kind = decision.action
+            else:
+                # Nothing to copy: the cutover is immediate.
+                control.retire_through(
+                    control.current.epoch - 1,
+                    shrink_dispatcher=decision.action == ACTION_DOWN)
+            key = ("scale_up_events" if decision.action == ACTION_UP
+                   else "scale_down_events")
+            stamp[key] += 1
+
+        dead = supervisor.observe(now)
+        if dead and pending is None:
+            candidate = supervisor.heal(control, dead, step_size=STEP_SIZE,
+                                        contention=contention)
+            finding = audit_migration(candidate, name=f"heal-tick{tick}")
+            migration_ok = migration_ok and finding.passed
+            migration_audits.append({
+                "tick": tick,
+                "kind": "heal",
+                "tables": len(candidate.move_set()),
+                "audit_divergence": finding.divergence,
+                "audit_passed": finding.passed,
+            })
+            pending = candidate
+            pending_kind = "heal"
+            pending_dead = list(dead)
+            stamp["heal_events"] += 1
+
+        cell["signals"] = signals.to_dict()
+        cell["decision"] = decision.to_dict()
+        cell["health"] = dispatcher.health_summary(now)
+        cells.append(cell)
+
+    # ------------------------------------------------------------------
+    # Leftover event stamps (a decision on the final tick) still count.
+    if any(stamp.values()) and interval_reports:
+        last = interval_reports[-1]
+        last.scale_up_events += stamp["scale_up_events"]
+        last.scale_down_events += stamp["scale_down_events"]
+        last.heal_events += stamp["heal_events"]
+
+    # ------------------------------------------------------------------
+    # Gate: convergence after the ramp, and a stable final plateau.
+    first_peak = rates.index(max(rates))
+    converged_tick = next(
+        (cell["tick"] for cell in cells
+         if cell["tick"] >= first_peak
+         and cell["signals"]["achieved_rps"]
+         >= CONVERGENCE_FLOOR * cell["signals"]["offered_rps"]), None)
+    convergence_ok = (converged_tick is not None
+                      and converged_tick - first_peak
+                      <= CONVERGENCE_BUDGET_TICKS)
+    plateau = [cell for cell in cells
+               if cell["tick"] >= ticks - 4 and cell["kind"] == "serve"]
+    plateau_ok = bool(plateau) and all(
+        cell["signals"]["achieved_rps"]
+        >= CONVERGENCE_FLOOR * cell["signals"]["offered_rps"]
+        for cell in plateau)
+
+    # ------------------------------------------------------------------
+    # Gate: the kill + heal lost nothing and redundancy is restored.
+    heal_ok = (kill_shed == 0 and heal_shed == 0 and heal_unroutable == 0
+               and replication_restored)
+
+    # ------------------------------------------------------------------
+    # Gate: scale decisions are skew-invariant (exact mode) and the
+    # workload-chasing controller is caught.
+    scaling_finding = check_oblivious_scaling(
+        lambda: Autoscaler(autoscale_config), timeline, skews)
+    negative = audit_scaling(
+        lambda: HotLoadChasingController(autoscale_config), timeline,
+        skews, name="hot-load-chasing", expect_oblivious=False)
+
+    # ------------------------------------------------------------------
+    # Gate: the autoscale counters on the merged fleet report sum to the
+    # events this run actually performed.
+    merged = ClusterServingReport.merge(interval_reports)
+    events = {
+        "scale_up_events": sum(1 for cell in cells
+                               if cell["decision"]["action"] == ACTION_UP),
+        "scale_down_events": sum(
+            1 for cell in cells
+            if cell["decision"]["action"] == ACTION_DOWN),
+        "heal_events": sum(1 for cell in cells
+                           if cell["kind"] == "heal"),
+    }
+    counters_ok = (merged.scale_up_events == events["scale_up_events"]
+                   and merged.scale_down_events
+                   == events["scale_down_events"]
+                   and merged.heal_events == events["heal_events"])
+
+    gates = {
+        "convergence": convergence_ok,
+        "plateau": plateau_ok,
+        "p99_events": p99_events_ok,
+        "heal_zero_loss": heal_ok,
+        "placement_audit": placement_ok,
+        "migration_audit": migration_ok,
+        "scaling_audit": scaling_finding.passed,
+        "leak_detector_teeth": negative.leak_detected,
+        "event_counters_merged": counters_ok,
+    }
+    gates["passed"] = all(gates.values())
+    return {
+        "seed": seed,
+        "spec": spec.name,
+        "batch_size": batch,
+        "sla_seconds": sla_seconds,
+        "deadline_seconds": DEADLINE_SECONDS,
+        "interval_seconds": INTERVAL_SECONDS,
+        "ticks": ticks,
+        "kill_tick": KILL_TICK,
+        "victim": VICTIM,
+        "replication": REPLICATION,
+        "autoscale_config": autoscale_config.to_dict(),
+        "contention": contention.to_dict(),
+        "convergence_floor": CONVERGENCE_FLOOR,
+        "convergence_budget_ticks": CONVERGENCE_BUDGET_TICKS,
+        "p99_event_ceiling": P99_EVENT_CEILING,
+        "first_peak_tick": first_peak,
+        "converged_tick": converged_tick,
+        "final_nodes": control.current.num_nodes,
+        "final_epoch": control.current.epoch,
+        "events": events,
+        "plan_audits": plan_audits,
+        "migration_audits": migration_audits,
+        "scaling_audit": scaling_finding.to_dict(),
+        "negative_audit": negative.to_dict(),
+        "intervals": cells,
+        "fleet": merged.to_dict(sla_seconds=sla_seconds),
+        "gates": gates,
+    }
+
+
+def render(report: Dict[str, object]) -> str:
+    """Human-readable storm summary."""
+    lines = [f"autoscale storm (seed={report['seed']}, "
+             f"spec={report['spec']}, {report['ticks']} ticks x "
+             f"{report['interval_seconds']:.2f}s, R={report['replication']}, "
+             f"kill@t{report['kill_tick']})"]
+    for cell in report["intervals"]:
+        signals = cell["signals"]
+        decision = cell["decision"]
+        verdict = decision["action"]
+        if decision["action"] in (ACTION_UP, ACTION_DOWN):
+            verdict += (f" {decision['current_nodes']}->"
+                        f"{decision['target_nodes']}")
+        elif decision["action"] == "blocked":
+            verdict += f" ({decision['reason']})"
+        lines.append(
+            f"  t{cell['tick']:>2} {cell['kind']:>10}"
+            f"{' KILL' if cell['killed'] else ''}: "
+            f"offered={signals['offered_rps']:>6.0f} "
+            f"achieved={signals['achieved_rps']:>6.0f} "
+            f"util={signals['utilisation']:.2f} "
+            f"nodes={signals['current_nodes']} "
+            f"p99={cell['p99_seconds'] * 1e3:6.2f} ms "
+            f"shed={cell['shed_requests']:>3} -> {verdict}")
+    events = report["events"]
+    lines.append(f"  events: up={events['scale_up_events']} "
+                 f"down={events['scale_down_events']} "
+                 f"heal={events['heal_events']}  "
+                 f"converged@t{report['converged_tick']} "
+                 f"(peak@t{report['first_peak_tick']})  "
+                 f"final nodes={report['final_nodes']} "
+                 f"epoch={report['final_epoch']}")
+    gates = report["gates"]
+    verdicts = "  ".join(f"{name}={'PASS' if ok else 'FAIL'}"
+                         for name, ok in gates.items() if name != "passed")
+    lines.append(f"  gates: {verdicts}")
+    return "\n".join(lines)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        description="Self-healing elastic autoscaling over the plan-epoch "
+                    "control plane, gated.")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--json", metavar="PATH",
+                        help="write the deterministic autoscale report")
+    args = parser.parse_args(argv)
+
+    report = run_autoscale(seed=args.seed)
+    print(render(report))
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True,
+                      allow_nan=False)
+            handle.write("\n")
+    return 0 if report["gates"]["passed"] else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

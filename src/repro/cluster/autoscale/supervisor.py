@@ -1,0 +1,125 @@
+"""The self-healing supervisor: detect dead replicas, re-replicate.
+
+Failover (the router skipping a crashed owner) keeps requests flowing but
+silently spends redundancy: every table the corpse owned is now one
+replica short, and a second failure in the wrong place turns "degraded"
+into "unroutable". The :class:`Supervisor` closes that loop
+deterministically on the simulated clock:
+
+* **detection** is pure breaker/crash-window state — a replica counts as
+  dead after ``confirm_ticks`` consecutive observations inside a crash
+  window (no heartbeat randomness, no wall clock), read from the same
+  :class:`~repro.resilience.dispatch.ResilientDispatcher` every epoch
+  shares;
+* **healing** goes through the *same* audited path every planned reshape
+  uses: the control plane issues a successor epoch for the unchanged plan
+  and a :class:`~repro.cluster.migration.MigrationEngine` executes an
+  explicit move-set that re-copies every table the dead node owned onto
+  its replacement — bounded steps, double-serve, bandwidth contention and
+  all. A heal is a migration whose move-set came from the obituary
+  instead of the epoch diff;
+* once the copies land the caller swaps a fresh machine into the slot
+  (:meth:`~repro.resilience.dispatch.ResilientDispatcher
+  .replace_replica`) and :meth:`mark_replaced` clears the obituary.
+
+Detection reads only aggregate replica state and the heal move-set is a
+function of the (workload-blind) plan plus the public crash event, so the
+whole heal path inherits the migration audit's obliviousness story.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.cluster.epoch import EpochControlPlane, PlanEpoch
+from repro.cluster.migration import (
+    BandwidthContentionModel,
+    MigrationEngine,
+    TableMove,
+)
+from repro.resilience.dispatch import ResilientDispatcher
+from repro.telemetry.runtime import get_registry
+from repro.utils.validation import check_positive
+
+
+class Supervisor:
+    """Watches the shared dispatcher; plans re-replication heals."""
+
+    def __init__(self, dispatcher: ResilientDispatcher,
+                 confirm_ticks: int = 1) -> None:
+        check_positive("confirm_ticks", confirm_ticks)
+        self.dispatcher = dispatcher
+        self.confirm_ticks = confirm_ticks
+        self._crash_streaks: Dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    def observe(self, now_seconds: float) -> List[int]:
+        """Confirmed-dead replicas after this observation tick.
+
+        A replica is confirmed dead once it has sat inside a crash window
+        for ``confirm_ticks`` consecutive observations — a breaker that
+        merely tripped (OPEN but not crashed) is the breaker's own
+        half-open probe cycle to handle, not the supervisor's.
+        """
+        confirmed: List[int] = []
+        for index, replica in enumerate(self.dispatcher.replicas):
+            if replica.crashed(now_seconds):
+                streak = self._crash_streaks.get(index, 0) + 1
+                self._crash_streaks[index] = streak
+                if streak >= self.confirm_ticks:
+                    confirmed.append(index)
+            else:
+                self._crash_streaks.pop(index, None)
+        return confirmed
+
+    # ------------------------------------------------------------------
+    def heal_moves(self, epoch: PlanEpoch,
+                   dead_nodes: Sequence[int]) -> List[TableMove]:
+        """The re-replication move-set: one move per orphaned table.
+
+        For every table whose owner set intersects the dead nodes, the
+        surviving owners stream a fresh copy to the replacement machines
+        in the dead slots — the owner set itself does not change (the
+        plan did not), which is why this is an explicit override rather
+        than an epoch diff.
+        """
+        dead = set(dead_nodes)
+        moves: List[TableMove] = []
+        for table_id in range(epoch.num_tables):
+            owners = epoch.owners(table_id)
+            lost = tuple(node for node in owners if node in dead)
+            if not lost:
+                continue
+            survivors = tuple(node for node in owners if node not in dead)
+            moves.append(TableMove(
+                table_id=table_id, from_owners=survivors, to_owners=owners,
+                new_owners=lost,
+                bytes_modelled=epoch.footprint_of(table_id) * len(lost)))
+        return moves
+
+    def heal(self, control: EpochControlPlane, dead_nodes: Sequence[int],
+             step_size: int = 4,
+             contention: Optional[BandwidthContentionModel] = None
+             ) -> MigrationEngine:
+        """Issue the heal epoch and the migration that re-replicates it.
+
+        The successor epoch carries the *same* plan (ownership is
+        unchanged; only physical copies are missing), so routing is
+        untouched while the copies stream — the dispatcher keeps
+        excluding the dead slots until the caller replaces them after the
+        migration completes.
+        """
+        if not dead_nodes:
+            raise ValueError("heal needs at least one dead node")
+        source = control.current
+        target = control.advance(source.plan)
+        moves = self.heal_moves(source, dead_nodes)
+        get_registry().counter("autoscale.heals_total").inc()
+        return MigrationEngine(source, target, step_size=step_size,
+                               moves=moves, contention=contention)
+
+    def mark_replaced(self, dead_nodes: Sequence[int]) -> None:
+        """Swap fresh machines into the healed slots; clear obituaries."""
+        for node in dead_nodes:
+            self.dispatcher.replace_replica(node)
+            self._crash_streaks.pop(node, None)

@@ -162,17 +162,27 @@ class EpochControlPlane:
         registry.gauge("cluster.current_epoch").set(nxt.epoch)
         return nxt
 
-    def retire_through(self, epoch_id: int) -> None:
+    def retire_through(self, epoch_id: int,
+                       shrink_dispatcher: bool = False) -> None:
         """Drop epochs <= ``epoch_id`` (their in-flight requests drained).
 
         The current epoch can never be retired: there must always be a
-        plan to route new arrivals by.
+        plan to route new arrivals by. With ``shrink_dispatcher`` the
+        shared dispatcher is trimmed to the widest *surviving* epoch once
+        the retirement lands — the autoscaler's scale-down completion:
+        only after every epoch that routed to the dropped nodes has
+        drained is it safe to release their replica slots. The default
+        keeps the historical grow-only behaviour.
         """
         if epoch_id >= self._current:
             raise ValueError(
                 f"cannot retire the current epoch {self._current}")
         for stale in [e for e in self._epochs if e <= epoch_id]:
             del self._epochs[stale]
+        if shrink_dispatcher and self.dispatcher is not None:
+            span = max(epoch.num_nodes for epoch in self._epochs.values())
+            self.dispatcher.ensure_replicas(
+                max(span, self.dispatcher.min_replicas), allow_shrink=True)
 
     # ------------------------------------------------------------------
     def route(self, table_id: int, epoch: Optional[int] = None,

@@ -29,6 +29,7 @@ makes the whole transition a function of public metadata:
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -90,6 +91,60 @@ class MigrationStep:
     @property
     def bytes_modelled(self) -> int:
         return sum(move.bytes_modelled for move in self.moves)
+
+
+@dataclass(frozen=True)
+class BandwidthContentionModel:
+    """Data-copy traffic contending with serving traffic, per step.
+
+    A migration step streams ``bytes_modelled`` table bytes between nodes
+    over the same fabric the scatter-gather fan-out uses. Instead of
+    treating the copy as free (the pure byte count PR 5 reported), this
+    model prices the contention: the fraction of a step's serving window
+    the copy occupies inflates every request latency in that window by up
+    to ``contention_weight`` (full overlap doubles nothing worse than
+    ``1 + contention_weight``x). The inputs — move-set bytes and the
+    public arrival window — are secret-free, so the inflation is a
+    function of the plan, never of request content.
+    """
+
+    copy_bandwidth_bytes_per_second: float = 12.5e9   # ~100 Gbit/s fabric
+    contention_weight: float = 0.8                    # slowdown at full overlap
+
+    def __post_init__(self) -> None:
+        check_positive("copy_bandwidth_bytes_per_second",
+                       self.copy_bandwidth_bytes_per_second)
+        if not 0.0 <= self.contention_weight:
+            raise ValueError(f"contention_weight must be >= 0, got "
+                             f"{self.contention_weight!r}")
+
+    def copy_seconds(self, bytes_modelled: int) -> float:
+        """Wire time to stream one step's copy bytes."""
+        return bytes_modelled / self.copy_bandwidth_bytes_per_second
+
+    def multiplier(self, bytes_modelled: int,
+                   window_seconds: float) -> float:
+        """Service-latency inflation for a step serving ``window_seconds``.
+
+        ``1 + weight x overlap`` where overlap is the copy time's share of
+        the window, capped at 1 (a copy longer than the window saturates
+        the link for the whole window; it cannot contend more than that).
+        A degenerate zero-length window is treated as fully overlapped —
+        the conservative direction.
+        """
+        copy = self.copy_seconds(bytes_modelled)
+        if copy <= 0.0:
+            return 1.0
+        overlap = 1.0 if window_seconds <= 0.0 else min(
+            1.0, copy / window_seconds)
+        return 1.0 + self.contention_weight * overlap
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "copy_bandwidth_bytes_per_second":
+                self.copy_bandwidth_bytes_per_second,
+            "contention_weight": self.contention_weight,
+        }
 
 
 class MigrationPlanner:
@@ -276,7 +331,10 @@ class MigrationEngine:
 
     def __init__(self, source: PlanEpoch, target: PlanEpoch,
                  step_size: int = 4,
-                 planner: Optional[MigrationPlanner] = None) -> None:
+                 planner: Optional[MigrationPlanner] = None,
+                 moves: Optional[Sequence[TableMove]] = None,
+                 contention: Optional[BandwidthContentionModel] = None
+                 ) -> None:
         check_positive("step_size", step_size)
         if source.num_tables != target.num_tables:
             raise ValueError(
@@ -290,10 +348,24 @@ class MigrationEngine:
         self.target = target
         self.step_size = step_size
         self.planner = planner if planner is not None else MigrationPlanner()
+        # An explicit move list overrides the epoch diff: how a heal
+        # re-replicates a dead node's tables under a plan that did not
+        # change (the epoch diff would be empty). Every override move must
+        # reference a table both epochs place.
+        if moves is not None:
+            for move in moves:
+                if not 0 <= move.table_id < source.num_tables:
+                    raise ValueError(
+                        f"override move references table {move.table_id} "
+                        f"outside the {source.num_tables}-table plan")
+        self._moves_override = (None if moves is None else tuple(moves))
+        self.contention = contention
 
     # ------------------------------------------------------------------
     def move_set(self) -> List[TableMove]:
-        """The minimal move-set: tables whose owner set changed."""
+        """The move-set: the epoch diff, or the explicit override."""
+        if self._moves_override is not None:
+            return list(self._moves_override)
         moves: List[TableMove] = []
         for table_id in range(self.source.num_tables):
             from_owners = self.source.owners(table_id)
@@ -397,15 +469,23 @@ class MigrationEngine:
                 if chunk.size:
                     result = engine.serve(config, RequestQueue(chunk),
                                           policy, owner_map=owner_map)
-                    window.append(result.report.latencies)
+                    latencies = result.report.latencies
+                    shed = result.shed_requests
+                    if self.contention is not None:
+                        latencies, shed, contended = self._apply_contention(
+                            step, chunk, result)
+                        cell.update(contended)
+                    window.append(latencies)
                     report.num_requests += result.num_requests
-                    report.shed_requests += result.shed_requests
+                    report.shed_requests += shed
                     report.unroutable_events += len(
                         result.unroutable_tables)
-                    cell["shed_requests"] = result.shed_requests
+                    cell["shed_requests"] = shed
                     cell["unroutable_tables"] = len(
                         result.unroutable_tables)
-                    cell["p99_seconds"] = result.p99
+                    cell["p99_seconds"] = (
+                        float(np.percentile(latencies, 99))
+                        if self.contention is not None else result.p99)
                 report.step_cells.append(cell)
             if window:
                 report.window_latencies = np.concatenate(window)
@@ -420,6 +500,41 @@ class MigrationEngine:
             registry.gauge("cluster.migration.window_p99_seconds").set(
                 report.window_p99)
         return report
+
+    # ------------------------------------------------------------------
+    def _apply_contention(self, step: MigrationStep, chunk: np.ndarray,
+                          result) -> Tuple[np.ndarray, int,
+                                           Dict[str, object]]:
+        """Inflate one step's service latencies by its copy contention.
+
+        The step's copy bytes occupy the fabric for part of the step's
+        arrival window; the service component (not the queueing component)
+        of every request in the window inflates by the model's multiplier,
+        and requests the inflation pushes past the deadline are shed with
+        censored latencies — so scale events carry a real p99/availability
+        cost instead of a free byte count.
+        """
+        window_seconds = float(chunk[-1] - chunk[0]) if chunk.size > 1 else 0.0
+        multiplier = self.contention.multiplier(step.bytes_modelled,
+                                                window_seconds)
+        queue_delays = result.report.queue_delays
+        inflated = queue_delays + ((result.report.latencies - queue_delays)
+                                   * multiplier)
+        deadline = result.deadline_seconds
+        shed = result.shed_requests
+        if math.isfinite(deadline):
+            # Originally-shed requests sit censored *at* the deadline, so
+            # a strict > recount sees them again once inflated; max()
+            # keeps the count right for a multiplier of exactly 1.
+            shed = max(shed, int(np.count_nonzero(inflated > deadline)))
+            inflated = np.minimum(inflated, deadline)
+        contended = {
+            "copy_seconds": self.contention.copy_seconds(
+                step.bytes_modelled),
+            "window_seconds": window_seconds,
+            "contention_multiplier": multiplier,
+        }
+        return inflated, shed, contended
 
     # ------------------------------------------------------------------
     def degrade_in_flight(self, table_id: int, ladder, cause: str,

@@ -92,6 +92,11 @@ class ClusterServingReport:
     gather_overhead_seconds: float = 0.0
     capacity_rps: float = 0.0                    # saturated pipeline capacity
     shard_batch_latency_seconds: Dict[int, float] = field(default_factory=dict)
+    # Autoscale event counters the control loop stamps on interval reports;
+    # like every other counter they SUM under :meth:`merge`.
+    scale_up_events: int = 0
+    scale_down_events: int = 0
+    heal_events: int = 0
 
     # ------------------------------------------------------------------
     @property
@@ -148,10 +153,79 @@ class ClusterServingReport:
     def sla_violations(self, sla_seconds: float) -> int:
         return int(np.count_nonzero(self.report.latencies > sla_seconds))
 
+    def utilisation(self, offered_rps: float) -> float:
+        """Offered load over provisioned capacity, NaN/inf-free.
+
+        A zero-capacity report (nothing routable, or a fleet moment priced
+        before any shard came up) reports 0.0 rather than dividing — the
+        caller that needs "is demand outrunning a dead fleet" reads
+        ``capacity_rps == 0`` directly.
+        """
+        if self.capacity_rps <= 0.0 or offered_rps < 0.0:
+            return 0.0
+        return offered_rps / self.capacity_rps
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def merge(cls, reports: Sequence["ClusterServingReport"]
+              ) -> "ClusterServingReport":
+        """Aggregate interval reports into one fleet-wide view.
+
+        Counters — requests, shed requests, and the autoscale event
+        counters — are **summed, never averaged**; latency arrays
+        concatenate through :meth:`ServingReport.merge` so merged
+        percentiles are percentiles of the union. ``capacity_rps`` is the
+        max across constituents (peak provisioned capacity — capacities of
+        the *same* fleet at different moments do not add), which also
+        makes a zero-capacity constituent merge cleanly: no division, no
+        NaN, no inf. Per-node shard reports merge node-wise and
+        assignments union.
+        """
+        if not reports:
+            raise ValueError("merge needs at least one report")
+        shard_groups: Dict[int, List[ServingReport]] = {}
+        assignment: Dict[int, set] = {}
+        for interval in reports:
+            for node, shard in interval.shard_reports.items():
+                shard_groups.setdefault(node, []).append(shard)
+            for node, tables in interval.assignment.items():
+                assignment.setdefault(node, set()).update(tables)
+        unroutable = sorted({table for interval in reports
+                             for table in interval.unroutable_tables})
+        finite_deadlines = [r.deadline_seconds for r in reports
+                            if math.isfinite(r.deadline_seconds)]
+        return cls(
+            report=ServingReport.merge([r.report for r in reports]),
+            fleet=ServingReport.merge([r.fleet for r in reports]),
+            shard_reports={node: ServingReport.merge(group)
+                           for node, group in shard_groups.items()},
+            assignment={node: tuple(sorted(tables))
+                        for node, tables in assignment.items()},
+            unroutable_tables=tuple(unroutable),
+            shed_requests=sum(r.shed_requests for r in reports),
+            deadline_seconds=(max(finite_deadlines) if finite_deadlines
+                              else math.inf),
+            gather_overhead_seconds=max(r.gather_overhead_seconds
+                                        for r in reports),
+            capacity_rps=max(r.capacity_rps for r in reports),
+            shard_batch_latency_seconds={
+                node: max(r.shard_batch_latency_seconds.get(node, 0.0)
+                          for r in reports)
+                for node in sorted({n for r in reports
+                                    for n in r.shard_batch_latency_seconds})},
+            scale_up_events=sum(r.scale_up_events for r in reports),
+            scale_down_events=sum(r.scale_down_events for r in reports),
+            heal_events=sum(r.heal_events for r in reports))
+
     # ------------------------------------------------------------------
     def to_dict(self, sla_seconds: Optional[float] = None
                 ) -> Dict[str, object]:
-        """JSON-stable digest: simulated quantities only."""
+        """JSON-stable digest: simulated quantities only, NaN/inf-free.
+
+        Safe under ``json.dumps(..., allow_nan=False)`` for every report
+        the engine can produce — including zero-capacity cells and
+        deadline-free runs (an infinite deadline serialises as ``None``).
+        """
         digest: Dict[str, object] = {
             "num_requests": self.report.num_requests,
             "num_shards": self.num_shards,
@@ -160,7 +234,9 @@ class ClusterServingReport:
             "unroutable_tables": list(self.unroutable_tables),
             "shed_requests": self.shed_requests,
             "availability": self.availability,
-            "deadline_seconds": self.deadline_seconds,
+            "deadline_seconds": (self.deadline_seconds
+                                 if math.isfinite(self.deadline_seconds)
+                                 else None),
             "p50_seconds": self.p50,
             "p95_seconds": self.p95,
             "p99_seconds": self.p99,
@@ -170,6 +246,9 @@ class ClusterServingReport:
             "fleet_batches": self.fleet.num_batches,
             "cluster_throughput_rps": self.cluster_throughput(),
             "capacity_rps": self.capacity_rps,
+            "scale_up_events": self.scale_up_events,
+            "scale_down_events": self.scale_down_events,
+            "heal_events": self.heal_events,
             "shard_batch_latency_seconds": {
                 str(node): latency for node, latency
                 in sorted(self.shard_batch_latency_seconds.items())},

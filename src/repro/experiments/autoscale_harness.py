@@ -1,0 +1,58 @@
+"""Autoscale harness: the self-healing elastic storm, gated.
+
+Not a paper figure — the scaling extension. Runs the
+:mod:`repro.cluster.autoscale` storm (load ramp to saturation, node kill
+in the trough, scale-up / heal / scale-down through audited plan-epoch
+migrations) and tabulates the per-interval signals, decisions and gate
+verdicts.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.reporting import ExperimentResult
+
+
+def run(seed: int = 0) -> ExperimentResult:
+    from repro.cluster.autoscale.sim import run_autoscale
+
+    report = run_autoscale(seed=seed)
+    result = ExperimentResult(
+        experiment_id="autoscale",
+        title=f"{report['spec']}: self-healing elastic autoscaling "
+              f"(seed={seed}, {report['ticks']} ticks x "
+              f"{report['interval_seconds']:.2f}s, "
+              f"R={report['replication']}, kill@t{report['kill_tick']})",
+        headers=("tick", "kind", "offered", "achieved", "util", "nodes",
+                 "p99_ms", "shed", "decision"),
+    )
+    for cell in report["intervals"]:
+        signals = cell["signals"]
+        decision = cell["decision"]
+        verdict = decision["action"]
+        if decision["action"] in ("scale-up", "scale-down"):
+            verdict += (f" {decision['current_nodes']}->"
+                        f"{decision['target_nodes']}")
+        elif decision["action"] == "blocked":
+            verdict += f" ({decision['reason']})"
+        result.add_row(cell["tick"],
+                       cell["kind"] + (" KILL" if cell["killed"] else ""),
+                       f"{signals['offered_rps']:.0f}",
+                       f"{signals['achieved_rps']:.0f}",
+                       f"{signals['utilisation']:.2f}",
+                       signals["current_nodes"],
+                       f"{cell['p99_seconds'] * 1e3:.2f}",
+                       cell["shed_requests"], verdict)
+    events = report["events"]
+    gates = report["gates"]
+    result.notes = (
+        f"events: up={events['scale_up_events']} "
+        f"down={events['scale_down_events']} "
+        f"heal={events['heal_events']}; converged@t"
+        f"{report['converged_tick']} (peak@t{report['first_peak_tick']}); "
+        f"final nodes={report['final_nodes']}; gates: "
+        + ", ".join(f"{name} {'PASS' if ok else 'FAIL'}"
+                    for name, ok in gates.items() if name != "passed")
+        + "; scale decisions read secret-free aggregates only — the "
+          "decision trace replays byte-identically under contrasting "
+          "skews, and the hot-load-chasing anti-pattern is caught")
+    return result

@@ -5,6 +5,7 @@ from __future__ import annotations
 from typing import Callable, Dict, List
 
 from repro.experiments import (
+    autoscale_harness,
     cache_harness,
     chaos_harness,
     cluster_harness,
@@ -61,6 +62,7 @@ EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
     "cluster": cluster_harness.run,
     "lazy": lazy_harness.run,
     "migrate": migration_harness.run,
+    "autoscale": autoscale_harness.run,
 }
 
 

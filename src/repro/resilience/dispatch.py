@@ -67,23 +67,54 @@ class ResilientDispatcher:
     # ------------------------------------------------------------------
     # Fleet resizing (plan-epoch carry-over)
     # ------------------------------------------------------------------
-    def ensure_replicas(self, num_replicas: int) -> None:
-        """Grow the fleet in place, preserving existing per-replica state.
+    def ensure_replicas(self, num_replicas: int,
+                        allow_shrink: bool = False) -> None:
+        """Resize the fleet in place, preserving existing per-replica state.
 
         A plan-epoch transition that adds nodes must NOT reset the
         surviving replicas' breakers and crash windows — a node that was
         evicted before the epoch change is still evicted after it. New
-        replicas join healthy (breaker CLOSED). Shrinking is a no-op:
-        epochs that drop nodes simply stop routing to them, and their
-        state stays around in case a later epoch re-adds them.
+        replicas join healthy (breaker CLOSED). Shrinking is a no-op
+        unless ``allow_shrink`` is set: epochs that drop nodes simply stop
+        routing to them, and their state stays around in case a later
+        epoch re-adds them. The autoscaler's scale-down path passes
+        ``allow_shrink=True`` *after* the scaled-down epochs retire (no
+        live epoch routes to the dropped slots any more); the trailing
+        slots are released, and a later scale-up re-adds fresh, healthy
+        replicas — a decommissioned machine does not come back with its
+        old breaker history. The fleet never shrinks below
+        ``min_replicas``.
         """
         check_positive("num_replicas", num_replicas)
-        if num_replicas <= self.num_replicas:
-            return
-        self.replicas.extend(
-            ReplicaState(CircuitBreaker(self._breaker_config))
-            for _ in range(num_replicas - self.num_replicas))
-        self.num_replicas = num_replicas
+        if num_replicas > self.num_replicas:
+            self.replicas.extend(
+                ReplicaState(CircuitBreaker(self._breaker_config))
+                for _ in range(num_replicas - self.num_replicas))
+            self.num_replicas = num_replicas
+        elif allow_shrink and num_replicas < self.num_replicas:
+            if num_replicas < self.min_replicas:
+                raise ValueError(
+                    f"cannot shrink to {num_replicas} replicas below "
+                    f"min_replicas {self.min_replicas}")
+            del self.replicas[num_replicas:]
+            self.num_replicas = num_replicas
+            self._cursor %= num_replicas
+
+    def replace_replica(self, replica: int) -> None:
+        """Swap a fresh machine into a dead slot (the supervisor's heal).
+
+        The replacement joins healthy — new breaker, no crash window, zero
+        dispatch/failure counters — because it *is* a different machine;
+        carrying the corpse's breaker history over would keep the slot
+        evicted after the heal completed.
+        """
+        if not 0 <= replica < self.num_replicas:
+            raise IndexError(
+                f"replica {replica} out of range for a fleet of "
+                f"{self.num_replicas}")
+        self.replicas[replica] = ReplicaState(
+            CircuitBreaker(self._breaker_config))
+        get_registry().counter("resilience.replacements_total").inc()
 
     # ------------------------------------------------------------------
     # Admission / selection
@@ -200,6 +231,35 @@ class ResilientDispatcher:
         registry.gauge("breaker.state").set(worst)
         registry.gauge("resilience.healthy_replicas").set(
             self.healthy_count(now_seconds))
+
+    def health_summary(self, now_seconds: float) -> Dict[str, int]:
+        """Aggregate, secret-free fleet health counts.
+
+        This is the only dispatcher view the autoscale control loop reads:
+        whole-fleet counts, never per-request or per-table state, so a
+        scale decision derived from it cannot encode anything about
+        request content. ``crashed`` counts replicas inside a crash
+        window; ``open_breakers``/``half_open_breakers`` count breaker
+        states at ``now_seconds``.
+        """
+        from repro.resilience.breaker import HALF_OPEN, OPEN
+
+        open_breakers = half_open = crashed = 0
+        for replica in self.replicas:
+            if replica.crashed(now_seconds):
+                crashed += 1
+            state = replica.breaker.state(now_seconds)
+            if state == OPEN:
+                open_breakers += 1
+            elif state == HALF_OPEN:
+                half_open += 1
+        return {
+            "num_replicas": self.num_replicas,
+            "healthy": self.healthy_count(now_seconds),
+            "open_breakers": open_breakers,
+            "half_open_breakers": half_open,
+            "crashed": crashed,
+        }
 
     def snapshot(self, now_seconds: float) -> Dict[str, object]:
         """JSON-ready fleet health view."""

@@ -70,16 +70,30 @@ class ResiliencePolicy:
 def execute_with_resilience(batches: Sequence, arrivals: np.ndarray,
                             service_seconds: float,
                             policy: ResiliencePolicy,
-                            dispatcher: Optional[ResilientDispatcher] = None
+                            dispatcher: Optional[ResilientDispatcher] = None,
+                            batch_service_seconds:
+                            Optional[Sequence[float]] = None
                             ) -> Dict[str, object]:
     """Execute a batch schedule under a fault plan.
 
     ``batches`` is the :class:`~repro.serving.batcher.DynamicBatcher`
     output (fault-free admission schedule); ``service_seconds`` the priced
-    per-batch service time. Returns per-request ``queue_delays`` and
-    ``service_latencies`` plus the fault-run accounting that
+    per-batch service time. ``batch_service_seconds`` optionally overrides
+    it per batch — how a cached engine composes with resilience: the cache
+    declares each batch's fault-free executed time (hits cheaper than the
+    scheduled slot, a first batch carrying setup dearer), faults stack on
+    top of that baseline, and the slip a batch contributes is measured
+    against its *own* baseline, so a fault-free run reproduces the cached
+    plain engine's arrays bit-for-bit. Returns per-request
+    ``queue_delays`` and ``service_latencies`` plus the fault-run
+    accounting that
     :class:`~repro.resilience.report.ResilientServingReport` carries.
     """
+    if (batch_service_seconds is not None
+            and len(batch_service_seconds) != len(batches)):
+        raise ValueError(
+            f"batch_service_seconds has {len(batch_service_seconds)} "
+            f"entries for {len(batches)} batches")
     injector = policy.injector
     retry = policy.retry
     if dispatcher is None:
@@ -96,9 +110,11 @@ def execute_with_resilience(batches: Sequence, arrivals: np.ndarray,
     crash_events = 0
     transient_faults = 0
     spike_events = 0
-    service_current = service_seconds
+    repriced_service = None  # degradation-ladder override, once set
 
     for index, batch in enumerate(batches):
+        base = (service_seconds if batch_service_seconds is None
+                else float(batch_service_seconds[index]))
         window = slice(batch.first, batch.last)
         start = batch.start_seconds + slip
         queue_delays[window] = start - arrivals[window]
@@ -109,10 +125,12 @@ def execute_with_resilience(batches: Sequence, arrivals: np.ndarray,
                 event = policy.ladder.record_pressure("stash-pressure",
                                                       index)
                 if event is not None and policy.reprice is not None:
-                    service_current = policy.reprice(
+                    repriced_service = policy.reprice(
                         policy.ladder.current_technique)
             else:
                 policy.ladder.record_recovery()
+        service_current = (base if repriced_service is None
+                           else repriced_service)
 
         deadline = (retry.deadline_for(float(arrivals[batch.first]))
                     if policy.sheds_on_deadline else math.inf)
@@ -173,7 +191,7 @@ def execute_with_resilience(batches: Sequence, arrivals: np.ndarray,
             elapsed = (max(0.0, deadline - start)
                        if math.isfinite(deadline) else waited)
         service_latencies[window] = elapsed
-        slip += max(0.0, elapsed - service_seconds)
+        slip += max(0.0, elapsed - base)
 
     stats = {
         "attempts_total": attempts_total,

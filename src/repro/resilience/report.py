@@ -106,4 +106,7 @@ class ResilientServingReport(ServingReport):
                    batch_time_total=report.batch_time_total,
                    queue_delays=report.queue_delays,
                    service_latencies=report.service_latencies,
+                   cache_hits=report.cache_hits,
+                   cache_misses=report.cache_misses,
+                   cache_bytes_resident=report.cache_bytes_resident,
                    **extras)

@@ -70,10 +70,6 @@ class ExecutionEngine:
         if not table_sizes:
             raise ValueError("engine needs at least one sparse feature")
         check_positive("embedding_dim", embedding_dim)
-        if cache is not None and resilience is not None:
-            raise ValueError(
-                "cache and resilience cannot be combined on one engine yet; "
-                "serve the cached and the fault-injected paths separately")
         self.table_sizes = tuple(table_sizes)
         self.embedding_dim = embedding_dim
         self.uniform_shape = uniform_shape
@@ -221,6 +217,14 @@ class ExecutionEngine:
         forecast; per-batch *executed* time is where hits pay off. The
         uncached :meth:`serve` path is untouched — byte-identical to the
         pre-cache engine.
+
+        When a :class:`~repro.resilience.policy.ResiliencePolicy` is also
+        set, the cache's per-batch executed times become the fault-free
+        baseline the resilient executor stacks retries/crashes/hedges on
+        (``batch_service_seconds``). Cache counters reflect the admission
+        plan and the scheduled batch stream — a retried batch replays its
+        already-resolved executed time rather than re-consulting the
+        cache, so counters stay a function of the public schedule alone.
         """
         from repro.cache.policy import BatchMetadata
 
@@ -238,8 +242,6 @@ class ExecutionEngine:
                 batches = DynamicBatcher(policy).schedule(
                     queue.arrivals, lambda size: service)
             setup = cache.serve_setup_seconds()
-            queue_delays = np.empty(len(queue), dtype=np.float64)
-            service_latencies = np.empty(len(queue), dtype=np.float64)
             executed_times: List[float] = []
             epoch_len = cache.epoch_seconds
             per_epoch_counts: dict = {}
@@ -254,11 +256,22 @@ class ExecutionEngine:
                 executed = cache.batch_seconds(meta)
                 if position == 0:
                     executed += setup
-                window = slice(batch.first, batch.last)
-                queue_delays[window] = (batch.start_seconds
-                                        - queue.arrivals[window])
-                service_latencies[window] = executed
                 executed_times.append(executed)
+            if self.resilience is not None:
+                stats = self._execute_resilient(
+                    batches, queue.arrivals, service, registry,
+                    batch_service_seconds=executed_times)
+                queue_delays = stats.pop("queue_delays")
+                service_latencies = stats.pop("service_latencies")
+            else:
+                stats = None
+                queue_delays = np.empty(len(queue), dtype=np.float64)
+                service_latencies = np.empty(len(queue), dtype=np.float64)
+                for batch, executed in zip(batches, executed_times):
+                    window = slice(batch.first, batch.last)
+                    queue_delays[window] = (batch.start_seconds
+                                            - queue.arrivals[window])
+                    service_latencies[window] = executed
             with registry.span("serve.allocate"):
                 scans, dhes = self.allocation_counts(config)
             busy_time = math.fsum(executed_times)
@@ -270,17 +283,24 @@ class ExecutionEngine:
             cache_hits=after.hits - before.hits,
             cache_misses=after.misses - before.misses,
             cache_bytes_resident=after.bytes_resident)
+        if stats is not None:
+            from repro.resilience.report import ResilientServingReport
+
+            report = ResilientServingReport.from_serving_report(
+                report, **stats["stats"])
         self._report_serve(registry, report)
         return report
 
-    def _execute_resilient(self, batches, arrivals, service, registry):
+    def _execute_resilient(self, batches, arrivals, service, registry,
+                           batch_service_seconds=None):
         """Run the schedule through the fault-aware executor (lazy import)."""
         from repro.resilience.policy import execute_with_resilience
 
         with registry.span("serve.resilient_execute",
                            batches=len(batches)):
-            result = execute_with_resilience(batches, arrivals, service,
-                                             self.resilience)
+            result = execute_with_resilience(
+                batches, arrivals, service, self.resilience,
+                batch_service_seconds=batch_service_seconds)
         return {"queue_delays": result["queue_delays"],
                 "service_latencies": result["service_latencies"],
                 "stats": result["stats"]}

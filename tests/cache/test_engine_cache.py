@@ -102,12 +102,68 @@ class TestEngineCaching:
         assert mirror.cache_hits == primary.cache_misses
         assert mirror.p50 < primary.p50
 
-    def test_cache_plus_resilience_rejected(self, thresholds):
-        from repro.resilience import ResiliencePolicy
+    def test_cache_composes_with_inert_resilience_bit_for_bit(
+            self, thresholds, config, arrivals):
+        # Pin: cache + a fault-free ResiliencePolicy() is byte-identical to
+        # the cached plain engine — the resilient executor adds nothing
+        # when no faults fire (slip stays 0.0, hedges never trigger).
+        import numpy as np
 
-        with pytest.raises(ValueError, match="cannot be combined"):
-            make_engine(thresholds, cache=CachePolicy("static-residency"),
-                        resilience=ResiliencePolicy())
+        from repro.resilience import ResiliencePolicy
+        from repro.resilience.report import ResilientServingReport
+
+        plain = make_engine(
+            thresholds,
+            cache=CachePolicy("static-residency")).serve(config, arrivals)
+        composed = make_engine(
+            thresholds, cache=CachePolicy("static-residency"),
+            resilience=ResiliencePolicy()).serve(config, arrivals)
+        assert isinstance(composed, ResilientServingReport)
+        assert np.array_equal(composed.latencies, plain.latencies)
+        assert np.array_equal(composed.queue_delays, plain.queue_delays)
+        assert np.array_equal(composed.service_latencies,
+                              plain.service_latencies)
+        # The composed report carries BOTH cache counters and fault stats.
+        assert composed.cache_hits == plain.cache_hits
+        assert composed.cache_misses == plain.cache_misses
+        assert composed.tracks_cache
+        assert composed.retries_total == 0
+        assert composed.shed_requests == 0
+        assert composed.availability == 1.0
+
+    def test_empty_cache_plus_resilience_matches_uncached(
+            self, thresholds, config, arrivals):
+        # Pin: a cache that admits nothing leaves every batch at its
+        # uncached service time, so cache + resilience is byte-identical
+        # to the uncached resilient engine — faults and all.
+        import numpy as np
+
+        from repro.resilience import ResiliencePolicy
+        from repro.resilience.faults import (
+            FaultInjector,
+            LatencySpikeFault,
+            TransientErrorFault,
+        )
+
+        def policy():
+            return ResiliencePolicy(injector=FaultInjector(
+                seed=5,
+                spike=LatencySpikeFault(probability=0.2, multiplier=3.0),
+                transient=TransientErrorFault(probability=0.15)))
+
+        uncached = make_engine(
+            thresholds, resilience=policy()).serve(config, arrivals)
+        composed = make_engine(
+            thresholds,
+            cache=CachePolicy("static-residency", budget_bytes=1),
+            resilience=policy()).serve(config, arrivals)
+        assert composed.cache_hits == 0
+        assert np.array_equal(composed.latencies, uncached.latencies)
+        assert np.array_equal(composed.queue_delays, uncached.queue_delays)
+        assert np.array_equal(composed.service_latencies,
+                              uncached.service_latencies)
+        assert composed.retries_total == uncached.retries_total
+        assert composed.spike_events == uncached.spike_events
 
     def test_closed_loop_serve_uses_the_cache_too(self, thresholds, config):
         # serve_closed funnels through serve(), so a cached engine is

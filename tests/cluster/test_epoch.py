@@ -29,7 +29,7 @@ def plans(thresholds):
 
     config = ServingConfig(batch_size=32, threads=1)
     return {nodes: planner.for_nodes(nodes).plan(SIZES, config)
-            for nodes in (4, 5)}
+            for nodes in (3, 4, 5)}
 
 
 class TestPlanEpoch:
@@ -118,6 +118,76 @@ class TestControlPlane:
         control = EpochControlPlane(PlanEpoch.create(0, plans[4]))
         with pytest.raises(ValueError, match="cannot retire the current"):
             control.retire_through(0)
+
+
+class TestRapidDerivation:
+    """ISSUE 8 satellite: back-to-back epoch derivations with in-flight
+    traffic — each epoch routes by its own owner map until it drains, and
+    only retirement makes it unknown."""
+
+    def _three_epochs(self, plans, dispatcher=None):
+        control = EpochControlPlane(PlanEpoch.create(0, plans[3],
+                                                     replication=2),
+                                    dispatcher=dispatcher)
+        control.advance(plans[4], replication=2)
+        control.advance(plans[5], replication=2)
+        return control
+
+    def test_three_back_to_back_epochs_stay_live(self, plans):
+        control = self._three_epochs(plans)
+        assert control.live_epochs == [0, 1, 2]
+        assert control.current.epoch == 2
+        assert [control.epoch(e).num_nodes for e in (0, 1, 2)] == [3, 4, 5]
+
+    def test_in_flight_traffic_routes_by_origin_epoch(self, plans):
+        control = self._three_epochs(plans)
+        epochs = {e: control.epoch(e) for e in (0, 1, 2)}
+        # requests that arrived under each epoch keep that epoch's owners,
+        # even while two newer plans are already live
+        for table_id in range(NUM_TABLES):
+            for epoch_id, plan_epoch in epochs.items():
+                assert control.route(table_id, epoch=epoch_id) == \
+                    plan_epoch.owners(table_id)[0]
+
+    def test_drain_then_retire_in_order(self, plans):
+        control = self._three_epochs(plans)
+        control.retire_through(0)
+        assert control.live_epochs == [1, 2]
+        # epoch 1 traffic still in flight: must stay routable
+        assert control.route(0, epoch=1) is not None
+        control.retire_through(1)
+        assert control.live_epochs == [2]
+
+    def test_unknown_only_after_retirement(self, plans):
+        control = self._three_epochs(plans)
+        assert control.epoch(0).epoch == 0  # live before retirement
+        control.retire_through(1)
+        for stale in (0, 1):
+            with pytest.raises(UnknownEpochError):
+                control.epoch(stale)
+            with pytest.raises(UnknownEpochError):
+                control.route(0, epoch=stale)
+        assert control.route(0, epoch=2) is not None
+
+    def test_retire_through_skips_already_retired(self, plans):
+        control = self._three_epochs(plans)
+        control.retire_through(0)
+        control.retire_through(0)  # idempotent: nothing <= 0 is live
+        assert control.live_epochs == [1, 2]
+
+    def test_shrink_waits_for_the_widest_live_epoch(self, plans):
+        # Scale-down cutover: 5 -> 4 nodes. The dispatcher may only give
+        # up slot 4 once no live epoch routes to it.
+        dispatcher = ResilientDispatcher(num_replicas=3, min_replicas=2)
+        control = self._three_epochs(plans, dispatcher=dispatcher)
+        assert dispatcher.num_replicas == 5  # advance() grew the fleet
+        down = control.advance(plans[4], replication=2)
+        assert down.epoch == 3
+        control.retire_through(1, shrink_dispatcher=True)
+        # epoch 2 (5 nodes) is still draining: no shrink yet
+        assert dispatcher.num_replicas == 5
+        control.retire_through(2, shrink_dispatcher=True)
+        assert dispatcher.num_replicas == 4
 
 
 class TestDispatcherCarryOver:

@@ -180,6 +180,124 @@ class TestExecute:
             "cluster.migration.window_p99_seconds"] == report.window_p99
 
 
+class TestBandwidthContention:
+    """ISSUE 8: the copy traffic prices latency, not just bytes."""
+
+    def test_multiplier_scales_with_overlap(self):
+        from repro.cluster.migration import BandwidthContentionModel
+
+        model = BandwidthContentionModel(
+            copy_bandwidth_bytes_per_second=1e9, contention_weight=0.8)
+        assert model.copy_seconds(5e8) == pytest.approx(0.5)
+        # half the window occupied -> half the weight
+        assert model.multiplier(int(5e8), 1.0) == pytest.approx(1.4)
+        # copy longer than the window saturates at 1 + weight
+        assert model.multiplier(int(4e9), 1.0) == pytest.approx(1.8)
+
+    def test_zero_copy_is_free(self):
+        from repro.cluster.migration import BandwidthContentionModel
+
+        assert BandwidthContentionModel().multiplier(0, 1.0) == 1.0
+
+    def test_zero_window_is_conservative(self):
+        from repro.cluster.migration import BandwidthContentionModel
+
+        model = BandwidthContentionModel(contention_weight=0.5)
+        assert model.multiplier(1024, 0.0) == pytest.approx(1.5)
+
+    def test_validation(self):
+        from repro.cluster.migration import BandwidthContentionModel
+
+        with pytest.raises(ValueError, match="copy_bandwidth"):
+            BandwidthContentionModel(copy_bandwidth_bytes_per_second=0.0)
+        with pytest.raises(ValueError, match="contention_weight"):
+            BandwidthContentionModel(contention_weight=-0.1)
+
+    def test_default_engine_is_contention_free(self, epochs, migrator,
+                                               thresholds, config):
+        # contention=None keeps PR 5's output bit-for-bit: the model is
+        # opt-in, so existing migration reports do not shift.
+        from repro.cluster.migration import BandwidthContentionModel
+
+        engine = ScatterGatherEngine(
+            SIZES, DIM, DLRM_DHE_UNIFORM_64, thresholds,
+            epochs[0].router, retry=RetryPolicy(deadline_seconds=0.5))
+        policy = BatchingPolicy(max_batch_size=BATCH,
+                                max_wait_seconds=0.002)
+        plain = migrator.execute(engine, config,
+                                 RequestQueue.poisson(96, 2000.0, rng=0),
+                                 policy)
+        priced = MigrationEngine(
+            *epochs, step_size=4,
+            contention=BandwidthContentionModel()).execute(
+                engine, config, RequestQueue.poisson(96, 2000.0, rng=0),
+                policy)
+        assert "contention_multiplier" not in plain.step_cells[0]
+        assert plain.window_p99 <= priced.window_p99
+        for cell in priced.step_cells:
+            assert cell["contention_multiplier"] >= 1.0
+            assert cell["copy_seconds"] >= 0.0
+            assert "window_seconds" in cell
+
+    def test_contention_inflates_service_not_queueing(self, epochs,
+                                                      thresholds, config):
+        # A fat pipe (fast copy) inflates less than a thin one.
+        from repro.cluster.migration import BandwidthContentionModel
+
+        engine = ScatterGatherEngine(
+            SIZES, DIM, DLRM_DHE_UNIFORM_64, thresholds,
+            epochs[0].router, retry=RetryPolicy(deadline_seconds=0.5))
+        policy = BatchingPolicy(max_batch_size=BATCH,
+                                max_wait_seconds=0.002)
+
+        def run(bandwidth):
+            migrator = MigrationEngine(
+                *epochs, step_size=4,
+                contention=BandwidthContentionModel(
+                    copy_bandwidth_bytes_per_second=bandwidth))
+            return migrator.execute(
+                engine, config, RequestQueue.poisson(96, 2000.0, rng=0),
+                policy)
+
+        fat, thin = run(12.5e9), run(1e8)
+        assert thin.window_p99 > fat.window_p99
+        assert all(t["contention_multiplier"]
+                   >= f["contention_multiplier"]
+                   for t, f in zip(thin.step_cells, fat.step_cells))
+
+    def test_inflated_past_deadline_is_shed_and_censored(self, epochs,
+                                                         thresholds,
+                                                         config):
+        from repro.cluster.migration import BandwidthContentionModel
+
+        engine = ScatterGatherEngine(
+            SIZES, DIM, DLRM_DHE_UNIFORM_64, thresholds,
+            epochs[0].router,
+            retry=RetryPolicy(deadline_seconds=0.0105))
+        policy = BatchingPolicy(max_batch_size=BATCH,
+                                max_wait_seconds=0.002)
+        arrivals = RequestQueue.poisson(96, 2000.0, rng=0)
+        plain = MigrationEngine(*epochs, step_size=4).execute(
+            engine, config, arrivals, policy)
+        squeezed = MigrationEngine(
+            *epochs, step_size=4,
+            contention=BandwidthContentionModel(
+                copy_bandwidth_bytes_per_second=1e8,
+                contention_weight=5.0)).execute(
+                    engine, config, arrivals, policy)
+        assert squeezed.shed_requests > plain.shed_requests
+        assert squeezed.window_latencies.max() <= 0.0105 + 1e-12
+
+    def test_override_moves_must_reference_placed_tables(self, epochs):
+        from repro.cluster.migration import TableMove
+
+        bogus = TableMove(table_id=NUM_TABLES, from_owners=(0,),
+                          to_owners=(1,), new_owners=(1,),
+                          bytes_modelled=1)
+        with pytest.raises(ValueError, match="outside"):
+            MigrationEngine(*epochs, moves=[bogus])
+
+
 class TestMigrationAudit:
     def test_compliant_planner_passes(self, migrator):
         finding = check_oblivious_migration(migrator)

@@ -217,3 +217,109 @@ class TestAllShedGuards:
         assert "NaN" not in text
         assert payload["sla_attainment"] == 0.0
         assert payload["p99_seconds"] <= 0.001 + 1e-12
+
+
+class TestZeroCapacityEdge:
+    """ISSUE 8 satellite: a zero-capacity cell must never divide."""
+
+    def _zero_capacity(self, thresholds, config, arrivals, policy):
+        import dataclasses
+
+        result = make_engine(thresholds, config).serve(config, arrivals,
+                                                       policy)
+        return dataclasses.replace(result, capacity_rps=0.0)
+
+    def test_utilisation_is_zero_not_inf(self, thresholds, config, arrivals,
+                                         policy):
+        result = self._zero_capacity(thresholds, config, arrivals, policy)
+        assert result.utilisation(8000.0) == 0.0
+        assert result.utilisation(0.0) == 0.0
+        assert result.utilisation(-1.0) == 0.0
+
+    def test_to_dict_survives_allow_nan_false(self, thresholds, config,
+                                              arrivals, policy):
+        import json
+
+        result = self._zero_capacity(thresholds, config, arrivals, policy)
+        json.dumps(result.to_dict(sla_seconds=0.020), allow_nan=False)
+
+    def test_infinite_deadline_serialises_as_none(self, thresholds, config,
+                                                  arrivals, policy):
+        import dataclasses
+        import json
+        import math
+
+        result = make_engine(thresholds, config).serve(config, arrivals,
+                                                       policy)
+        free = dataclasses.replace(result, deadline_seconds=math.inf)
+        payload = free.to_dict()
+        json.dumps(payload, allow_nan=False)
+        assert payload["deadline_seconds"] is None
+
+
+class TestMergeCounters:
+    """ISSUE 8 satellite: autoscale counters SUM under merge."""
+
+    def _intervals(self, thresholds, config, policy, count=3):
+        engine = make_engine(thresholds, config)
+        return [engine.serve(config,
+                             RequestQueue.poisson(32, 2000.0, rng=i),
+                             policy)
+                for i in range(count)]
+
+    def test_event_counters_sum_never_average(self, thresholds, config,
+                                              policy):
+        from repro.cluster.scatter import ClusterServingReport
+
+        intervals = self._intervals(thresholds, config, policy)
+        intervals[0].scale_up_events = 2
+        intervals[1].scale_up_events = 1
+        intervals[1].scale_down_events = 1
+        intervals[2].heal_events = 3
+        merged = ClusterServingReport.merge(intervals)
+        assert merged.scale_up_events == 3
+        assert merged.scale_down_events == 1
+        assert merged.heal_events == 3
+        digest = merged.to_dict()
+        assert digest["scale_up_events"] == 3
+        assert digest["heal_events"] == 3
+
+    def test_requests_and_sheds_sum(self, thresholds, config, policy):
+        from repro.cluster.scatter import ClusterServingReport
+
+        intervals = self._intervals(thresholds, config, policy)
+        merged = ClusterServingReport.merge(intervals)
+        assert merged.num_requests == sum(r.num_requests for r in intervals)
+        assert merged.shed_requests == sum(r.shed_requests
+                                           for r in intervals)
+
+    def test_capacity_is_peak_and_zero_merges_cleanly(self, thresholds,
+                                                      config, policy):
+        import dataclasses
+        import json
+
+        from repro.cluster.scatter import ClusterServingReport
+
+        intervals = self._intervals(thresholds, config, policy, count=2)
+        dead = dataclasses.replace(intervals[0], capacity_rps=0.0)
+        merged = ClusterServingReport.merge([dead, intervals[1]])
+        assert merged.capacity_rps == intervals[1].capacity_rps
+        json.dumps(merged.to_dict(sla_seconds=0.020), allow_nan=False)
+
+    def test_merged_percentiles_are_union_percentiles(self, thresholds,
+                                                      config, policy):
+        import numpy as np
+
+        from repro.cluster.scatter import ClusterServingReport
+
+        intervals = self._intervals(thresholds, config, policy)
+        merged = ClusterServingReport.merge(intervals)
+        union = np.concatenate([r.report.latencies for r in intervals])
+        assert merged.p99 == pytest.approx(
+            float(np.percentile(union, 99.0)))
+
+    def test_empty_merge_rejected(self):
+        from repro.cluster.scatter import ClusterServingReport
+
+        with pytest.raises(ValueError, match="at least one report"):
+            ClusterServingReport.merge([])

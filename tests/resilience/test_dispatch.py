@@ -163,3 +163,88 @@ class TestFleetResizing:
         dispatcher = ResilientDispatcher(num_replicas=2)
         with pytest.raises(ValueError):
             dispatcher.ensure_replicas(0)
+
+
+class TestElasticShrink:
+    def test_allow_shrink_releases_trailing_slots(self):
+        dispatcher = ResilientDispatcher(num_replicas=5, min_replicas=2)
+        dispatcher.ensure_replicas(3, allow_shrink=True)
+        assert dispatcher.num_replicas == 3
+        assert dispatcher.admitted(0.0) == [0, 1, 2]
+
+    def test_shrink_below_min_replicas_rejected(self):
+        dispatcher = ResilientDispatcher(num_replicas=4, min_replicas=3)
+        with pytest.raises(ValueError, match="below"):
+            dispatcher.ensure_replicas(2, allow_shrink=True)
+        assert dispatcher.num_replicas == 4
+
+    def test_shrink_wraps_the_round_robin_cursor(self):
+        dispatcher = ResilientDispatcher(num_replicas=4)
+        for _ in range(3):  # cursor now points at replica 3
+            dispatcher.select(0.0)
+        dispatcher.ensure_replicas(2, allow_shrink=True)
+        assert dispatcher.select(0.0) in (0, 1)
+
+    def test_regrowth_after_shrink_joins_fresh(self):
+        dispatcher = ResilientDispatcher(num_replicas=4,
+                                         breaker_config=CONFIG)
+        dispatcher.record_failure(3, 0.0)
+        dispatcher.record_failure(3, 0.0)  # replica 3 OPEN
+        dispatcher.ensure_replicas(3, allow_shrink=True)
+        dispatcher.ensure_replicas(4)
+        # the decommissioned machine's breaker history does not come back
+        assert dispatcher.admitted(0.0) == [0, 1, 2, 3]
+
+
+class TestReplaceReplica:
+    def test_replacement_joins_healthy_with_fresh_counters(self):
+        dispatcher = ResilientDispatcher(num_replicas=3,
+                                         breaker_config=CONFIG)
+        dispatcher.record_failure(1, 0.0)
+        dispatcher.record_failure(1, 0.0)  # OPEN
+        dispatcher.mark_down(1, until_seconds=1e9, now_seconds=0.0)
+        assert dispatcher.admitted(0.0) == [0, 2]
+        dispatcher.replace_replica(1)
+        assert dispatcher.admitted(0.0) == [0, 1, 2]
+        assert dispatcher.replicas[1].failures == 0
+        assert dispatcher.replicas[1].dispatched == 0
+
+    def test_out_of_range_slot_rejected(self):
+        dispatcher = ResilientDispatcher(num_replicas=2)
+        with pytest.raises(IndexError, match="out of range"):
+            dispatcher.replace_replica(2)
+
+    def test_replacement_bumps_counter(self):
+        with use_registry() as registry:
+            dispatcher = ResilientDispatcher(num_replicas=2)
+            dispatcher.replace_replica(0)
+        counter = registry.counter("resilience.replacements_total")
+        assert counter.value == 1
+
+
+class TestHealthSummary:
+    def test_counts_crashes_and_breaker_states(self):
+        dispatcher = ResilientDispatcher(num_replicas=4,
+                                         breaker_config=CONFIG)
+        dispatcher.mark_down(0, until_seconds=5.0, now_seconds=0.0)
+        dispatcher.record_failure(1, 0.0)
+        dispatcher.record_failure(1, 0.0)  # OPEN at t=0
+        summary = dispatcher.health_summary(0.0)
+        assert summary == {"num_replicas": 4, "healthy": 2,
+                           "open_breakers": 1, "half_open_breakers": 0,
+                           "crashed": 1}
+
+    def test_half_open_counted_after_cooldown(self):
+        dispatcher = ResilientDispatcher(num_replicas=2,
+                                         breaker_config=CONFIG)
+        dispatcher.record_failure(0, 0.0)
+        dispatcher.record_failure(0, 0.0)
+        summary = dispatcher.health_summary(CONFIG.cooldown_seconds + 0.001)
+        assert summary["open_breakers"] == 0
+        assert summary["half_open_breakers"] == 1
+
+    def test_all_healthy_fleet_is_clean(self):
+        dispatcher = ResilientDispatcher(num_replicas=3)
+        assert dispatcher.health_summary(0.0) == {
+            "num_replicas": 3, "healthy": 3, "open_breakers": 0,
+            "half_open_breakers": 0, "crashed": 0}

@@ -66,8 +66,8 @@ def test_registry_covers_every_experiment_module():
 
     directory = os.path.dirname(experiments_package.__file__)
     modules = [name for name in os.listdir(directory)
-               if name.startswith(("fig", "table", "llm_", "chaos_",
-                                   "cluster_", "migration_", "lazy_",
-                                   "cache_"))
+               if name.startswith(("fig", "table", "llm_", "autoscale_",
+                                   "chaos_", "cluster_", "migration_",
+                                   "lazy_", "cache_"))
                and name.endswith(".py")]
     assert len(modules) == len(EXPERIMENTS)
