@@ -32,6 +32,7 @@ from repro.experiments import (
     table06_footprint,
     table07_e2e_latency,
     table08_meta,
+    train_harness,
 )
 from repro.experiments.reporting import ExperimentResult
 
@@ -63,6 +64,7 @@ EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
     "lazy": lazy_harness.run,
     "migrate": migration_harness.run,
     "autoscale": autoscale_harness.run,
+    "train": train_harness.run,
 }
 
 

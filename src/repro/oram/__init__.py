@@ -3,6 +3,14 @@
 from repro.oram.circuit_oram import CircuitORAM, bit_reverse
 from repro.oram.controller import AccessStats, OramController
 from repro.oram.crypto import EncryptedBucketTree, KeystreamCipher
+from repro.oram.lookahead import (
+    LOOKAHEAD_REGION,
+    BatchPlan,
+    SequentialLeakingBatcher,
+    contrasting_batches,
+    lookahead_access_batch,
+    lookahead_subjects,
+)
 from repro.oram.path_oram import PathORAM
 from repro.oram.ring_oram import RingORAM
 from repro.oram.position_map import (
@@ -17,6 +25,12 @@ from repro.oram.tree import DUMMY, BucketTree, tree_levels_for
 __all__ = [
     "CircuitORAM",
     "bit_reverse",
+    "LOOKAHEAD_REGION",
+    "BatchPlan",
+    "SequentialLeakingBatcher",
+    "contrasting_batches",
+    "lookahead_access_batch",
+    "lookahead_subjects",
     "AccessStats",
     "OramController",
     "EncryptedBucketTree",

@@ -15,6 +15,7 @@ from typing import List, Optional
 
 import numpy as np
 
+from repro.oblivious.trace import READ, WRITE
 from repro.oram.controller import OramController, UpdateFn
 from repro.oram.tree import DUMMY
 
@@ -35,6 +36,7 @@ class CircuitORAM(OramController):
 
     DEFAULT_STASH = 10            # paper: stash size 10 for Circuit ORAM
     DEFAULT_RECURSION_CUTOFF = 1 << 12  # paper: recursion beyond 2^12 blocks
+    SUPPORTS_LOOKAHEAD = True
 
     def __init__(self, *args, **kwargs) -> None:
         super().__init__(*args, **kwargs)
@@ -108,6 +110,46 @@ class CircuitORAM(OramController):
         return payload
 
     # ------------------------------------------------------------------
+    # Batched lookahead hooks (see repro.oram.lookahead)
+    # ------------------------------------------------------------------
+    def _lookahead_reserve(self, plan) -> None:
+        # The extracting fetch adds at most one block per unique id on top
+        # of the usual transient path allowance.
+        self.stash.grow(self.persistent_stash_capacity
+                        + self.bucket_size * (self.tree.levels + 1)
+                        + plan.batch_size)
+
+    def _lookahead_fetch(self, plan) -> None:
+        """One read+write sweep per scheduled bucket, extracting every
+        requested block into the stash. Each of the Z slots costs one
+        stash touch whether or not it is extracted, mirroring the
+        slot-count-constant discipline of the Path ORAM fetch."""
+        wanted = set(plan.unique_ids)
+        for level in plan.schedule:
+            for bucket in level:
+                ids, leaves, payloads = self.tree.read_bucket(bucket)
+                self.stats.bucket_reads += 1
+                for slot in range(self.bucket_size):
+                    slot_id = int(ids[slot])
+                    if slot_id != DUMMY and slot_id in wanted:
+                        self.stash.add(slot_id, int(leaves[slot]),
+                                       payloads[slot])
+                        ids[slot] = DUMMY
+                    else:
+                        self.stash._scan_trace(WRITE)
+                self.tree.write_bucket(bucket, ids, leaves, payloads)
+                self.stats.bucket_writes += 1
+
+    def _lookahead_writeback(self, plan) -> int:
+        """The per-access eviction budget, fused: two deterministic
+        reverse-lexicographic passes per batched access, all run after the
+        whole batch has been served."""
+        passes = 2 * plan.batch_size
+        for _ in range(passes):
+            self._deterministic_evict_pass()
+        return passes
+
+    # ------------------------------------------------------------------
     # Eviction (PrepareDeepest / PrepareTarget / EvictOnceFast)
     # ------------------------------------------------------------------
     def _legal_depth(self, block_leaf: int, eviction_leaf: int) -> int:
@@ -177,6 +219,13 @@ class CircuitORAM(OramController):
                 if target[0] != _NONE:
                     hold_block = self._take_deepest_from_stash(eviction_leaf)
                     hold_dest = target[0]
+                else:
+                    # Dummy take: the same two oblivious scans as a real
+                    # take, so the eviction's stash traffic is pass-count
+                    # constant regardless of whether the stash feeds the
+                    # path this round.
+                    self.stash._scan_trace(READ)
+                    self.stash._scan_trace(READ)
                 continue
             bucket = path[i - 1]
             ids, leaves, payloads = self.tree.read_bucket(bucket)

@@ -53,6 +53,8 @@ class OramController:
     #: subclass-specific defaults (paper §V-A1 / ZeroTrace configuration)
     DEFAULT_STASH = 150
     DEFAULT_RECURSION_CUTOFF = 1 << 16
+    #: schemes with a batched lookahead mode (see repro.oram.lookahead)
+    SUPPORTS_LOOKAHEAD = False
 
     def __init__(self, num_blocks: int, block_width: int,
                  initial_payloads: Optional[np.ndarray] = None,
@@ -192,6 +194,47 @@ class OramController:
                 self.stash.peak_occupancy)
         return result
 
+    def access_batch(self, block_ids, update_fns=None,
+                     plan_tracer: Optional[MemoryTracer] = None
+                     ) -> np.ndarray:
+        """Serve a whole batch of accesses known up front (LAORAM-style).
+
+        Value-identical to looping :meth:`access` over the batch —
+        duplicates return/update in arrival order with one shared fetch.
+        Schemes with ``SUPPORTS_LOOKAHEAD`` share path fetches, fuse
+        write-backs, and batch the position-map pass; others fall back to
+        the sequential loop (no amortization, same semantics). Returns the
+        pre-update payloads, shape ``(batch, block_width)``. The
+        ``oram.lookahead`` decision trace is recorded to ``plan_tracer``
+        (default: the controller's tracer).
+        """
+        from repro.oram import lookahead
+
+        if self.SUPPORTS_LOOKAHEAD:
+            return lookahead.lookahead_access_batch(
+                self, block_ids, update_fns, plan_tracer)
+        ids = list(block_ids)
+        if update_fns is None:
+            update_fns = [None] * len(ids)
+        elif len(update_fns) != len(ids):
+            raise ValueError(
+                f"{len(ids)} block ids but {len(update_fns)} update fns")
+        if not ids:
+            return np.zeros((0, self.block_width))
+        tracer = plan_tracer if plan_tracer is not None else self.tracer
+        results = []
+        for slot, block_id in enumerate(ids):
+            if tracer is not None:
+                tracer.record("R", lookahead.LOOKAHEAD_REGION,
+                              lookahead.ADDR_FETCH + slot)
+            results.append(self.access(int(block_id), update_fns[slot]))
+        return np.stack(results)
+
+    def position_map_ops(self) -> int:
+        """Memory operations spent in the position map so far — the work
+        the batched lookahead pass amortizes across a batch."""
+        return self.position_map.work_ops()
+
     def read(self, block_id: int) -> np.ndarray:
         return self.access(block_id)
 
@@ -257,6 +300,21 @@ class OramController:
     # ------------------------------------------------------------------
     def _access_impl(self, block_id: int, old_leaf: int, new_leaf: int,
                      update_fn: Optional[UpdateFn]) -> np.ndarray:
+        raise NotImplementedError
+
+    # Batched lookahead hooks (schemes with SUPPORTS_LOOKAHEAD implement
+    # these; see repro.oram.lookahead for the orchestration).
+    def _lookahead_reserve(self, plan) -> None:
+        """Grow the physical stash for the batch (public sizing decision)."""
+        raise NotImplementedError
+
+    def _lookahead_fetch(self, plan) -> None:
+        """Fetch every scheduled bucket once, staging blocks in the stash."""
+        raise NotImplementedError
+
+    def _lookahead_writeback(self, plan) -> int:
+        """Fused write-back/eviction; returns the number of write-back
+        units for the decision trace."""
         raise NotImplementedError
 
     # ------------------------------------------------------------------

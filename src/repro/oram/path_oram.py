@@ -13,6 +13,7 @@ from typing import Optional, Sequence
 import numpy as np
 
 from repro.oblivious.trace import WRITE
+from repro.oram import lookahead
 from repro.oram.controller import OramController, UpdateFn
 from repro.oram.tree import DUMMY
 
@@ -22,6 +23,7 @@ class PathORAM(OramController):
 
     DEFAULT_STASH = 150           # paper: stash size 150 for Path ORAM
     DEFAULT_RECURSION_CUTOFF = 1 << 16  # paper: recursion beyond 2^16 blocks
+    SUPPORTS_LOOKAHEAD = True
 
     def _access_impl(self, block_id: int, old_leaf: int, new_leaf: int,
                      update_fn: Optional[UpdateFn]) -> np.ndarray:
@@ -93,6 +95,45 @@ class PathORAM(OramController):
                 payloads[slot] = bpayload
             self.tree.write_bucket(bucket, ids, leaves, payloads)
             self.stats.bucket_writes += 1
+
+    # ------------------------------------------------------------------
+    # Batched lookahead hooks (see repro.oram.lookahead)
+    # ------------------------------------------------------------------
+    def _lookahead_reserve(self, plan) -> None:
+        # The shared fetch empties every scheduled bucket into the stash,
+        # so the physical buffer must transiently hold a whole batch's
+        # union of paths — a pure function of batch size and tree depth.
+        self.stash.grow(self.persistent_stash_capacity
+                        + self.bucket_size * plan.num_fetched_buckets)
+
+    def _lookahead_fetch(self, plan) -> None:
+        # Same discipline as a single-path fetch, over the level-padded
+        # union schedule: every scheduled bucket is read exactly once.
+        self._fetch_path_into_stash(
+            [bucket for level in plan.schedule for bucket in level])
+
+    def _lookahead_writeback(self, plan) -> int:
+        """Fused greedy write-back: one deepest-first sweep over the
+        schedule, each bucket written exactly once, one stash scan per
+        bucket (:meth:`~repro.oram.stash.Stash.take_matching` keeps the
+        scan count overflow-independent)."""
+        levels = self.tree.levels
+        for level in range(levels, -1, -1):
+            for bucket in plan.schedule[level]:
+                chosen = self.stash.take_matching(
+                    lambda leaf, lvl=level, target=bucket:
+                    lookahead.bucket_at(leaf, lvl, levels) == target,
+                    self.bucket_size)
+                ids = np.full(self.bucket_size, DUMMY, dtype=np.int64)
+                leaves = np.zeros(self.bucket_size, dtype=np.int64)
+                payloads = np.zeros((self.bucket_size, self.block_width))
+                for slot, (bid, bleaf, bpayload) in enumerate(chosen):
+                    ids[slot] = bid
+                    leaves[slot] = bleaf
+                    payloads[slot] = bpayload
+                self.tree.write_bucket(bucket, ids, leaves, payloads)
+                self.stats.bucket_writes += 1
+        return plan.num_fetched_buckets
 
     # ------------------------------------------------------------------
     # Background eviction (stash-pressure recovery)

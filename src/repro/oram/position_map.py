@@ -8,7 +8,7 @@ per level (each recursive block packs 16 leaf labels), as in §V-A1.
 
 from __future__ import annotations
 
-from typing import Callable, Optional
+from typing import Callable, List, Optional, Sequence
 
 import numpy as np
 
@@ -19,11 +19,52 @@ from repro.utils.validation import check_positive
 POSMAP_COMPRESSION = 16
 
 
+def _check_batch(block_ids: Sequence[int],
+                 new_leaves: Sequence[int]) -> List[int]:
+    ids = [int(block_id) for block_id in block_ids]
+    if len(ids) != len(new_leaves):
+        raise ValueError(
+            f"{len(ids)} block ids but {len(new_leaves)} new leaves")
+    if len(set(ids)) != len(ids):
+        raise ValueError("batched position-map lookups take *unique* block "
+                         "ids; deduplicate duplicates first (the lookahead "
+                         "planner does)")
+    return ids
+
+
 class PositionMap:
     """Interface: look up a block's leaf while installing its new leaf."""
 
     def lookup_and_update(self, block_id: int, new_leaf: int) -> int:
         raise NotImplementedError
+
+    def refresh(self, block_id: int) -> None:
+        """A dummy lookup: touch the map exactly like a real lookup while
+        reinstalling the block's current leaf. Batched modes use this to
+        pad per-lookup implementations to a public lookup count."""
+        raise NotImplementedError
+
+    def work_ops(self) -> int:
+        """Memory operations spent inside the map so far (the amortization
+        metric batched lookahead access reduces)."""
+        raise NotImplementedError
+
+    def lookup_and_update_batch(self, block_ids: Sequence[int],
+                                new_leaves: Sequence[int],
+                                pad_to: int = 0) -> List[int]:
+        """Look up/update a whole batch of *unique* block ids at once.
+
+        Returns the old leaves in batch order. The generic fallback is one
+        sequential lookup per id, padded with :meth:`refresh` dummies up to
+        ``pad_to`` lookups so the map traffic depends only on the public
+        batch size, never on how many ids were distinct.
+        """
+        ids = _check_batch(block_ids, new_leaves)
+        old = [self.lookup_and_update(block_id, int(leaf))
+               for block_id, leaf in zip(ids, new_leaves)]
+        for _ in range(max(0, pad_to - len(ids))):
+            self.refresh(ids[0] if ids else 0)
+        return old
 
 
 class FlatPositionMap(PositionMap):
@@ -42,6 +83,7 @@ class FlatPositionMap(PositionMap):
         self.num_blocks = self.leaves.size
         self.tracer = tracer
         self.region = region
+        self.ops = 0
 
     def lookup_and_update(self, block_id: int, new_leaf: int) -> int:
         if not 0 <= block_id < self.num_blocks:
@@ -56,7 +98,56 @@ class FlatPositionMap(PositionMap):
             if self.tracer is not None:
                 self.tracer.record(WRITE, self.region, index)
             self.leaves[index] = updated
+        self.ops += 2 * self.num_blocks
         return int(old_leaf)
+
+    def refresh(self, block_id: int) -> None:
+        """Dummy lookup: the same full read+rewrite scan, values unchanged."""
+        if not 0 <= block_id < self.num_blocks:
+            raise IndexError(f"block {block_id} out of range")
+        for index in range(self.num_blocks):
+            if self.tracer is not None:
+                self.tracer.record(READ, self.region, index)
+            entry = int(self.leaves[index])
+            if self.tracer is not None:
+                self.tracer.record(WRITE, self.region, index)
+            self.leaves[index] = entry
+        self.ops += 2 * self.num_blocks
+
+    def work_ops(self) -> int:
+        return self.ops
+
+    def lookup_and_update_batch(self, block_ids: Sequence[int],
+                                new_leaves: Sequence[int],
+                                pad_to: int = 0) -> List[int]:
+        """One oblivious pass for the whole batch (the LAORAM amortization).
+
+        Every entry is read and rewritten exactly once no matter how many
+        ids are queried, so a batch of B lookups costs ``2 * num_blocks``
+        entry touches instead of ``2 * num_blocks * B`` — and the scan is
+        already count-independent, so ``pad_to`` needs no extra traffic.
+        """
+        del pad_to
+        ids = _check_batch(block_ids, new_leaves)
+        for block_id in ids:
+            if not 0 <= block_id < self.num_blocks:
+                raise IndexError(f"block {block_id} out of range")
+        targets = [int(leaf) for leaf in new_leaves]
+        old = [0] * len(ids)
+        for index in range(self.num_blocks):
+            if self.tracer is not None:
+                self.tracer.record(READ, self.region, index)
+            entry = int(self.leaves[index])
+            updated = entry
+            for query, (block_id, target) in enumerate(zip(ids, targets)):
+                match = ct_eq(index, block_id)
+                old[query] = ct_select(match, entry, old[query])
+                updated = ct_select(match, target, updated)
+            if self.tracer is not None:
+                self.tracer.record(WRITE, self.region, index)
+            self.leaves[index] = updated
+        self.ops += 2 * self.num_blocks
+        return [int(leaf) for leaf in old]
 
 
 class OramPositionMap(PositionMap):
@@ -101,3 +192,15 @@ class OramPositionMap(PositionMap):
 
         self._child.access(chunk_id, update)
         return captured["old_leaf"]
+
+    def refresh(self, block_id: int) -> None:
+        """Dummy lookup: one child-ORAM access with an identity update."""
+        if not 0 <= block_id < self.num_blocks:
+            raise IndexError(f"block {block_id} out of range")
+        chunk_id, _ = divmod(block_id, self.compression)
+        self._child.access(chunk_id, lambda chunk: chunk)
+
+    def work_ops(self) -> int:
+        """Bucket I/O of the child ORAM — the map's memory operations."""
+        return int(self._child.stats.bucket_reads
+                   + self._child.stats.bucket_writes)

@@ -120,3 +120,45 @@ class Stash:
                               self.payloads[slot].copy()))
                 self.ids[slot] = DUMMY
         return taken
+
+    def take_matching(self, predicate,
+                      limit: int) -> List[Tuple[int, int, np.ndarray]]:
+        """Remove up to ``limit`` blocks matching ``predicate(leaf)``.
+
+        One oblivious scan regardless of how many blocks match — the fused
+        batched write-back uses this so its stash traffic is bucket-count
+        constant (``evict_matching`` + per-block re-add would leak the
+        overflow count through extra scans).
+        """
+        check_positive("limit", limit)
+        self._scan_trace(WRITE)
+        taken: List[Tuple[int, int, np.ndarray]] = []
+        for slot in np.nonzero(self.ids != DUMMY)[0]:
+            if len(taken) == limit:
+                break
+            if predicate(int(self.leaves[slot])):
+                taken.append((int(self.ids[slot]), int(self.leaves[slot]),
+                              self.payloads[slot].copy()))
+                self.ids[slot] = DUMMY
+        return taken
+
+    def grow(self, new_capacity: int) -> None:
+        """Extend the physical buffer to ``new_capacity`` slots.
+
+        Sizing is a *public* decision (batch size and tree depth, never
+        block identity): batched lookahead fetches transiently hold more
+        than one path's worth of blocks, so the buffer is grown up front
+        rather than overflowing mid-fetch.
+        """
+        check_positive("new_capacity", new_capacity)
+        if new_capacity <= self.capacity:
+            return
+        extra = new_capacity - self.capacity
+        self.ids = np.concatenate(
+            [self.ids, np.full(extra, DUMMY, dtype=np.int64)])
+        self.leaves = np.concatenate(
+            [self.leaves, np.zeros(extra, dtype=np.int64)])
+        self.payloads = np.concatenate(
+            [self.payloads,
+             np.zeros((extra, self.block_width), dtype=self.payloads.dtype)])
+        self.capacity = new_capacity

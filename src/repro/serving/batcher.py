@@ -10,7 +10,7 @@ the engine's backend once per batch.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List, Sequence
+from typing import Callable, List, Optional, Sequence
 
 import numpy as np
 
@@ -63,12 +63,34 @@ class DynamicBatcher:
     or the oldest request's wait deadline passes, then executes.
     """
 
-    def __init__(self, policy: BatchingPolicy) -> None:
+    def __init__(self, policy: BatchingPolicy,
+                 lookahead: Optional[Callable[[ScheduledBatch, np.ndarray],
+                                              None]] = None) -> None:
         self.policy = policy
+        #: lookahead consumer: called with (batch, the batch's block ids)
+        #: the moment each batch is formed, *before* it is dispatched — the
+        #: seam batched ORAM access plans against (LAORAM). With no
+        #: consumer registered the serve path is byte-identical to before.
+        self.lookahead = lookahead
 
     def schedule(self, arrivals: Sequence[float],
-                 service_time: Callable[[int], float]) -> List[ScheduledBatch]:
-        """Batch the trace; ``service_time(n)`` is seconds for an n-request batch."""
+                 service_time: Callable[[int], float],
+                 block_ids: Optional[np.ndarray] = None
+                 ) -> List[ScheduledBatch]:
+        """Batch the trace; ``service_time(n)`` is seconds for an n-request batch.
+
+        ``block_ids`` (one row per arrival) feeds the lookahead consumer:
+        each formed batch's rows are handed over before dispatch.
+        """
+        if self.lookahead is not None and block_ids is None:
+            raise ValueError("a lookahead consumer is registered but "
+                             "schedule() was not given block_ids")
+        if block_ids is not None:
+            block_ids = np.asarray(block_ids)
+            if block_ids.shape[0] != len(arrivals):
+                raise ValueError(
+                    f"block_ids has {block_ids.shape[0]} rows for "
+                    f"{len(arrivals)} arrivals")
         arrivals = np.asarray(arrivals, dtype=np.float64)
         if arrivals.ndim != 1 or arrivals.size == 0:
             raise ValueError("need a non-empty 1-D array of arrival times")
@@ -102,9 +124,13 @@ class DynamicBatcher:
             if service <= 0:
                 raise ValueError(
                     f"service_time must be positive, got {service}")
-            batches.append(ScheduledBatch(first=i, last=j,
-                                          start_seconds=start,
-                                          service_seconds=service))
+            batch = ScheduledBatch(first=i, last=j, start_seconds=start,
+                                   service_seconds=service)
+            if self.lookahead is not None:
+                # Formed but not yet dispatched: the ORAM layer can plan
+                # the whole batch's accesses before serving starts.
+                self.lookahead(batch, block_ids[i:j])
+            batches.append(batch)
             free_at = start + service
             i = j
         self._report(batches, full_launches)

@@ -1,0 +1,61 @@
+"""Optimizer steps flow into captured-graph replays without re-capture.
+
+The lazy runtime reads parameters through views of the live ``.data``
+buffers, so an in-place optimizer update (``param.data -= ...``) must be
+visible on the very next replay. These tests pin that contract for the
+real ``repro.nn.optim`` optimizers — the secure-online-training loop
+depends on it: the dense DLRM weights are stepped between serving batches
+while the captured inference graphs keep replaying fresh values.
+"""
+
+import numpy as np
+import pytest
+
+from repro.lazy import capture
+from repro.nn.layers import MLP
+from repro.nn.optim import SGD, Adam
+from repro.nn.tensor import Tensor
+
+
+@pytest.fixture
+def mlp():
+    return MLP((6, 12, 3), rng=0)
+
+
+def train_steps(model, optimizer, x, steps):
+    model.train()
+    for _ in range(steps):
+        optimizer.zero_grad()
+        out = model(Tensor(x))
+        (out * out).sum().backward()
+        optimizer.step()
+    model.eval()
+
+
+@pytest.mark.parametrize("make_optimizer", [
+    lambda params: SGD(params, lr=0.05, momentum=0.9),
+    lambda params: Adam(params, lr=0.01),
+], ids=["sgd-momentum", "adam"])
+def test_optimizer_steps_flow_into_replay(mlp, rng, make_optimizer):
+    x = rng.normal(size=(4, 6))
+    mlp.eval()
+    graph = capture(lambda b: mlp(Tensor(b)), [x], name="mlp")
+    before = graph(x)
+
+    # Two real steps so stateful buffers (momentum / Adam moments) engage.
+    train_steps(mlp, make_optimizer(mlp.parameters()), x, steps=2)
+
+    after = graph(x)
+    assert not np.array_equal(before, after)
+    # The same capture replays the post-step weights exactly.
+    assert after.tobytes() == mlp(Tensor(x)).data.tobytes()
+
+
+def test_interleaved_steps_and_replays_track_every_update(mlp, rng):
+    x = rng.normal(size=(4, 6))
+    mlp.eval()
+    graph = capture(lambda b: mlp(Tensor(b)), [x], name="mlp")
+    optimizer = Adam(mlp.parameters(), lr=0.01)
+    for _ in range(3):
+        train_steps(mlp, optimizer, x, steps=1)
+        assert graph(x).tobytes() == mlp(Tensor(x)).data.tobytes()

@@ -123,6 +123,54 @@ class TestMaxWaitTimeoutPath:
         assert snapshot["counters"]["batcher.timeout_launches_total"] == 1.0
 
 
+class TestLookaheadHook:
+    """The batched-ORAM planning seam: formed batches exposed pre-dispatch."""
+
+    def test_hook_receives_each_formed_batchs_ids(self):
+        seen = []
+        batcher = DynamicBatcher(BatchingPolicy(4, 0.0),
+                                 lookahead=lambda b, ids: seen.append(
+                                     (b.first, b.last, ids.copy())))
+        block_ids = np.arange(20).reshape(10, 2)
+        batches = batcher.schedule(np.zeros(10), lambda n: 1.0,
+                                   block_ids=block_ids)
+        assert len(seen) == len(batches)
+        for (first, last, ids), batch in zip(seen, batches):
+            assert (first, last) == (batch.first, batch.last)
+            np.testing.assert_array_equal(ids,
+                                          block_ids[batch.first:batch.last])
+
+    def test_hook_fires_before_any_later_batch_forms(self):
+        order = []
+        batcher = DynamicBatcher(
+            BatchingPolicy(4, 0.0),
+            lookahead=lambda b, ids: order.append(("hook", b.first)))
+        batcher.schedule(np.zeros(10), lambda n: 1.0,
+                         block_ids=np.zeros((10, 1)))
+        assert order == [("hook", 0), ("hook", 4), ("hook", 8)]
+
+    def test_no_consumer_schedule_is_byte_identical(self):
+        arrivals = [0.0, 0.1, 0.2, 0.9, 2.0]
+        plain = DynamicBatcher(BatchingPolicy(3, 0.5)).schedule(
+            arrivals, lambda n: 0.2)
+        with_ids = DynamicBatcher(BatchingPolicy(3, 0.5)).schedule(
+            arrivals, lambda n: 0.2, block_ids=np.zeros((5, 2)))
+        assert plain == with_ids
+
+    def test_consumer_without_block_ids_raises(self):
+        batcher = DynamicBatcher(BatchingPolicy(4, 0.0),
+                                 lookahead=lambda b, ids: None)
+        with pytest.raises(ValueError, match="block_ids"):
+            batcher.schedule(np.zeros(4), lambda n: 1.0)
+
+    def test_row_count_mismatch_raises(self):
+        batcher = DynamicBatcher(BatchingPolicy(4, 0.0),
+                                 lookahead=lambda b, ids: None)
+        with pytest.raises(ValueError, match="rows"):
+            batcher.schedule(np.zeros(4), lambda n: 1.0,
+                             block_ids=np.zeros((3, 2)))
+
+
 class TestNonFiniteArrivals:
     def test_nan_arrival_rejected(self):
         batcher = DynamicBatcher(BatchingPolicy(4, 0.1))

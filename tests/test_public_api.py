@@ -20,6 +20,7 @@ PACKAGES = [
     "repro.resilience",
     "repro.cluster",
     "repro.cache",
+    "repro.training",
     "repro.experiments",
     "repro.experiments.registry",
     "repro.telemetry",
@@ -68,6 +69,6 @@ def test_registry_covers_every_experiment_module():
     modules = [name for name in os.listdir(directory)
                if name.startswith(("fig", "table", "llm_", "autoscale_",
                                    "chaos_", "cluster_", "migration_",
-                                   "lazy_", "cache_"))
+                                   "lazy_", "cache_", "train_"))
                and name.endswith(".py")]
     assert len(modules) == len(EXPERIMENTS)
