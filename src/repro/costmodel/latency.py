@@ -234,6 +234,42 @@ def oram_latency(scheme: str, num_rows: int, dim: int, batch: int,
     return batch * per_access * variant_factor
 
 
+def sqrt_oram_access_bytes(num_rows: int, dim: int,
+                           platform: PlatformModel = DEFAULT_PLATFORM
+                           ) -> float:
+    """Bytes moved per square-root ORAM access, reshuffle amortised.
+
+    Mirrors :class:`repro.oram.sqrt_oram.SqrtORAM`: a full position-map
+    R+W scan, an oblivious shelter sweep (⌈√n⌉ slots, peek + write), one
+    permuted-store row read, and 1/⌈√n⌉-th of the read+write reshuffle
+    sweep over the n + ⌈√n⌉ store slots.
+    """
+    check_positive("num_rows", num_rows)
+    row_bytes = dim * platform.element_bytes
+    shelter = math.ceil(math.sqrt(num_rows))
+    posmap = 2 * num_rows * POSMAP_ENTRY_BYTES
+    shelter_sweeps = 2 * shelter * row_bytes
+    store_read = row_bytes
+    reshuffle = 2 * (num_rows + shelter) * row_bytes / shelter
+    return posmap + shelter_sweeps + store_read + reshuffle
+
+
+def sqrt_oram_latency(num_rows: int, dim: int, batch: int, threads: int = 1,
+                      platform: PlatformModel = DEFAULT_PLATFORM) -> float:
+    """Batch latency of the square-root scheme (accesses sequential).
+
+    Like the tree ORAMs, the cmov-hardened scans are predication-bound:
+    the oblivious single-thread streaming rate applies and ``threads``
+    buys nothing.
+    """
+    check_positive("batch", batch)
+    del threads  # scans are predication-bound; parallelism buys nothing
+    per_access_bytes = sqrt_oram_access_bytes(num_rows, dim, platform)
+    per_access = (per_access_bytes / platform.scan_dram_bw
+                  + platform.oram_fixed_overhead)
+    return batch * per_access
+
+
 # ----------------------------------------------------------------------
 # ZeroTrace optimization levels (Fig 10)
 # ----------------------------------------------------------------------

@@ -10,7 +10,13 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.costmodel.latency import DheShape, dhe_latency, linear_scan_latency, oram_latency
+from repro.costmodel.latency import (
+    DheShape,
+    dhe_latency,
+    linear_scan_latency,
+    oram_latency,
+    sqrt_oram_latency,
+)
 from repro.costmodel.platform import DEFAULT_PLATFORM, PlatformModel
 from repro.utils.validation import check_in, check_positive
 
@@ -84,7 +90,7 @@ def embedding_stage_latency(technique: str, shape: LlmShape,
     decode step (§II-A's batch-size distinction between the stages).
     """
     check_in("technique", technique,
-             ("lookup", "scan", "path", "circuit", "dhe"))
+             ("lookup", "scan", "path", "circuit", "sqrt", "dhe"))
     if technique == "lookup":
         from repro.costmodel.latency import lookup_latency
         return lookup_latency(shape.vocab_size, shape.embed_dim,
@@ -95,6 +101,9 @@ def embedding_stage_latency(technique: str, shape: LlmShape,
     if technique in ("path", "circuit"):
         return oram_latency(technique, shape.vocab_size, shape.embed_dim,
                             embedding_batch, threads, platform)
+    if technique == "sqrt":
+        return sqrt_oram_latency(shape.vocab_size, shape.embed_dim,
+                                 embedding_batch, threads, platform)
     return dhe_latency(shape.dhe_shape(), embedding_batch, threads, platform)
 
 
@@ -117,14 +126,18 @@ def stage_latency(technique: str, stage: str, shape: LlmShape, batch: int,
     return transformer + embedding
 
 
-def generation_latency(technique: str, shape: LlmShape, batch: int,
-                       prompt_tokens: int = 256, new_tokens: int = 128,
-                       threads: int = 16,
-                       platform: PlatformModel = DEFAULT_PLATFORM) -> float:
-    """End-to-end latency: one prefill + ``new_tokens`` decode steps."""
+def decode_latency(technique: str, shape: LlmShape, batch: int,
+                   prompt_tokens: int = 256, new_tokens: int = 128,
+                   threads: int = 16,
+                   platform: PlatformModel = DEFAULT_PLATFORM) -> float:
+    """Decode-only latency: ``new_tokens`` steps with a growing context.
+
+    This is what the latency-bound decode *pool* prices per batch — the
+    per-token loop without the prefill term (prefill lives in its own
+    pool with its own batcher).
+    """
     check_positive("new_tokens", new_tokens)
-    total = stage_latency(technique, "prefill", shape, batch, prompt_tokens,
-                          threads, platform)
+    total = 0.0
     for step in range(new_tokens):
         context = prompt_tokens + step
         transformer = decode_step_latency(shape, batch, context, threads,
@@ -133,3 +146,14 @@ def generation_latency(technique: str, shape: LlmShape, batch: int,
                                             platform)
         total += transformer + embedding
     return total
+
+
+def generation_latency(technique: str, shape: LlmShape, batch: int,
+                       prompt_tokens: int = 256, new_tokens: int = 128,
+                       threads: int = 16,
+                       platform: PlatformModel = DEFAULT_PLATFORM) -> float:
+    """End-to-end latency: one prefill + ``new_tokens`` decode steps."""
+    total = stage_latency(technique, "prefill", shape, batch, prompt_tokens,
+                          threads, platform)
+    return total + decode_latency(technique, shape, batch, prompt_tokens,
+                                  new_tokens, threads, platform)

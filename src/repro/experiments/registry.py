@@ -25,6 +25,7 @@ from repro.experiments import (
     fig15_llm_e2e,
     lazy_harness,
     llm_footprint,
+    llm_harness,
     migration_harness,
     table01_complexity,
     table02_security,
@@ -65,6 +66,7 @@ EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
     "migrate": migration_harness.run,
     "autoscale": autoscale_harness.run,
     "train": train_harness.run,
+    "llm": llm_harness.run,
 }
 
 

@@ -13,6 +13,7 @@ from repro.oram.lookahead import (
 )
 from repro.oram.path_oram import PathORAM
 from repro.oram.ring_oram import RingORAM
+from repro.oram.sqrt_oram import SqrtORAM
 from repro.oram.position_map import (
     POSMAP_COMPRESSION,
     FlatPositionMap,
@@ -37,6 +38,7 @@ __all__ = [
     "KeystreamCipher",
     "PathORAM",
     "RingORAM",
+    "SqrtORAM",
     "POSMAP_COMPRESSION",
     "FlatPositionMap",
     "OramPositionMap",

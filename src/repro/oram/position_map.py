@@ -114,6 +114,39 @@ class FlatPositionMap(PositionMap):
             self.leaves[index] = entry
         self.ops += 2 * self.num_blocks
 
+    def lookup(self, block_id: int) -> int:
+        """Read a block's entry without changing it — same full R+W scan
+        trace as :meth:`lookup_and_update`, so a scheme whose positions
+        only change at shuffle time (square-root ORAM) stays trace-
+        indistinguishable from one that remaps per access."""
+        if not 0 <= block_id < self.num_blocks:
+            raise IndexError(f"block {block_id} out of range")
+        value = 0
+        for index in range(self.num_blocks):
+            if self.tracer is not None:
+                self.tracer.record(READ, self.region, index)
+            entry = int(self.leaves[index])
+            value = ct_select(ct_eq(index, block_id), entry, value)
+            if self.tracer is not None:
+                self.tracer.record(WRITE, self.region, index)
+            self.leaves[index] = entry
+        self.ops += 2 * self.num_blocks
+        return int(value)
+
+    def rewrite(self, new_leaves: np.ndarray) -> None:
+        """Install a whole new mapping in one data-independent write sweep
+        (square-root ORAM's reshuffle replaces every entry at once)."""
+        new_leaves = np.asarray(new_leaves, dtype=np.int64)
+        if new_leaves.shape != (self.num_blocks,):
+            raise ValueError(
+                f"rewrite needs {self.num_blocks} entries, "
+                f"got shape {new_leaves.shape}")
+        for index in range(self.num_blocks):
+            if self.tracer is not None:
+                self.tracer.record(WRITE, self.region, index)
+            self.leaves[index] = int(new_leaves[index])
+        self.ops += self.num_blocks
+
     def work_ops(self) -> int:
         return self.ops
 

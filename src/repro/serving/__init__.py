@@ -28,6 +28,15 @@ from repro.serving.batcher import BatchingPolicy, DynamicBatcher, ScheduledBatch
 from repro.serving.report import ServingReport
 from repro.serving.dispatcher import Dispatcher
 from repro.serving.engine import ExecutionEngine, ServingConfig
+from repro.serving.pipeline import (
+    EngineStage,
+    PipelineEngine,
+    PipelineReport,
+    PipelineStage,
+    PricedStage,
+    StageResult,
+    compose_stage_reports,
+)
 from repro.serving.server import SecureDlrmServer
 
 __all__ = [
@@ -50,5 +59,12 @@ __all__ = [
     "Dispatcher",
     "ExecutionEngine",
     "ServingConfig",
+    "EngineStage",
+    "PipelineEngine",
+    "PipelineReport",
+    "PipelineStage",
+    "PricedStage",
+    "StageResult",
+    "compose_stage_reports",
     "SecureDlrmServer",
 ]

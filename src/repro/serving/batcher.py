@@ -92,8 +92,13 @@ class DynamicBatcher:
                     f"block_ids has {block_ids.shape[0]} rows for "
                     f"{len(arrivals)} arrivals")
         arrivals = np.asarray(arrivals, dtype=np.float64)
-        if arrivals.ndim != 1 or arrivals.size == 0:
-            raise ValueError("need a non-empty 1-D array of arrival times")
+        if arrivals.ndim != 1:
+            raise ValueError("need a 1-D array of arrival times")
+        if arrivals.size == 0:
+            # An empty trace (an idle pipeline stage's window) schedules
+            # nothing: no batches, and the lookahead consumer is never
+            # called — announcing zero ids is a no-op, not an error.
+            return []
         if not np.isfinite(arrivals).all():
             raise ValueError("arrival times must be finite (no NaN/inf)")
         if np.any(np.diff(arrivals) < 0):

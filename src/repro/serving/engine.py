@@ -132,9 +132,21 @@ class ExecutionEngine:
         pads), so every non-empty batch costs ``batch_latency(config)``.
         Per-request latency = queueing delay (batch start − arrival) +
         batch service time.
+
+        Since the pipeline refactor this routes through a one-stage
+        :class:`~repro.serving.pipeline.PipelineEngine`; the one-stage
+        path returns the stage's report verbatim, so the output is
+        bit-for-bit what the pre-pipeline engine produced (regression-
+        pinned in ``tests/serving/test_pipeline.py``).
         """
-        queue = (arrivals if isinstance(arrivals, RequestQueue)
-                 else RequestQueue(arrivals))
+        from repro.serving.pipeline import EngineStage, PipelineEngine
+
+        stage = EngineStage(self, config, policy=policy)
+        return PipelineEngine([stage]).serve(arrivals).end_to_end
+
+    def _serve_queue(self, config: ServingConfig, queue: RequestQueue,
+                     policy: Optional[BatchingPolicy]) -> ServingReport:
+        """One stage's worth of serving: the pre-pipeline ``serve`` body."""
         if policy is None:
             policy = BatchingPolicy(max_batch_size=config.batch_size,
                                     max_wait_seconds=0.0)

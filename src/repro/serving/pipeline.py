@@ -1,0 +1,281 @@
+"""Multi-stage serving: a `Stage` protocol and the `PipelineEngine`.
+
+The serving stack grew up single-stage: one :class:`ExecutionEngine`, one
+batcher, one report. LLM serving is not one stage — tokenize, prefill, and
+decode have different cost shapes (throughput-bound vs latency-bound) and,
+at cluster scale, different autoscaled pools. This module lifts the
+single-stage engine into the general shape:
+
+* :class:`PipelineStage` — anything that turns an arrival trace into a
+  :class:`StageResult` (a per-stage :class:`ServingReport` plus the
+  departure times that become the next stage's arrivals);
+* :class:`EngineStage` — adapts an :class:`ExecutionEngine` + config, so
+  the existing engine is literally the one-stage special case;
+* :class:`PricedStage` — a stage priced by an arbitrary per-batch service
+  function (the LLM stages in :mod:`repro.llm.stages` are these);
+* :class:`PipelineEngine` — chains stages (stage *k*'s departures are
+  stage *k+1*'s arrivals) and composes the per-stage reports into a
+  :class:`PipelineReport`.
+
+Accounting invariant: the wait between stage *k* finishing a request and
+stage *k+1* starting it is measured **once**, as stage *k+1*'s queueing
+delay (downstream batch start − upstream departure). Summing per-stage
+``queue_delays`` therefore never double-counts an idle interval, and the
+composed ``latencies`` equal final departure − original arrival exactly.
+
+For a single-stage pipeline the composed end-to-end report **is** the
+stage's report object, verbatim — no recomposition, no extra telemetry —
+which is what keeps ``ExecutionEngine.serve()`` bit-for-bit identical to
+its pre-pipeline self (pinned in ``tests/serving/test_pipeline.py``) and
+preserves subclasses such as
+:class:`~repro.resilience.report.ResilientServingReport`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Union,
+)
+
+import numpy as np
+
+from repro.serving.batcher import BatchingPolicy, DynamicBatcher
+from repro.serving.report import ServingReport
+from repro.serving.requests import RequestQueue
+
+if TYPE_CHECKING:  # deferred: engine imports this module at runtime
+    from repro.serving.engine import ExecutionEngine, ServingConfig
+
+ArrivalsLike = Union[RequestQueue, Sequence[float], np.ndarray]
+
+
+@dataclass(frozen=True)
+class StageResult:
+    """One stage's run: its report and when each request left the stage."""
+
+    name: str
+    report: ServingReport
+    departures: np.ndarray  # per-request seconds; next stage's arrivals
+
+    def __post_init__(self) -> None:
+        departures = np.asarray(self.departures, dtype=np.float64)
+        if departures.ndim != 1:
+            raise ValueError("departures must be a 1-D array")
+        if departures.size != self.report.num_requests:
+            raise ValueError(
+                f"stage {self.name!r}: {departures.size} departures for "
+                f"{self.report.num_requests} requests")
+        object.__setattr__(self, "departures", departures)
+
+
+class PipelineStage:
+    """Protocol: an arrival trace in, a :class:`StageResult` out.
+
+    Subclasses implement :meth:`serve`. Departures must be sorted
+    non-decreasing (requests leave a stage in batch order), because they
+    become the next stage's arrival trace.
+    """
+
+    name: str = "stage"
+
+    def serve(self, queue: RequestQueue) -> StageResult:
+        raise NotImplementedError
+
+    # Helper shared by the concrete stages: per-request departures are the
+    # finish time of the batch each request rode in — equivalently
+    # arrival + latency, since latency = (batch start − arrival) + service.
+    @staticmethod
+    def departures_from(queue: RequestQueue,
+                        report: ServingReport) -> np.ndarray:
+        return queue.arrivals + report.latencies
+
+
+class EngineStage(PipelineStage):
+    """The existing :class:`ExecutionEngine` as a pipeline stage.
+
+    ``policy=None`` keeps the engine's default (greedy at the config's
+    batch size), exactly as ``ExecutionEngine.serve`` always resolved it.
+    """
+
+    def __init__(self, engine: "ExecutionEngine", config: "ServingConfig",
+                 policy: Optional[BatchingPolicy] = None,
+                 name: str = "serve") -> None:
+        self.engine = engine
+        self.config = config
+        self.policy = policy
+        self.name = name
+
+    def serve(self, queue: RequestQueue) -> StageResult:
+        report = self.engine._serve_queue(self.config, queue, self.policy)
+        return StageResult(name=self.name, report=report,
+                           departures=self.departures_from(queue, report))
+
+
+class PricedStage(PipelineStage):
+    """A stage priced by a per-batch service-time function.
+
+    This is the engine's uncached serve loop with the backend swapped for
+    an arbitrary ``service_time(batch_size) -> seconds`` — the shape the
+    LLM stages need (tokenize/prefill/decode each price a batch through
+    the cost model rather than through a DLRM allocation).
+
+    ``on_batch`` (optional) is called with each formed
+    :class:`~repro.serving.batcher.ScheduledBatch` *after* scheduling —
+    the seam per-token decode loops and ORAM planners hang off.
+    """
+
+    def __init__(self, name: str, policy: BatchingPolicy,
+                 service_time: Callable[[int], float],
+                 on_batch: Optional[Callable[..., None]] = None) -> None:
+        self.name = name
+        self.policy = policy
+        self.service_time = service_time
+        self.on_batch = on_batch
+
+    def serve(self, queue: RequestQueue) -> StageResult:
+        batches = DynamicBatcher(self.policy).schedule(queue.arrivals,
+                                                       self.service_time)
+        queue_delays = np.empty(len(queue), dtype=np.float64)
+        service_latencies = np.empty(len(queue), dtype=np.float64)
+        for batch in batches:
+            window = slice(batch.first, batch.last)
+            queue_delays[window] = batch.start_seconds - queue.arrivals[window]
+            service_latencies[window] = batch.service_seconds
+            if self.on_batch is not None:
+                self.on_batch(batch)
+        busy = math.fsum(batch.service_seconds for batch in batches)
+        report = ServingReport.from_components(
+            queue_delays=queue_delays, service_latencies=service_latencies,
+            num_batches=len(batches), scan_features=0, dhe_features=0,
+            batch_time_total=busy)
+        return StageResult(name=self.name, report=report,
+                           departures=self.departures_from(queue, report))
+
+
+@dataclass(frozen=True)
+class PipelineReport:
+    """Per-stage reports plus the composed end-to-end view.
+
+    ``end_to_end.batch_time_total`` is the **bottleneck** stage's busy
+    time (max, not sum): a pipeline's sustained throughput is set by its
+    slowest stage, so ``end_to_end.throughput()`` answers the fleet-level
+    question. Per-stage busy time is still available in ``stages``.
+    """
+
+    stages: List[StageResult] = field(default_factory=list)
+    end_to_end: ServingReport = None  # type: ignore[assignment]
+
+    def stage(self, name: str) -> StageResult:
+        for result in self.stages:
+            if result.name == name:
+                return result
+        raise KeyError(f"no stage named {name!r}")
+
+    @property
+    def departures(self) -> np.ndarray:
+        """When each request left the final stage."""
+        return self.stages[-1].departures
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-stable digest: per-stage and end-to-end latency stats."""
+        def digest(report: ServingReport) -> Dict[str, object]:
+            return {
+                "num_requests": report.num_requests,
+                "num_batches": report.num_batches,
+                "p50_seconds": report.p50,
+                "p95_seconds": report.p95,
+                "p99_seconds": report.p99,
+                "mean_queue_delay_seconds": report.mean_queue_delay,
+                "busy_seconds": report.batch_time_total,
+                "throughput_rps": report.throughput(),
+            }
+
+        return {
+            "stages": {result.name: digest(result.report)
+                       for result in self.stages},
+            "end_to_end": digest(self.end_to_end),
+        }
+
+
+def compose_stage_reports(results: Sequence[StageResult]) -> ServingReport:
+    """Fold per-stage reports into one end-to-end :class:`ServingReport`.
+
+    * ``latencies`` sum elementwise — each stage's latency covers the
+      contiguous interval [stage arrival, stage departure], and stage
+      *k+1*'s arrival *is* stage *k*'s departure, so the sum is exactly
+      final departure − original arrival with every inter-stage wait
+      counted once (as the downstream stage's queueing delay).
+    * The queue/service decomposition is kept only when every stage
+      carries it (same rule as :meth:`ServingReport.merge`).
+    * ``batch_time_total`` is the max over stages (bottleneck busy time).
+    * Cache counters sum when any stage tracks them.
+    """
+    if not results:
+        raise ValueError("compose needs at least one stage result")
+    reports = [result.report for result in results]
+    first = reports[0]
+    if any(r.num_requests != first.num_requests for r in reports):
+        raise ValueError("stages disagree on the request population")
+    latencies = first.latencies.copy()
+    for report in reports[1:]:
+        latencies += report.latencies
+    queue_delays: Optional[np.ndarray] = None
+    service_latencies: Optional[np.ndarray] = None
+    if all(r.queue_delays is not None for r in reports):
+        queue_delays = np.sum([r.queue_delays for r in reports], axis=0)
+    if all(r.service_latencies is not None for r in reports):
+        service_latencies = np.sum([r.service_latencies for r in reports],
+                                   axis=0)
+    cache_hits = cache_misses = cache_bytes = None
+    if any(r.tracks_cache for r in reports):
+        cache_hits = sum(r.cache_hits or 0 for r in reports)
+        cache_misses = sum(r.cache_misses or 0 for r in reports)
+        cache_bytes = sum(r.cache_bytes_resident or 0 for r in reports)
+    return ServingReport(
+        num_requests=first.num_requests,
+        num_batches=sum(r.num_batches for r in reports),
+        latencies=latencies,
+        scan_features=sum(r.scan_features for r in reports),
+        dhe_features=sum(r.dhe_features for r in reports),
+        batch_time_total=max(r.batch_time_total for r in reports),
+        queue_delays=queue_delays,
+        service_latencies=service_latencies,
+        cache_hits=cache_hits, cache_misses=cache_misses,
+        cache_bytes_resident=cache_bytes)
+
+
+class PipelineEngine:
+    """Chain stages: each stage's departures feed the next stage's queue."""
+
+    def __init__(self, stages: Sequence[PipelineStage]) -> None:
+        stages = list(stages)
+        if not stages:
+            raise ValueError("a pipeline needs at least one stage")
+        names = [stage.name for stage in stages]
+        if len(set(names)) != len(names):
+            raise ValueError(f"stage names must be unique, got {names}")
+        self.stages = stages
+
+    def serve(self, arrivals: ArrivalsLike) -> PipelineReport:
+        queue = (arrivals if isinstance(arrivals, RequestQueue)
+                 else RequestQueue(arrivals))
+        results: List[StageResult] = []
+        for stage in self.stages:
+            result = stage.serve(queue)
+            results.append(result)
+            queue = RequestQueue(result.departures)
+        if len(results) == 1:
+            # The one-stage special case: the stage's report IS the
+            # end-to-end report, object-identical (subclass and all).
+            return PipelineReport(stages=results,
+                                  end_to_end=results[0].report)
+        return PipelineReport(stages=results,
+                              end_to_end=compose_stage_reports(results))

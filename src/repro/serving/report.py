@@ -88,6 +88,14 @@ class ServingReport:
         the sums; the merged report keeps cache fields if *any*
         constituent carried them, and stays uncached (``None``) only when
         none did.
+
+        Heterogeneous constituents are first-class: if any report is a
+        :class:`~repro.resilience.report.ResilientServingReport`, the
+        merged report is lifted to that shape with the fault counters
+        summed and degradation events concatenated — a pipeline fleet
+        view mixing resilient and plain stages never silently zeroes
+        attempts/retries/sheds. (Per-replica ``fleet_snapshot``\\ s do not
+        aggregate and are dropped; drill into the constituents for those.)
         """
         reports = list(reports)
         if not reports:
@@ -108,7 +116,7 @@ class ServingReport:
             cache_misses = sum(r.cache_misses or 0 for r in reports)
             cache_bytes_resident = sum(r.cache_bytes_resident or 0
                                        for r in reports)
-        return cls(
+        merged = cls(
             num_requests=sum(r.num_requests for r in reports),
             num_batches=sum(r.num_batches for r in reports),
             latencies=latencies,
@@ -119,6 +127,24 @@ class ServingReport:
             service_latencies=service_latencies,
             cache_hits=cache_hits, cache_misses=cache_misses,
             cache_bytes_resident=cache_bytes_resident)
+        resilient = [r for r in reports if hasattr(r, "attempts_total")]
+        if resilient:
+            # Deferred import: resilience builds on serving, not the
+            # reverse (same idiom as the engine's fault path).
+            from repro.resilience.report import ResilientServingReport
+
+            merged = ResilientServingReport.from_serving_report(
+                merged,
+                attempts_total=sum(r.attempts_total for r in resilient),
+                retries_total=sum(r.retries_total for r in resilient),
+                hedges_total=sum(r.hedges_total for r in resilient),
+                shed_requests=sum(r.shed_requests for r in resilient),
+                crash_events=sum(r.crash_events for r in resilient),
+                transient_faults=sum(r.transient_faults for r in resilient),
+                spike_events=sum(r.spike_events for r in resilient),
+                degradation_events=[event for r in resilient
+                                    for event in r.degradation_events])
+        return merged
 
     # ------------------------------------------------------------------
     # Percentiles and ratios are NaN-free: a report with no requests (an

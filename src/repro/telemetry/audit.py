@@ -266,7 +266,7 @@ class LeakageAuditor:
 def standard_subjects(num_embeddings: int = 16, embedding_dim: int = 4,
                       sequence_length: int = 12,
                       seed: int = 0) -> List[AuditSubject]:
-    """Scan, Path ORAM, Circuit ORAM, DHE — plus the known-leaky lookup.
+    """Scan, Path/Circuit/square-root ORAM, DHE — plus the leaky lookup.
 
     Secrets are three index sequences chosen to maximise contrast: hammer
     the first row, hammer the last row, and a mixed sweep. Randomised
@@ -278,6 +278,7 @@ def standard_subjects(num_embeddings: int = 16, embedding_dim: int = 4,
     from repro.embedding.table import TableEmbedding
     from repro.oram.circuit_oram import CircuitORAM
     from repro.oram.path_oram import PathORAM
+    from repro.oram.sqrt_oram import SqrtORAM
 
     secrets: List[Sequence[int]] = [
         [0] * sequence_length,
@@ -316,6 +317,8 @@ def standard_subjects(num_embeddings: int = 16, embedding_dim: int = 4,
                      mode=MODE_STRUCTURAL),
         AuditSubject("circuit-oram", oram_runner(CircuitORAM), secrets,
                      mode=MODE_STRUCTURAL),
+        AuditSubject("sqrt-oram", oram_runner(SqrtORAM), secrets,
+                     mode=MODE_STRUCTURAL),
         AuditSubject("dhe", run_dhe, secrets, mode=MODE_EXACT),
         AuditSubject("table-lookup", run_table, secrets, mode=MODE_EXACT,
                      expect_oblivious=False),
@@ -324,7 +327,7 @@ def standard_subjects(num_embeddings: int = 16, embedding_dim: int = 4,
 
 def standard_audit(registry: Optional[MetricsRegistry] = None,
                    **subject_kwargs) -> AuditReport:
-    """Run the standing five-subject audit; see :func:`standard_subjects`."""
+    """Run the standing technique audit; see :func:`standard_subjects`."""
     auditor = LeakageAuditor(registry=registry)
     return auditor.run(standard_subjects(**subject_kwargs))
 

@@ -105,6 +105,11 @@ class OnlineOramEmbedding(EmbeddingGenerator):
         """
         block_ids = np.asarray(block_ids, dtype=np.int64).reshape(-1)
         self._check_indices(block_ids)
+        if block_ids.size == 0:
+            # Zero ids announced (an empty batch window) is a no-op:
+            # registering an empty expectation would wrongly reject the
+            # next real forward batch.
+            return
         self._announced = block_ids
 
     def _consume_announcement(self, flat: np.ndarray) -> None:

@@ -323,3 +323,35 @@ class TestMergeCounters:
 
         with pytest.raises(ValueError, match="at least one report"):
             ClusterServingReport.merge([])
+
+
+class TestMergeHeterogeneousIntervals:
+    """ISSUE 10 satellite: resilient intervals survive the fleet merge."""
+
+    def _intervals(self, thresholds, config, policy, count=2):
+        engine = make_engine(thresholds, config)
+        return [engine.serve(config,
+                             RequestQueue.poisson(32, 2000.0, rng=i),
+                             policy)
+                for i in range(count)]
+
+    def test_resilient_interval_keeps_fault_counters(self, thresholds,
+                                                     config, policy):
+        import dataclasses
+
+        from repro.cluster.scatter import ClusterServingReport
+        from repro.resilience.report import ResilientServingReport
+
+        intervals = self._intervals(thresholds, config, policy)
+        lifted = ResilientServingReport.from_serving_report(
+            intervals[0].report, attempts_total=9, retries_total=3,
+            shed_requests=1)
+        intervals[0] = dataclasses.replace(intervals[0], report=lifted)
+        merged = ClusterServingReport.merge(intervals)
+        assert isinstance(merged.report, ResilientServingReport)
+        assert merged.report.attempts_total == 9
+        assert merged.report.retries_total == 3
+        assert merged.report.shed_requests == 1
+        # the plain interval's latencies are still in the union
+        assert merged.num_requests == sum(r.num_requests
+                                          for r in intervals)

@@ -19,7 +19,7 @@ ALL_IDS = {"fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
            "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "table1",
            "table2", "table5", "table6", "table7", "table8",
            "llm-footprint", "autoscale", "cache", "chaos", "cluster",
-           "migrate", "lazy", "train"}
+           "migrate", "lazy", "train", "llm"}
 
 
 class TestRegistry:
@@ -252,3 +252,37 @@ class TestTable1:
         assert exponents["linear scan"] == pytest.approx(1.0, abs=0.25)
         assert exponents["DHE"] == pytest.approx(2.0, abs=0.25)
         assert 0.3 < exponents["tree ORAM"] < 1.3
+
+
+class TestLlm:
+    def test_pipeline_story_and_gates(self):
+        result = run_experiment("llm")
+        tok = [int(n) for n in result.column("tok")]
+        dec = [int(n) for n in result.column("dec")]
+        # tokenize starts overprovisioned and sheds a node in the warm-up;
+        # decode grows through the ramp; every gate reported PASS
+        assert min(tok) < tok[0]
+        assert dec[-1] > dec[0]
+        assert "FAIL" not in result.notes
+        assert "hot-load-chasing controller" in result.notes
+
+    def test_json_includes_per_stage_telemetry(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "llm.json"
+        assert main(["llm", "--json", str(path)]) == 0
+        capsys.readouterr()
+        payload = json.loads(path.read_text())
+        (result,) = payload["results"]
+        assert result["experiment_id"] == "llm"
+        assert result["headers"] == ["tick", "rate", "tok", "pre", "dec",
+                                     "decode_p99_ms", "decisions"]
+        counters = payload["counters"]
+        # the per-stage telemetry snapshot rides along in the dump
+        for stage in ("tokenize", "prefill", "decode"):
+            assert counters[f"llm.stage.{stage}.requests_total"] > 0
+            assert counters[f"llm.stage.{stage}.batches_total"] > 0
+        assert counters["llm.pool.tokenize.scale_down_events_total"] >= 1
+        assert counters["llm.pool.decode.scale_up_events_total"] >= 1
+        assert counters["experiments.llm.runs_total"] == 1.0
+        assert payload["gauges"]["llm.pool.decode.nodes"] >= 2.0

@@ -1,0 +1,91 @@
+"""Oblivious tokenizer: value parity, standing audits, detector teeth."""
+
+import numpy as np
+import pytest
+
+from repro.llm.tokenizer import (
+    TOKENIZE_REGION,
+    BoundaryLeakingTokenizer,
+    ObliviousTokenizer,
+    contrasting_prompts,
+    tokenizer_subjects,
+)
+from repro.oblivious.trace import MemoryTracer
+from repro.telemetry.audit import LeakageAuditor
+
+VOCAB = 64
+DIM = 8
+
+
+class TestValues:
+    def test_embeddings_match_the_vocabulary_rows(self):
+        tokenizer = ObliviousTokenizer(VOCAB, DIM, rng=0)
+        prompt = "the quick onyx goblin"
+        out = tokenizer.tokenize(prompt)
+        expected = tokenizer.vocabulary[tokenizer.token_ids(prompt)]
+        np.testing.assert_allclose(out, expected)
+        assert out.shape == (len(prompt), DIM)
+
+    def test_token_ids_stay_in_vocab(self):
+        tokenizer = ObliviousTokenizer(VOCAB, DIM, rng=0)
+        ids = tokenizer.token_ids("Hello, world! éè")
+        assert all(0 <= token_id < VOCAB for token_id in ids)
+
+    def test_vocab_size_validated(self):
+        with pytest.raises(ValueError):
+            ObliviousTokenizer(0, DIM)
+
+
+class TestDecisionTrace:
+    def test_same_length_prompts_trace_identically(self):
+        traces = []
+        for prompt in contrasting_prompts(16):
+            tracer = MemoryTracer()
+            ObliviousTokenizer(VOCAB, DIM, rng=0,
+                               tracer=tracer).tokenize(prompt)
+            traces.append(tracer.snapshot())
+        assert traces[0] == traces[1] == traces[2]
+
+    def test_contrasting_prompts_are_same_length(self):
+        prompts = contrasting_prompts(24)
+        assert len(prompts) == 3
+        assert len({len(prompt) for prompt in prompts}) == 1
+        # different boundary structure is the whole point
+        assert len({len(prompt.split()) for prompt in prompts}) > 1
+
+    def test_boundary_leak_traces_follow_word_structure(self):
+        traces = []
+        for prompt in contrasting_prompts(16):
+            tracer = MemoryTracer()
+            BoundaryLeakingTokenizer(VOCAB, DIM, rng=0,
+                                     tracer=tracer).tokenize(prompt)
+            traces.append(tracer.snapshot())
+        assert traces[0] != traces[1]  # one word vs many words
+
+
+class TestStandingAudits:
+    @pytest.fixture(scope="class")
+    def findings(self):
+        auditor = LeakageAuditor()
+        return {subject.name: auditor.audit(subject)
+                for subject in tokenizer_subjects(VOCAB, DIM,
+                                                  prompt_length=16)}
+
+    def test_decision_plane_is_exactly_oblivious(self, findings):
+        finding = findings["llm-tokenize"]
+        assert finding.mode == "exact"
+        assert finding.passed and finding.observed_oblivious
+
+    def test_memory_plane_is_structurally_oblivious(self, findings):
+        finding = findings["llm-tokenize-memory"]
+        assert finding.mode == "structural"
+        assert finding.passed and finding.observed_oblivious
+
+    def test_negative_control_is_caught(self, findings):
+        finding = findings["llm-tokenize-boundary-leak"]
+        assert finding.leak_detected
+        assert not finding.expect_oblivious
+        assert finding.passed  # reality matched the expectation
+
+    def test_region_name_is_stable(self):
+        assert TOKENIZE_REGION == "llm.tokenize"

@@ -10,11 +10,12 @@ from repro.oram import (
     PathORAM,
     RingORAM,
     SequentialLeakingBatcher,
+    SqrtORAM,
     Stash,
     contrasting_batches,
     lookahead_subjects,
 )
-from repro.oram.lookahead import build_fetch_schedule, plan_batch
+from repro.oram.lookahead import ADDR_FETCH, build_fetch_schedule, plan_batch
 from repro.oram.position_map import FlatPositionMap, OramPositionMap
 from repro.telemetry.audit import LeakageAuditor
 
@@ -249,6 +250,37 @@ class TestRingFallback:
         got = batched.access_batch(batch)
         want = np.stack([sequential.access(b) for b in batch])
         np.testing.assert_array_equal(got, want)
+
+
+class TestSqrtFallback:
+    """SUPPORTS_LOOKAHEAD dispatch on the square-root scheme: the batched
+    entry point must take the sequential fallback, value-parity like Ring."""
+
+    def test_sqrt_access_batch_matches_sequential(self):
+        batch = [3, 8, 3, 0]
+        batched = make_oram(SqrtORAM, seed=1)
+        sequential = make_oram(SqrtORAM, seed=2)
+        assert not batched.SUPPORTS_LOOKAHEAD
+        got = batched.access_batch(batch)
+        want = np.stack([sequential.access(b) for b in batch])
+        np.testing.assert_array_equal(got, want)
+
+    def test_fallback_records_the_ordinal_decision_trace(self):
+        # The sequential fallback still narrates the standing lookahead
+        # decision trace: one ordinal fetch record per slot.
+        oram = make_oram(SqrtORAM, seed=0)
+        plan = MemoryTracer()
+        oram.access_batch([5, 1, 5], plan_tracer=plan)
+        fetch = [event for event in plan.events
+                 if event.region == LOOKAHEAD_REGION]
+        assert [event.address for event in fetch] == [
+            ADDR_FETCH, ADDR_FETCH + 1, ADDR_FETCH + 2]
+
+    def test_empty_batch_is_a_noop(self):
+        oram = make_oram(SqrtORAM, seed=0)
+        out = oram.access_batch([])
+        assert out.shape == (0, WIDTH)
+        assert oram.stats.accesses == 0
 
 
 class TestLeakageAudit:

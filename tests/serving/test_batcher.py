@@ -56,9 +56,16 @@ class TestDynamicBatcher:
             DynamicBatcher(BatchingPolicy(4)).schedule([0.2, 0.1],
                                                        lambda n: 1.0)
 
-    def test_empty_arrivals_raise(self):
-        with pytest.raises(ValueError):
-            DynamicBatcher(BatchingPolicy(4)).schedule([], lambda n: 1.0)
+    def test_empty_arrivals_schedule_nothing(self):
+        # An idle window is a no-op, not an error (a pipeline stage may
+        # legitimately see zero arrivals).
+        assert DynamicBatcher(BatchingPolicy(4)).schedule([],
+                                                          lambda n: 1.0) == []
+
+    def test_two_dimensional_arrivals_raise(self):
+        with pytest.raises(ValueError, match="1-D"):
+            DynamicBatcher(BatchingPolicy(4)).schedule(
+                np.zeros((2, 2)), lambda n: 1.0)
 
     def test_non_positive_service_raises(self):
         with pytest.raises(ValueError, match="service_time"):
@@ -169,6 +176,36 @@ class TestLookaheadHook:
         with pytest.raises(ValueError, match="rows"):
             batcher.schedule(np.zeros(4), lambda n: 1.0,
                              block_ids=np.zeros((3, 2)))
+
+    def test_empty_trace_never_calls_the_consumer(self):
+        # Announce-with-zero-ids is a no-op: nothing is ever announced.
+        calls = []
+        batcher = DynamicBatcher(BatchingPolicy(4, 0.0),
+                                 lookahead=lambda b, ids: calls.append(ids))
+        assert batcher.schedule([], lambda n: 1.0,
+                                block_ids=np.zeros((0, 2))) == []
+        assert calls == []
+
+    def test_single_request_forms_a_singleton_batch_through_the_hook(self):
+        seen = []
+        batcher = DynamicBatcher(BatchingPolicy(4, 0.0),
+                                 lookahead=lambda b, ids: seen.append(
+                                     ids.copy()))
+        (batch,) = batcher.schedule([0.5], lambda n: 0.1,
+                                    block_ids=np.array([[7, 9]]))
+        assert (batch.first, batch.last) == (0, 1)
+        assert len(seen) == 1
+        np.testing.assert_array_equal(seen[0], [[7, 9]])
+
+    def test_announce_with_zero_ids_is_a_noop_on_the_table(self):
+        # The consumer end of the contract: an empty announcement must not
+        # register an expectation that rejects the next real batch.
+        from repro.training.embedding import OnlineOramEmbedding
+
+        table = OnlineOramEmbedding(8, 4, rng=0)
+        table.announce(np.zeros((0,), dtype=np.int64))
+        out = table.forward(np.array([1, 3]))  # must not raise
+        assert out.data.shape == (2, 4)
 
 
 class TestNonFiniteArrivals:

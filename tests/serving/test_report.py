@@ -205,3 +205,71 @@ class TestEmptyReportGuards:
         assert report.p95_queue_delay == 0.0
         assert report.sla_attainment(0.020) == 0.0
         assert report.throughput() == 0.0
+
+
+class TestMergeHeterogeneousStages:
+    """ISSUE 10 satellite: resilient constituents lift the merge, not zero.
+
+    A pipeline fleet view mixes plain stages (tokenize/prefill/decode
+    priced stages) with resilient engine stages; merging them must
+    produce a ResilientServingReport with the fault counters summed and
+    degradation events concatenated, never a plain report that silently
+    drops attempts/retries/sheds.
+    """
+
+    def make_plain(self, queue, service):
+        return ServingReport.from_components(
+            queue_delays=np.asarray(queue, dtype=np.float64),
+            service_latencies=np.asarray(service, dtype=np.float64),
+            num_batches=1, scan_features=0, dhe_features=0,
+            batch_time_total=float(np.sum(service)))
+
+    def make_resilient(self, **extras):
+        from repro.resilience.report import ResilientServingReport
+
+        return ResilientServingReport.from_serving_report(
+            self.make_plain([0.1, 0.2], [1.0, 1.0]), **extras)
+
+    def test_mixed_merge_lifts_and_sums_fault_counters(self):
+        from repro.resilience.degradation import DegradationEvent
+        from repro.resilience.report import ResilientServingReport
+
+        event = DegradationEvent(from_technique="dhe-varied",
+                                 to_technique="scan", cause="audit",
+                                 batch_index=3, audit_passed=False,
+                                 audit_divergence=0.5)
+        plain = self.make_plain([0.0], [2.0])
+        resilient = self.make_resilient(attempts_total=7, retries_total=2,
+                                        hedges_total=1, shed_requests=1,
+                                        crash_events=1,
+                                        degradation_events=[event])
+        merged = ServingReport.merge([plain, resilient])
+        assert isinstance(merged, ResilientServingReport)
+        assert merged.attempts_total == 7
+        assert merged.retries_total == 2
+        assert merged.hedges_total == 1
+        assert merged.shed_requests == 1
+        assert merged.crash_events == 1
+        assert merged.degradation_events == [event]
+        assert merged.num_requests == 3
+        np.testing.assert_array_equal(merged.latencies, [2.0, 1.1, 1.2])
+
+    def test_two_resilient_constituents_sum(self):
+        merged = ServingReport.merge([
+            self.make_resilient(attempts_total=4, shed_requests=1),
+            self.make_resilient(attempts_total=3, retries_total=5),
+        ])
+        assert merged.attempts_total == 7
+        assert merged.retries_total == 5
+        assert merged.shed_requests == 1
+
+    def test_all_plain_stays_plain(self):
+        merged = ServingReport.merge([self.make_plain([0.0], [1.0]),
+                                      self.make_plain([0.1], [1.0])])
+        assert type(merged) is ServingReport
+
+    def test_per_replica_fleet_snapshots_do_not_aggregate(self):
+        lifted = self.make_resilient(attempts_total=1,
+                                     fleet_snapshot={"nodes": 2})
+        merged = ServingReport.merge([lifted, self.make_plain([0.0], [1.0])])
+        assert merged.fleet_snapshot is None

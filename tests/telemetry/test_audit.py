@@ -120,8 +120,8 @@ class TestStandardAudit:
         report = standard_audit(registry=registry, sequence_length=8)
         assert report.passed
         names = [f.subject for f in report.findings]
-        assert names == ["linear-scan", "path-oram", "circuit-oram", "dhe",
-                         "table-lookup"]
+        assert names == ["linear-scan", "path-oram", "circuit-oram",
+                         "sqrt-oram", "dhe", "table-lookup"]
         assert registry.gauge("audit.last_run_passed").value == 1.0
 
     def test_deterministic_defences_exactly_equivalent(self):
@@ -136,7 +136,7 @@ class TestStandardAudit:
     def test_orams_structural_within_budget(self):
         report = standard_audit(registry=MetricsRegistry(),
                                 sequence_length=8)
-        for name in ("path-oram", "circuit-oram"):
+        for name in ("path-oram", "circuit-oram", "sqrt-oram"):
             finding = report.finding(name)
             assert finding.mode == MODE_STRUCTURAL
             assert finding.trace_equivalent
@@ -174,5 +174,5 @@ class TestCli:
         assert "overall: PASS" in capsys.readouterr().out
         payload = json.loads(path.read_text())
         assert payload["audit"]["passed"] is True
-        assert len(payload["audit"]["findings"]) == 5
-        assert payload["counters"]["audit.subjects_total"] == 5.0
+        assert len(payload["audit"]["findings"]) == 6
+        assert payload["counters"]["audit.subjects_total"] == 6.0
